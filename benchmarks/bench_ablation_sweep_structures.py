@@ -1,0 +1,73 @@
+"""Ablation — Striped-Sweep vs Forward-Sweep (Section 3.1 / [4]).
+
+Arge et al. measured Striped-Sweep "by a factor of 2 to 5 faster than
+the other methods for most real-life data sets"; the paper builds SSSJ
+and PQ on it while ST and PBSM use Forward-Sweep.  We compare kernel
+comparison counts (the machine-independent measure behind the CPU
+times) on the TIGER-like datasets.
+"""
+
+import pytest
+
+from repro.core.sweep import ForwardSweep, StripedSweep, auto_strips, sweep_join
+from repro.data.datasets import build_dataset
+from repro.experiments.report import format_table
+from repro.sim.env import null_env
+
+from common import bench_scale, emit
+
+DATASETS = ("NY", "DISK1", "DISK1-6")
+
+
+def _one(name: str):
+    ds = build_dataset(name, bench_scale())
+    key = lambda r: (r.ylo, r.xlo, r.rid)
+    roads = sorted(ds.roads, key=key)
+    hydro = sorted(ds.hydro, key=key)
+    uni = ds.universe
+    widths = [r.xhi - r.xlo for r in roads[:512]]
+    nstrips = auto_strips(uni.xhi - uni.xlo, sum(widths) / len(widths))
+
+    env_f = null_env()
+    f_stats = sweep_join(iter(roads), iter(hydro), ForwardSweep, env_f)
+    env_s = null_env()
+    s_stats = sweep_join(
+        iter(roads), iter(hydro),
+        lambda: StripedSweep(uni.xlo, uni.xhi, nstrips), env_s,
+    )
+    assert f_stats.pairs == s_stats.pairs
+    return {
+        "dataset": name,
+        "nstrips": nstrips,
+        "forward_ops": f_stats.cpu_ops,
+        "striped_ops": s_stats.cpu_ops,
+        "speedup": f_stats.cpu_ops / s_stats.cpu_ops,
+    }
+
+
+def _rows():
+    return [_one(name) for name in DATASETS]
+
+
+def test_striped_vs_forward_sweep(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["Dataset", "Strips", "Forward ops", "Striped ops", "Speedup"],
+        [
+            [r["dataset"], r["nstrips"], r["forward_ops"],
+             r["striped_ops"], f"{r['speedup']:.1f}x"]
+            for r in rows
+        ],
+        title=(
+            f"Ablation (scale {bench_scale().name}): Striped-Sweep vs "
+            "Forward-Sweep comparison counts ([4]'s 2-5x claim)"
+        ),
+    )
+    emit("ablation_sweep_structures", table)
+
+    for r in rows:
+        # [4]: 2-5x on real-life data; clustering at small scale can
+        # push past that, so require >= 2x and sanity-cap at 50x.
+        assert 2.0 <= r["speedup"] <= 50.0, r
+    # The advantage grows with dataset size (denser sweep line).
+    assert rows[-1]["speedup"] >= rows[0]["speedup"], rows

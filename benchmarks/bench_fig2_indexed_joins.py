@@ -1,0 +1,84 @@
+"""Figure 2 — estimated vs observed cost of the indexed joins (PQ, ST).
+
+Paper panels (a)-(c): *estimated* time = CPU + requests x average read.
+Under this naive model there is "no clear winner": PQ has a slight edge
+on Machine 1, ST looks at most comparable elsewhere.
+
+Paper panels (d)-(f): *observed* time.  The bulk-loaded layout makes
+much of ST's I/O sequential, so ST beats PQ decisively on the larger
+datasets, most dramatically on Machine 3 — while PQ's observed time
+stays close to its estimate (its accesses really are random).
+"""
+
+import pytest
+
+from repro.experiments.report import fmt_seconds, format_table
+from repro.sim.machines import ALL_MACHINES
+
+from common import BENCH_DATASETS, bench_scale, emit, get_run
+
+
+def _rows():
+    rows = []
+    for name in BENCH_DATASETS:
+        pq = get_run(name, "PQ")
+        st = get_run(name, "ST")
+        for mi, spec in enumerate(ALL_MACHINES):
+            pqm = pq["machines"][mi]
+            stm = st["machines"][mi]
+            rows.append(
+                {
+                    "dataset": name,
+                    "machine": f"M{mi + 1}",
+                    "pq_est": pqm["estimated_seconds"],
+                    "st_est": stm["estimated_seconds"],
+                    "pq_obs": pqm["observed_seconds"],
+                    "st_obs": stm["observed_seconds"],
+                    "pq_cpu": pqm["cpu_seconds"],
+                    "st_cpu": stm["cpu_seconds"],
+                }
+            )
+    return rows
+
+
+def test_fig2_estimated_vs_observed(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["Dataset", "Machine", "PQ est", "ST est", "PQ obs", "ST obs",
+         "ST obs/est", "PQ obs/est"],
+        [
+            [
+                r["dataset"], r["machine"],
+                fmt_seconds(r["pq_est"]), fmt_seconds(r["st_est"]),
+                fmt_seconds(r["pq_obs"]), fmt_seconds(r["st_obs"]),
+                f"{r['st_obs'] / r['st_est']:.2f}",
+                f"{r['pq_obs'] / r['pq_est']:.2f}",
+            ]
+            for r in rows
+        ],
+        title=(
+            f"Figure 2 (scale {bench_scale().name}): estimated (a-c) vs "
+            "observed (d-f) indexed-join costs [simulated seconds]"
+        ),
+    )
+    emit("fig2_indexed_joins", table)
+
+    big = [r for r in rows if r["dataset"] in
+           ("DISK1", "DISK4-6", "DISK1-3", "DISK1-6")]
+    for r in big:
+        # PQ's accesses are genuinely random: observed ~ estimated.
+        assert 0.7 <= r["pq_obs"] / r["pq_est"] <= 1.1, r
+        # ST rides the bulk-loaded layout: observed well below estimate.
+        assert r["st_obs"] / r["st_est"] < 0.75, r
+        # Observed: ST beats PQ on the larger sets (paper (d)-(f)).
+        assert r["st_obs"] < r["pq_obs"], r
+    # Estimated, Machine 1: PQ has at most a slight disadvantage --
+    # the paper's "no clear winner / slight advantage for PQ".
+    for r in big:
+        if r["machine"] == "M1":
+            assert r["pq_est"] <= r["st_est"] * 1.1, r
+    # The ST-over-PQ factor is largest on Machine 3 (fast disk, big
+    # track buffer), the paper's headline observation in (f).
+    m3 = [r for r in big if r["machine"] == "M3"]
+    for r in m3:
+        assert r["pq_obs"] / r["st_obs"] > 1.5, r

@@ -1,0 +1,92 @@
+"""Figure 3 — observed running times of all four algorithms.
+
+Paper: "With the exception of one experiment, SSSJ always outperforms
+all other algorithms in terms of total running time even though it
+performs the largest number of I/Os" — sequential beats random.  On
+Machine 1 (slow CPU / fast disk) everything is CPU-bound and the
+index-based ST beats the non-index-based PBSM, matching Patel & DeWitt;
+on Machines 2/3 the I/O pattern decides and PQ (random reads) trails.
+"""
+
+import pytest
+
+from repro.experiments.report import fmt_seconds, format_table
+from repro.sim.machines import ALL_MACHINES
+
+from common import BENCH_DATASETS, bench_scale, emit, get_run
+
+ALGOS = ("SSSJ", "PBSM", "PQ", "ST")
+
+
+def _rows():
+    rows = []
+    for name in BENCH_DATASETS:
+        runs = {a: get_run(name, a) for a in ALGOS}
+        for mi in range(len(ALL_MACHINES)):
+            row = {"dataset": name, "machine": f"M{mi + 1}"}
+            for a in ALGOS:
+                snap = runs[a]["machines"][mi]
+                row[a] = snap["observed_seconds"]
+                row[f"{a}_cpu"] = snap["cpu_seconds"]
+                row[f"{a}_io"] = snap["io_seconds"]
+            rows.append(row)
+    return rows
+
+
+def test_fig3_all_algorithms(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["Dataset", "Machine"] + [f"{a} (cpu+io)" for a in ALGOS]
+        + ["winner"],
+        [
+            [r["dataset"], r["machine"]]
+            + [
+                f"{fmt_seconds(r[a])} ({fmt_seconds(r[f'{a}_cpu'])}+"
+                f"{fmt_seconds(r[f'{a}_io'])})"
+                for a in ALGOS
+            ]
+            + [min(ALGOS, key=lambda a: r[a])]
+            for r in rows
+        ],
+        title=(
+            f"Figure 3 (scale {bench_scale().name}): observed join "
+            "costs, all machines [simulated seconds]"
+        ),
+    )
+    emit("fig3_all_algorithms", table)
+
+    # SSSJ wins almost everywhere; the paper likewise records exactly
+    # one exception.  We allow tiny-dataset ties plus at most one
+    # Machine-1/ST exception within 10% (M1 is CPU-bound, and ST is the
+    # closest competitor there, as in Figure 3(a)).
+    losses = [
+        r for r in rows if min(ALGOS, key=lambda a: r[a]) != "SSSJ"
+    ]
+    big_losses = [r for r in losses if r["dataset"].startswith("DISK")]
+    assert len(losses) <= 4, losses
+    assert len(big_losses) <= 1, big_losses
+    for r in big_losses:
+        assert r["machine"] == "M1", r
+        assert min(ALGOS, key=lambda a: r[a]) == "ST", r
+        assert r["ST"] > 0.85 * r["SSSJ"], r
+
+    big = [r for r in rows if r["dataset"].startswith("DISK")]
+    for r in big:
+        # SSSJ beats PBSM and PQ on every large dataset, and ST too
+        # outside the single allowed exception.
+        for a in ("PBSM", "PQ"):
+            assert r["SSSJ"] < r[a], (r, a)
+        if r not in big_losses:
+            assert r["SSSJ"] < r["ST"], r
+    m1 = [r for r in big if r["machine"] == "M1"]
+    for r in m1:
+        # Machine 1 is CPU-bound: internal computation dominates.
+        assert r["SSSJ_cpu"] > r["SSSJ_io"], r
+        # Patel & DeWitt's observation holds: ST < PBSM on machine 1.
+        assert r["ST"] < r["PBSM"], r
+    m3 = [r for r in big if r["machine"] == "M3"]
+    for r in m3:
+        # On the fast machine the CPU no longer dominates SSSJ.
+        assert r["SSSJ_cpu"] < r["SSSJ_io"] * 1.5, r
+        # PQ, reading every index page randomly, is the slowest there.
+        assert r["PQ"] == max(r[a] for a in ALGOS), r

@@ -1,0 +1,156 @@
+"""Section 6.3 — localized joins and the cost model's crossover.
+
+The paper's closing argument: index-based joins win when only a small
+clustered portion of one input participates ("joining hydrographic
+features from the state of Minnesota and road features of the entire
+United States"), and a cost model should pick the strategy; for the
+paper's disk the index pays off below roughly 60% leaf participation.
+
+This bench sweeps the width of the localized relation from ~3% to 100%
+of the big relation's extent, running both the pruned PQ-over-index
+path and SSSJ, and locates the empirical crossover in simulated I/O
+seconds per machine; it also checks the cost model's predicted
+crossover agrees with the measured one within a factor of two, and that
+the planner picks the winning side on both ends of the sweep.
+"""
+
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.core.histogram import SpatialHistogram
+from repro.core.planner import Relation, unified_spatial_join
+from repro.data.tiger import make_hydro, make_roads
+from repro.experiments.report import fmt_seconds, format_table
+from repro.geom.rect import Rect
+from repro.rtree.bulk_load import bulk_load
+from repro.sim.env import SimEnv
+from repro.sim.machines import ALL_MACHINES, MACHINE_1, MACHINE_3
+from repro.storage.disk import Disk
+from repro.storage.pages import PageStore
+from repro.storage.stream import Stream
+
+from common import bench_scale, emit
+
+#: The "entire United States" relation: roads over a wide strip.
+US = Rect(-125.0, -66.0, 36.0, 40.0, 0)
+N_ROADS = 40_000
+N_HYDRO_PER_DEG = 30
+
+
+def _run_fraction(width_deg: float):
+    """Join localized hydro (a window of `width_deg`) against US roads."""
+    scale = bench_scale()
+    env = SimEnv(scale=scale, machines=ALL_MACHINES)
+    disk = Disk(env)
+    store = PageStore(disk, scale.index_page_bytes)
+    roads = make_roads(N_ROADS, US, seed=77, layout_seed=77)
+    window = Rect(US.xlo, min(US.xhi, US.xlo + width_deg), 36.0, 40.0, 0)
+    hydro = make_hydro(
+        max(32, int(N_HYDRO_PER_DEG * width_deg)), window,
+        seed=78, layout_seed=77, id_base=10_000_000,
+    )
+    roads_tree = bulk_load(store, roads, name="roads")
+    roads_stream = Stream.from_rects(disk, roads, name="roads")
+    hydro_stream = Stream.from_rects(disk, hydro, name="hydro")
+    rel_a = Relation(
+        name="us-roads", stream=roads_stream, tree=roads_tree,
+        universe=US,
+        histogram=SpatialHistogram.build(roads, US, grid=64),
+    )
+    rel_b = Relation(name="hydro", stream=hydro_stream, universe=window)
+
+    results = {}
+    for strategy in ("pq-mixed-a", "sssj"):
+        env.reset_counters()
+        res = unified_spatial_join(
+            rel_a, rel_b, disk, MACHINE_3, force=strategy,
+        )
+        results[strategy] = {
+            "pairs": res.n_pairs,
+            "io": {
+                f"M{i + 1}": env.observer_for(spec).io_seconds
+                for i, spec in enumerate(ALL_MACHINES)
+            },
+        }
+    leaf_fraction = rel_a.fraction_in(window)
+    return leaf_fraction, results, rel_a, rel_b, disk, env
+
+
+def _rows():
+    rows = []
+    for width in (2.0, 6.0, 12.0, 24.0, 40.0, 59.0):
+        frac, results, rel_a, rel_b, disk, env = _run_fraction(width)
+        pq_io = results["pq-mixed-a"]["io"]
+        sj_io = results["sssj"]["io"]
+        assert results["pq-mixed-a"]["pairs"] == results["sssj"]["pairs"]
+        rows.append(
+            {
+                "width": width,
+                "fraction": frac,
+                "pq_m1": pq_io["M1"], "sj_m1": sj_io["M1"],
+                "pq_m3": pq_io["M3"], "sj_m3": sj_io["M3"],
+            }
+        )
+    return rows
+
+
+def test_localized_join_crossover(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    scale = bench_scale()
+    model_m1 = CostModel(MACHINE_1, scale)
+    model_m3 = CostModel(MACHINE_3, scale)
+    table = format_table(
+        ["Window deg", "Leaf fraction", "PQ(idx) M1 io", "SSSJ M1 io",
+         "PQ(idx) M3 io", "SSSJ M3 io", "index wins M1", "index wins M3"],
+        [
+            [
+                f"{r['width']:.0f}", f"{r['fraction']:.2f}",
+                fmt_seconds(r["pq_m1"]), fmt_seconds(r["sj_m1"]),
+                fmt_seconds(r["pq_m3"]), fmt_seconds(r["sj_m3"]),
+                "yes" if r["pq_m1"] < r["sj_m1"] else "no",
+                "yes" if r["pq_m3"] < r["sj_m3"] else "no",
+            ]
+            for r in rows
+        ],
+        title=(
+            f"Section 6.3 (scale {scale.name}): localized join — pruned "
+            f"index vs sort path.  Model crossover f*: "
+            f"M1={model_m1.crossover_fraction():.2f}, "
+            f"M3={model_m3.crossover_fraction():.2f}"
+        ),
+    )
+    emit("localized_join", table)
+
+    # The index path wins at the localized end and loses at the dense
+    # end, on every machine — the paper's qualitative claim.
+    first, last = rows[0], rows[-1]
+    for m in ("m1", "m3"):
+        assert first[f"pq_{m}"] < first[f"sj_{m}"], first
+        assert last[f"pq_{m}"] > last[f"sj_{m}"], last
+
+    # Empirical crossover brackets the model's prediction within ~2x.
+    def crossover(rows, m):
+        prev = None
+        for r in rows:
+            if r[f"pq_{m}"] >= r[f"sj_{m}"]:
+                return (prev["fraction"] + r["fraction"]) / 2 if prev \
+                    else r["fraction"]
+            prev = r
+        return 1.0
+
+    for m, model in (("m1", model_m1), ("m3", model_m3)):
+        measured = crossover(rows, m)
+        predicted = model.crossover_fraction()
+        assert predicted / 3 <= measured <= predicted * 3, (
+            m, measured, predicted,
+        )
+
+    # The planner itself picks the winner at both ends (Machine 3).
+    frac, results, rel_a, rel_b, disk, env = _run_fraction(2.0)
+    env.reset_counters()
+    res = unified_spatial_join(rel_a, rel_b, disk, MACHINE_3)
+    assert res.detail["strategy"] != "sssj"
+    frac, results, rel_a, rel_b, disk, env = _run_fraction(59.0)
+    env.reset_counters()
+    res = unified_spatial_join(rel_a, rel_b, disk, MACHINE_3)
+    assert res.detail["strategy"] == "sssj"

@@ -1,0 +1,81 @@
+"""Table 2 — dataset statistics and join output sizes.
+
+Paper: object counts, data MB, R-tree MB per relation, and the number
+of output pairs for roads x hydro on each of the six TIGER datasets.
+We regenerate the same table at the active scale and compare the two
+scale-free quantities the generator is supposed to preserve: the
+R-tree-to-data size overhead (paper: index ~5-13% above the data) and
+the output-to-roads selectivity (paper: 0.32-0.72).
+"""
+
+import pytest
+
+from repro.data.datasets import DATASET_SPECS
+from repro.experiments.report import format_table
+from repro.geom.rect import RECT_BYTES
+
+from common import BENCH_DATASETS, bench_scale, emit, get_run, get_setup
+
+
+def _rows():
+    rows = []
+    for name in BENCH_DATASETS:
+        setup = get_setup(name)
+        spec = DATASET_SPECS[name]
+        run = get_run(name, "SSSJ")
+        n_out = run["result"].n_pairs
+        roads, hydro = setup.roads_tree, setup.hydro_tree
+        paper_sel = spec.paper_output / spec.paper_roads
+        sel = n_out / len(setup.dataset.roads)
+        index_overhead = (roads.index_bytes + hydro.index_bytes) / (
+            (roads.num_objects + hydro.num_objects) * RECT_BYTES
+        )
+        rows.append(
+            {
+                "dataset": name,
+                "roads": len(setup.dataset.roads),
+                "hydro": len(setup.dataset.hydro),
+                "road_kb": setup.dataset.road_bytes / 1024,
+                "hydro_kb": setup.dataset.hydro_bytes / 1024,
+                "rtree_kb": (roads.index_bytes + hydro.index_bytes) / 1024,
+                "output": n_out,
+                "sel": sel,
+                "paper_sel": paper_sel,
+                "index_overhead": index_overhead,
+            }
+        )
+    return rows
+
+
+def test_table2_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["Dataset", "Roads", "Hydro", "Data KB", "R-tree KB", "Output",
+         "Out/Roads", "paper", "Index/Data"],
+        [
+            [
+                r["dataset"], r["roads"], r["hydro"],
+                f"{r['road_kb'] + r['hydro_kb']:.0f}",
+                f"{r['rtree_kb']:.0f}",
+                r["output"],
+                f"{r['sel']:.2f}", f"{r['paper_sel']:.2f}",
+                f"{r['index_overhead']:.2f}",
+            ]
+            for r in rows
+        ],
+        title=f"Table 2 (scale {bench_scale().name}): dataset statistics",
+    )
+    emit("table2_datasets", table)
+
+    for r in rows:
+        # Selectivity stays in the paper's band and within ~2.5x of the
+        # per-dataset paper value.
+        assert 0.1 <= r["sel"] <= 1.3, r
+        assert r["sel"] / r["paper_sel"] <= 2.5, r
+        assert r["paper_sel"] / r["sel"] <= 2.5, r
+        # Index overhead: paper R-tree sizes are 5-13% above the raw
+        # data; scaled pages carry relatively more header, allow <= 35%.
+        assert 1.0 <= r["index_overhead"] <= 1.35, r
+    # Cardinality ordering is preserved.
+    sizes = [r["roads"] for r in rows]
+    assert sizes == sorted(sizes)

@@ -1,0 +1,100 @@
+"""Table 3 — internal-memory footprint of the PQ join.
+
+Paper: the priority queues plus sweep structure stay tiny — the queue is
+"always less than 1% of the total data set" and the whole footprint fits
+trivially in memory even for DISK1-6 (5.19 MB against 696 MB of data).
+We report the same two rows (priority queue incl. leaf buffers / sweep
+structure) and assert the <1% property plus monotone growth.
+"""
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.geom.rect import RECT_BYTES
+
+from common import BENCH_DATASETS, bench_scale, emit, get_run, get_setup
+
+#: Paper Table 3 values in MB (priority queue, sweep structure).
+PAPER_TABLE3 = {
+    "NJ": (0.32, 0.09),
+    "NY": (0.76, 0.10),
+    "DISK1": (1.44, 0.12),
+    "DISK4-6": (2.72, 0.15),
+    "DISK1-3": (3.65, 0.17),
+    "DISK1-6": (4.99, 0.20),
+}
+
+
+def _rows():
+    rows = []
+    for name in BENCH_DATASETS:
+        setup = get_setup(name)
+        run = get_run(name, "PQ")
+        res = run["result"]
+        data_bytes = (
+            setup.dataset.road_bytes + setup.dataset.hydro_bytes
+        )
+        rows.append(
+            {
+                "dataset": name,
+                "queue_kb": res.detail["queue_bytes"] / 1024,
+                "sweep_kb": res.detail["sweep_bytes"] / 1024,
+                "total_kb": res.max_memory_bytes / 1024,
+                "data_kb": data_bytes / 1024,
+                "queue_frac": res.detail["queue_bytes"] / data_bytes,
+            }
+        )
+    return rows
+
+
+def test_table3_pq_memory(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["Dataset", "PQueue KB", "Sweep KB", "Total KB", "Data KB",
+         "Queue/Data", "paper MB (pq/sweep)"],
+        [
+            [
+                r["dataset"],
+                f"{r['queue_kb']:.1f}", f"{r['sweep_kb']:.1f}",
+                f"{r['total_kb']:.1f}", f"{r['data_kb']:.0f}",
+                f"{r['queue_frac']:.3%}",
+                "{:.2f}/{:.2f}".format(*PAPER_TABLE3[r["dataset"]]),
+            ]
+            for r in rows
+        ],
+        title=(
+            f"Table 3 (scale {bench_scale().name}): "
+            "maximal PQ memory usage"
+        ),
+    )
+    emit("table3_pq_memory", table)
+
+    # The queue's share of the data shrinks as datasets grow (it is
+    # dominated by the open-leaf buffers, which scale like the
+    # sweep-line width, O(sqrt(N))): the paper's "<1% of the data"
+    # holds at full size; at 1/s scale the same structure is a
+    # sqrt(s)-times larger fraction of the shrunken data.
+    fracs = [r["queue_frac"] for r in rows]
+    for earlier, later in zip(fracs, fracs[1:]):
+        assert later <= earlier * 1.25, rows
+    scale = bench_scale().scale
+    assert fracs[-1] < 0.01 * (scale ** 0.5), rows
+    for r in rows:
+        # The queue is at least comparable to the sweep structure.  (In
+        # the paper it dominates 3-25x; the ratio is fanout-dependent —
+        # the queue's leaf buffers shrink with the scaled fanout of 25
+        # vs 400 while the sweep actives do not, see EXPERIMENTS.md.)
+        assert r["queue_kb"] > 0.5 * r["sweep_kb"], r
+        # Everything fits comfortably in the memory budget (the
+        # paper's actual point in Section 6.1).
+        assert r["total_kb"] * 1024 <= 1.2 * bench_scale().memory_bytes, r
+    # Footprints grow with dataset size, as in the paper.  The queue
+    # grows strictly; the sweep structure tracks the *density* of the
+    # region as well as the size, so totals are allowed a small wobble
+    # (DISK1-3's east-coast region is denser than DISK1-6's average).
+    queues = [r["queue_kb"] for r in rows]
+    assert queues == sorted(queues)
+    totals = [r["total_kb"] for r in rows]
+    for earlier, later in zip(totals, totals[1:]):
+        assert later >= 0.8 * earlier, totals
+    assert totals[-1] > 3 * totals[0]

@@ -1,0 +1,76 @@
+"""Table 4 — pages requested from disk during the indexed joins.
+
+Paper: PQ hits the lower bound (every index page exactly once) on all
+datasets.  ST matches or beats the bound on NJ/NY (indexes fit in the
+buffer pool, search-space restriction skips some pages) but re-reads
+pages 1.14-1.63x on the DISK* sets, whose indexes exceed the pool.
+"""
+
+import pytest
+
+from repro.experiments.report import format_table
+
+from common import BENCH_DATASETS, bench_scale, emit, get_run, get_setup
+
+#: Paper Table 4 average requests per page for ST.
+PAPER_ST_AVG = {
+    "NJ": 1.00, "NY": 1.00, "DISK1": 1.43,
+    "DISK4-6": 1.63, "DISK1-3": 1.14, "DISK1-6": 1.16,
+}
+
+
+def _rows():
+    rows = []
+    for name in BENCH_DATASETS:
+        setup = get_setup(name)
+        lower = setup.lower_bound_pages
+        pq = get_run(name, "PQ")
+        st = get_run(name, "ST")
+        st_reads = st["result"].detail["disk_reads"]
+        pool_pages = st["result"].detail["pool_pages"]
+        rows.append(
+            {
+                "dataset": name,
+                "lower": lower,
+                "pq": pq["page_reads"],
+                "pq_avg": pq["page_reads"] / lower,
+                "st": st_reads,
+                "st_avg": st_reads / lower,
+                "paper_st_avg": PAPER_ST_AVG[name],
+                "fits_pool": lower <= pool_pages,
+            }
+        )
+    return rows
+
+
+def test_table4_page_requests(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["Dataset", "Lower bound", "PQ", "PQ avg", "ST", "ST avg",
+         "paper ST avg", "fits pool"],
+        [
+            [
+                r["dataset"], r["lower"], r["pq"],
+                f"{r['pq_avg']:.2f}", r["st"], f"{r['st_avg']:.2f}",
+                f"{r['paper_st_avg']:.2f}",
+                "yes" if r["fits_pool"] else "no",
+            ]
+            for r in rows
+        ],
+        title=(
+            f"Table 4 (scale {bench_scale().name}): pages requested "
+            "during joining"
+        ),
+    )
+    emit("table4_page_requests", table)
+
+    for r in rows:
+        # PQ is exactly optimal, always.
+        assert r["pq"] == r["lower"], r
+        if r["fits_pool"]:
+            # Small sets: every page read at most once; restriction can
+            # push ST below the bound, as for the paper's NJ.
+            assert r["st"] <= r["lower"], r
+        else:
+            # Large sets: re-reads in the paper's 1.1-1.7x range.
+            assert 1.0 < r["st_avg"] <= 1.8, r

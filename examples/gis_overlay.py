@@ -1,0 +1,111 @@
+"""GIS overlay pipeline: filter step + refinement step.
+
+The paper's introduction motivates the spatial join with GIS overlay
+queries: "which roads cross rivers?".  The filter step (the paper's
+subject) works on MBRs; candidates then go through the refinement step
+with exact polyline geometry.  This example runs the full two-step
+pipeline on a synthetic river/road network and reports how many filter
+candidates survive refinement — the false-positive rate of the MBR
+approximation.
+
+Run:  python examples/gis_overlay.py
+"""
+
+import numpy as np
+
+from repro import Disk, PageStore, SimEnv, Stream, bulk_load, pq_join
+from repro.geom import Rect
+from repro.geom.refine import polylines_intersect
+
+REGION = Rect(0.0, 100.0, 0.0, 100.0)
+N_ROADS = 6_000
+N_RIVERS = 40
+SEGMENTS_PER_RIVER = 60
+
+
+def build_roads(rng):
+    """Short 2-point road polylines scattered over the region."""
+    roads = []
+    for i in range(N_ROADS):
+        x = rng.uniform(0, 100)
+        y = rng.uniform(0, 100)
+        angle = rng.uniform(0, np.pi)
+        length = rng.lognormal(np.log(0.6), 0.4)
+        x2 = float(np.clip(x + np.cos(angle) * length, 0, 100))
+        y2 = float(np.clip(y + np.sin(angle) * length, 0, 100))
+        roads.append((i, [(x, y), (x2, y2)]))
+    return roads
+
+
+def build_rivers(rng):
+    """Meandering multi-segment river polylines."""
+    rivers = []
+    for i in range(N_RIVERS):
+        x, y = rng.uniform(10, 90), rng.uniform(10, 90)
+        heading = rng.uniform(0, 2 * np.pi)
+        points = [(x, y)]
+        for _ in range(SEGMENTS_PER_RIVER):
+            heading += rng.normal(0, 0.4)
+            x = float(np.clip(x + np.cos(heading) * 1.2, 0, 100))
+            y = float(np.clip(y + np.sin(heading) * 1.2, 0, 100))
+            points.append((x, y))
+        rivers.append((i, points))
+    return rivers
+
+
+def mbr_of_polyline(fid, points):
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    f32 = np.float32
+    return Rect(float(f32(min(xs))), float(f32(max(xs))),
+                float(f32(min(ys))), float(f32(max(ys))), fid)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    roads = build_roads(rng)
+    rivers = build_rivers(rng)
+    road_geom = dict(roads)
+    river_geom = dict(rivers)
+
+    env = SimEnv()
+    disk = Disk(env)
+    store = PageStore(disk, env.scale.index_page_bytes)
+
+    # Filter step: MBR join, roads indexed, rivers streamed.
+    road_index = bulk_load(
+        store, [mbr_of_polyline(i, pts) for i, pts in roads], name="roads"
+    )
+    river_stream = Stream.from_rects(
+        disk, [mbr_of_polyline(i, pts) for i, pts in rivers], name="rivers"
+    )
+    env.reset_counters()
+    filtered = pq_join(road_index, river_stream, disk, universe=REGION,
+                       collect_pairs=True)
+    print(f"filter step : {filtered.n_pairs} candidate (road, river) pairs")
+
+    # Refinement step: exact polyline intersection on the candidates.
+    crossings = [
+        (road_id, river_id)
+        for road_id, river_id in filtered.pairs
+        if polylines_intersect(road_geom[road_id], river_geom[river_id])
+    ]
+    rate = len(crossings) / filtered.n_pairs if filtered.n_pairs else 0.0
+    print(f"refinement  : {len(crossings)} true crossings "
+          f"({rate:.0%} of candidates survive; the rest were MBR-only "
+          "overlaps)")
+
+    busiest = {}
+    for _, river_id in crossings:
+        busiest[river_id] = busiest.get(river_id, 0) + 1
+    top = sorted(busiest.items(), key=lambda kv: -kv[1])[:3]
+    print("most-crossed rivers:",
+          ", ".join(f"river {rid} ({n} bridges)" for rid, n in top))
+
+    m3 = env.snapshots()[-1]
+    print(f"\nfilter-step cost on {m3['machine']}: "
+          f"{m3['observed_seconds']:.3f}s simulated")
+
+
+if __name__ == "__main__":
+    main()

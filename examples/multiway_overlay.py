@@ -1,0 +1,70 @@
+"""Multi-way join: roads x hydro x landuse in one cascade (Section 4).
+
+"A 3-way intersection join can be performed by feeding the output of a
+two-way join directly into another join with a third (indexed or
+non-indexed) input" — no intermediate sorting or spooling, because the
+sweep emits intersection rectangles already ordered by lower
+y-coordinate.
+
+The scenario: find road segments that cross water inside an
+agricultural parcel (e.g. for a culvert-inspection worklist).
+
+Run:  python examples/multiway_overlay.py
+"""
+
+from repro import Disk, PageStore, SimEnv, Stream, bulk_load, multiway_join
+from repro.data import make_hydro, make_landuse, make_roads
+from repro.geom import Rect
+
+REGION = Rect(-79.8, -71.8, 40.5, 45.0)  # roughly New York state
+SEED = 7
+
+
+def main() -> None:
+    env = SimEnv()
+    disk = Disk(env)
+    store = PageStore(disk, env.scale.index_page_bytes)
+
+    roads = make_roads(12_000, REGION, seed=SEED, layout_seed=SEED)
+    hydro = make_hydro(2_500, REGION, seed=SEED + 1, layout_seed=SEED,
+                       id_base=1_000_000)
+    landuse = make_landuse(900, REGION, seed=SEED + 2, layout_seed=SEED,
+                           id_base=2_000_000)
+
+    # Mixed representations, as the paper allows: two indexes + a stream.
+    roads_index = bulk_load(store, roads, name="roads")
+    hydro_stream = Stream.from_rects(disk, hydro, name="hydro")
+    landuse_index = bulk_load(store, landuse, name="landuse")
+
+    env.reset_counters()
+    result = multiway_join(
+        [roads_index, hydro_stream, landuse_index],
+        disk, universe=REGION, collect_tuples=True,
+    )
+
+    print(f"3-way intersection tuples: {result.n_pairs}")
+    print("sample (road, hydro, landuse):",
+          sorted(result.pairs)[:4])
+
+    m3 = env.snapshots()[-1]
+    print(f"\npage reads: {env.page_reads} "
+          f"(roads index {roads_index.page_count} + "
+          f"landuse index {landuse_index.page_count} pages, each once, "
+          "+ hydro sort passes)")
+    print(f"simulated cost on {m3['machine']}: "
+          f"{m3['observed_seconds']:.3f}s")
+
+    # The same cascade works with any arity: add a fourth relation.
+    parcels = make_landuse(300, REGION, seed=SEED + 3, layout_seed=SEED,
+                           id_base=3_000_000)
+    env.reset_counters()
+    four = multiway_join(
+        [roads_index, hydro_stream, landuse_index,
+         Stream.from_rects(disk, parcels, name="parcels")],
+        disk, universe=REGION,
+    )
+    print(f"\n4-way tuples (adding a parcel overlay): {four.n_pairs}")
+
+
+if __name__ == "__main__":
+    main()

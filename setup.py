@@ -1,0 +1,8 @@
+"""Shim for environments whose setuptools cannot build PEP 517 wheels
+(no `wheel` package offline); `pip install -e . --no-use-pep517` and
+plain `python setup.py develop` both work through this file.  All real
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,109 @@
+"""repro — reproduction of "A Unified Approach for Indexed and
+Non-Indexed Spatial Joins" (Arge, Procopiuc, Ramaswamy, Suel,
+Vahrenhold, Vitter; EDBT 2000).
+
+Quick start::
+
+    from repro import (
+        SimEnv, Disk, PageStore, Stream, bulk_load, pq_join,
+    )
+    from repro.data import make_roads, make_hydro
+    from repro.geom import Rect
+
+    env = SimEnv()
+    disk = Disk(env)
+    store = PageStore(disk, env.scale.index_page_bytes)
+
+    region = Rect(0.0, 10.0, 0.0, 10.0)
+    roads = make_roads(20_000, region, seed=1)
+    hydro = make_hydro(4_000, region, seed=2)
+
+    tree = bulk_load(store, roads, name="roads")       # indexed input
+    stream = Stream.from_rects(disk, hydro)            # non-indexed input
+    result = pq_join(tree, stream, disk, collect_pairs=True)
+    print(result.n_pairs, "intersecting MBR pairs")
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.geom import Rect
+from repro.sim import (
+    SimEnv,
+    ScaleConfig,
+    DEFAULT_SCALE,
+    PAPER_SCALE,
+    MACHINE_1,
+    MACHINE_2,
+    MACHINE_3,
+    ALL_MACHINES,
+)
+from repro.storage import (
+    Disk,
+    PageStore,
+    Stream,
+    BufferPool,
+    external_sort,
+    sort_stream_by_ylo,
+)
+from repro.rtree import (
+    RTree,
+    bulk_load,
+    BulkLoadConfig,
+    RTreeBuilder,
+    save_rtree,
+    load_rtree,
+)
+from repro.core import (
+    pq_join,
+    PQConfig,
+    sssj_join,
+    pbsm_join,
+    PBSMConfig,
+    st_join,
+    multiway_join,
+    unified_spatial_join,
+    choose_method,
+    SpatialHistogram,
+    CostModel,
+    JoinResult,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Rect",
+    "SimEnv",
+    "ScaleConfig",
+    "DEFAULT_SCALE",
+    "PAPER_SCALE",
+    "MACHINE_1",
+    "MACHINE_2",
+    "MACHINE_3",
+    "ALL_MACHINES",
+    "Disk",
+    "PageStore",
+    "Stream",
+    "BufferPool",
+    "external_sort",
+    "sort_stream_by_ylo",
+    "RTree",
+    "bulk_load",
+    "BulkLoadConfig",
+    "RTreeBuilder",
+    "save_rtree",
+    "load_rtree",
+    "pq_join",
+    "PQConfig",
+    "sssj_join",
+    "pbsm_join",
+    "PBSMConfig",
+    "st_join",
+    "multiway_join",
+    "unified_spatial_join",
+    "choose_method",
+    "SpatialHistogram",
+    "CostModel",
+    "JoinResult",
+    "__version__",
+]

@@ -1,0 +1,73 @@
+"""The spatial-join algorithms and the unified planner.
+
+Four joins from the paper, all built on the same internal sweep kernel:
+
+* :mod:`repro.core.sssj`  — Scalable Sweeping-based Spatial Join [4];
+* :mod:`repro.core.pbsm`  — Partition-Based Spatial Merge join [30];
+* :mod:`repro.core.st_join` — synchronized R-tree traversal [8]
+  (plus the breadth-first variant of Huang et al. [16] in
+  :mod:`repro.core.st_bfs`);
+* :mod:`repro.core.pq_join` — **Priority-Queue-Driven Traversal**, the
+  paper's contribution (Section 4).
+
+Plus the supporting cast: sorted sources (:mod:`repro.core.sources`),
+sweep structures (:mod:`repro.core.sweep`), multi-way joins
+(:mod:`repro.core.multiway`), spatial histograms
+(:mod:`repro.core.histogram`), and the cost model / planner that decides
+when an index is worth using (:mod:`repro.core.cost_model`,
+:mod:`repro.core.planner`).
+"""
+
+from repro.core.sweep import (
+    ForwardSweep,
+    StripedSweep,
+    SweepStats,
+    sweep_join,
+    forward_sweep_pairs,
+)
+from repro.core.sources import (
+    SortedSource,
+    ListSource,
+    StreamSource,
+    IndexSource,
+    JoinSource,
+)
+from repro.core.join_result import JoinResult
+from repro.core.sssj import sssj_join
+from repro.core.pbsm import pbsm_join, PBSMConfig
+from repro.core.st_join import st_join
+from repro.core.st_bfs import st_bfs_join
+from repro.core.pq_join import pq_join, PQConfig
+from repro.core.multiway import multiway_join
+from repro.core.histogram import SpatialHistogram
+from repro.core.cost_model import CostModel, JoinCostEstimate
+from repro.core.planner import unified_spatial_join, choose_method
+from repro.core.brute import brute_force_pairs
+
+__all__ = [
+    "ForwardSweep",
+    "StripedSweep",
+    "SweepStats",
+    "sweep_join",
+    "forward_sweep_pairs",
+    "SortedSource",
+    "ListSource",
+    "StreamSource",
+    "IndexSource",
+    "JoinSource",
+    "JoinResult",
+    "sssj_join",
+    "pbsm_join",
+    "PBSMConfig",
+    "st_join",
+    "st_bfs_join",
+    "pq_join",
+    "PQConfig",
+    "multiway_join",
+    "SpatialHistogram",
+    "CostModel",
+    "JoinCostEstimate",
+    "unified_spatial_join",
+    "choose_method",
+    "brute_force_pairs",
+]

@@ -1,0 +1,30 @@
+"""Reference join: quadratic nested loop.
+
+Not in the paper — it exists so the test suite has an obviously-correct
+oracle to compare all four algorithms against (including on degenerate
+inputs where sweep order or tiling could hide bugs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.geom.rect import Rect
+
+
+def brute_force_pairs(
+    rects_a: Iterable[Rect], rects_b: Iterable[Rect]
+) -> Set[Tuple[int, int]]:
+    """All (id_a, id_b) with intersecting MBRs, by exhaustive comparison."""
+    list_b: List[Rect] = list(rects_b)
+    out: Set[Tuple[int, int]] = set()
+    for a in rects_a:
+        for b in list_b:
+            if (
+                a.xlo <= b.xhi
+                and b.xlo <= a.xhi
+                and a.ylo <= b.yhi
+                and b.ylo <= a.yhi
+            ):
+                out.add((a.rid, b.rid))
+    return out

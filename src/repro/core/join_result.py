@@ -1,0 +1,43 @@
+"""The result record every join algorithm returns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class JoinResult:
+    """Outcome of one spatial join (filter step).
+
+    Attributes
+    ----------
+    algorithm:
+        Short name ("SSSJ", "PBSM", "ST", "PQ", ...).
+    n_pairs:
+        Number of intersecting MBR pairs reported.
+    pairs:
+        The (left id, right id) pairs themselves, present only when the
+        caller asked to collect them (large experiments count only).
+    max_memory_bytes:
+        High-water mark of the algorithm's internal-memory structures
+        (sweep actives + queues/partitions), the Table 3 measure.
+    detail:
+        Algorithm-specific metrics: page requests, partition counts,
+        queue sizes, buffer-pool hit rates, ...
+    """
+
+    algorithm: str
+    n_pairs: int
+    pairs: Optional[List[Tuple[int, int]]] = None
+    max_memory_bytes: int = 0
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    def pair_set(self) -> set:
+        """The result as a set, for equivalence checks between algorithms."""
+        if self.pairs is None:
+            raise ValueError(
+                f"{self.algorithm} ran in count-only mode; "
+                "re-run with collect_pairs=True"
+            )
+        return set(self.pairs)

@@ -1,0 +1,196 @@
+"""Partition-Based Spatial Merge join (Patel & DeWitt [30], Section 3.2).
+
+Two phases:
+
+1. **Partitioning.**  The universe is cut into ``tiles_per_side^2``
+   tiles; tiles are assigned to ``p`` partitions round-robin in
+   row-major order (the paper's hash function).  Each input is scanned
+   once and every rectangle is appended to the partition stream of
+   *each* partition whose tiles it overlaps.  Because the 2p partition
+   streams grow concurrently, their blocks interleave on disk — the
+   "one non-sequential write pass" of the paper.
+
+2. **Joining.**  Partition by partition, both sides are read into
+   memory and joined with Forward-Sweep (the structure Patel & DeWitt
+   used).  A pair replicated into several partitions is reported only
+   in the partition owning the tile of its reference point.
+
+The paper's implementation note — with 32x32 tiles several partitions
+exceeded memory and page-faulted; 128x128 tiles fixed it — is
+reproduced by the tile ablation bench: partition sizes are tracked and
+reported in ``detail``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.join_result import JoinResult
+from repro.core.sweep import forward_sweep_pairs
+from repro.geom.rect import RECT_BYTES, Rect
+from repro.storage.disk import Disk
+from repro.storage.stream import Stream
+
+
+@dataclass(frozen=True)
+class PBSMConfig:
+    """PBSM knobs; defaults are the paper's final choices."""
+
+    tiles_per_side: int = 128
+    partitions: Optional[int] = None  # None = size from the memory budget
+    memory_bytes: Optional[int] = None  # None = scale config budget
+
+
+def pbsm_join(
+    stream_a: Stream,
+    stream_b: Stream,
+    disk: Disk,
+    universe: Optional[Rect] = None,
+    config: PBSMConfig = PBSMConfig(),
+    collect_pairs: bool = False,
+) -> JoinResult:
+    """Join two (unsorted, closed) rectangle streams with PBSM."""
+    env = disk.env
+    if universe is None:
+        from repro.core.sssj import silent_universe
+
+        universe = silent_universe(stream_a, stream_b)
+    memory_bytes = config.memory_bytes or env.scale.memory_bytes
+    total_bytes = stream_a.data_bytes + stream_b.data_bytes
+    p = config.partitions or max(1, math.ceil(total_bytes / memory_bytes))
+    tiles = config.tiles_per_side
+    if tiles * tiles < p:
+        raise ValueError(
+            f"{tiles}x{tiles} tiles cannot feed {p} partitions"
+        )
+
+    grid = _TileGrid(universe, tiles, p)
+
+    # -- Phase 1: partitioning (one read pass per input, interleaved
+    # writes to the 2p partition streams).
+    parts_a = [Stream(disk, name=f"pbsm.a{i}") for i in range(p)]
+    parts_b = [Stream(disk, name=f"pbsm.b{i}") for i in range(p)]
+    replicated_a = _distribute(stream_a, parts_a, grid, env)
+    replicated_b = _distribute(stream_b, parts_b, grid, env)
+    for s in parts_a:
+        s.close()
+    for s in parts_b:
+        s.close()
+
+    # -- Phase 2: per-partition sweep with reference-point dedup.
+    pairs: Optional[List[Tuple[int, int]]] = [] if collect_pairs else None
+    n_pairs = 0
+    max_mem = 0
+    max_partition_bytes = 0
+    overfull = 0
+    for i in range(p):
+        side_a = list(parts_a[i].scan())
+        side_b = list(parts_b[i].scan())
+        part_bytes = (len(side_a) + len(side_b)) * RECT_BYTES
+        max_partition_bytes = max(max_partition_bytes, part_bytes)
+        if part_bytes > memory_bytes:
+            overfull += 1
+        if not side_a or not side_b:
+            continue
+
+        def sink(ra: Rect, rb: Rect, _i=i) -> None:
+            nonlocal n_pairs
+            if grid.partition_of_point(*_ref_point(ra, rb)) == _i:
+                n_pairs += 1
+                if pairs is not None:
+                    pairs.append((ra.rid, rb.rid))
+
+        stats = forward_sweep_pairs(side_a, side_b, env, on_pair=sink)
+        max_mem = max(max_mem, part_bytes + stats.max_active_bytes)
+    for s in parts_a + parts_b:
+        s.free()
+
+    return JoinResult(
+        algorithm="PBSM",
+        n_pairs=n_pairs,
+        pairs=pairs,
+        max_memory_bytes=max_mem,
+        detail={
+            "partitions": p,
+            "tiles_per_side": tiles,
+            "replicated_a": replicated_a,
+            "replicated_b": replicated_b,
+            "max_partition_bytes": max_partition_bytes,
+            "overfull_partitions": overfull,
+            "memory_bytes": memory_bytes,
+        },
+    )
+
+
+# -- internals ---------------------------------------------------------------
+
+
+class _TileGrid:
+    """Tile geometry plus the row-major round-robin partition map."""
+
+    def __init__(self, universe: Rect, tiles_per_side: int,
+                 partitions: int) -> None:
+        self.universe = universe
+        self.t = tiles_per_side
+        self.p = partitions
+        span_x = universe.xhi - universe.xlo
+        span_y = universe.yhi - universe.ylo
+        self.inv_x = self.t / span_x if span_x > 0 else 0.0
+        self.inv_y = self.t / span_y if span_y > 0 else 0.0
+
+    def _clamp(self, v: int) -> int:
+        if v < 0:
+            return 0
+        if v >= self.t:
+            return self.t - 1
+        return v
+
+    def tile_range(self, r: Rect) -> Tuple[int, int, int, int]:
+        """Inclusive (col_lo, col_hi, row_lo, row_hi) of tiles r overlaps."""
+        c0 = self._clamp(int((r.xlo - self.universe.xlo) * self.inv_x))
+        c1 = self._clamp(int((r.xhi - self.universe.xlo) * self.inv_x))
+        r0 = self._clamp(int((r.ylo - self.universe.ylo) * self.inv_y))
+        r1 = self._clamp(int((r.yhi - self.universe.ylo) * self.inv_y))
+        return c0, c1, r0, r1
+
+    def partitions_of(self, r: Rect) -> set:
+        c0, c1, r0, r1 = self.tile_range(r)
+        out = set()
+        for row in range(r0, r1 + 1):
+            base = row * self.t
+            for col in range(c0, c1 + 1):
+                out.add((base + col) % self.p)
+        return out
+
+    def partition_of_point(self, x: float, y: float) -> int:
+        col = self._clamp(int((x - self.universe.xlo) * self.inv_x))
+        row = self._clamp(int((y - self.universe.ylo) * self.inv_y))
+        return (row * self.t + col) % self.p
+
+
+def _ref_point(ra: Rect, rb: Rect) -> Tuple[float, float]:
+    return (
+        ra.xlo if ra.xlo >= rb.xlo else rb.xlo,
+        ra.ylo if ra.ylo >= rb.ylo else rb.ylo,
+    )
+
+
+def _distribute(source: Stream, parts: List[Stream], grid: _TileGrid,
+                env) -> int:
+    """Scan ``source`` and replicate each rectangle to its partitions.
+
+    Returns the total number of copies written (the replication factor
+    numerator for ``detail``).
+    """
+    copies = 0
+    ops = 0
+    for r in source.scan():
+        targets = grid.partitions_of(r)
+        ops += 1 + len(targets)
+        for t in targets:
+            parts[t].append(r)
+        copies += len(targets)
+    env.charge("partition", ops)
+    return copies

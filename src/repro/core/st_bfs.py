@@ -1,0 +1,127 @@
+"""Breadth-first synchronized R-tree traversal (Huang et al. [16]).
+
+Section 3.3 mentions the alternative the paper benchmarks ST against in
+spirit: "Huang, Jing, and Rundensteiner proposed an algorithm based on
+breadth-first traversal that is reported to take approximately the same
+amount of CPU time as ST, while performing an almost optimal number of
+I/O operations (if a sufficiently large buffer pool is available)."
+
+The idea: instead of descending depth-first pair by pair, process the
+tree *level by level*.  At each level the algorithm knows every node
+pair that must be examined, so it can fetch the distinct pages of that
+level in ascending page-id order — each page at most once per level,
+and (on a bulk-loaded tree) in on-disk order, i.e. near-sequentially.
+The price is the *intermediate join index*: the full list of matching
+node pairs for the next level must be materialized, which is what the
+paper's "sufficiently large buffer pool" caveat refers to; we track its
+high-water mark in the result's ``max_memory_bytes``.
+
+The per-pair computation (search-space restriction + Forward-Sweep) is
+identical to ST's, so CPU comes out "approximately the same", as [16]
+reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.join_result import JoinResult
+from repro.core.sweep import forward_sweep_pairs
+from repro.geom.rect import Rect, intersection, intersects
+from repro.rtree.node import Node
+from repro.rtree.rtree import RTree
+
+#: Bytes per intermediate join-index entry: two page ids.
+PAIR_BYTES = 8
+
+
+def st_bfs_join(
+    tree_a: RTree,
+    tree_b: RTree,
+    collect_pairs: bool = False,
+) -> JoinResult:
+    """Join two R-trees level by level with sorted page fetches."""
+    if tree_a.store is not tree_b.store:
+        raise ValueError("BFS join expects both indexes on one page store")
+    env = tree_a.store.disk.env
+
+    pairs: Optional[List[Tuple[int, int]]] = [] if collect_pairs else None
+    n_pairs = 0
+
+    def sink(ra: Rect, rb: Rect) -> None:
+        nonlocal n_pairs
+        n_pairs += 1
+        if pairs is not None:
+            pairs.append((ra.rid, rb.rid))
+
+    disk_reads = 0
+    max_join_index = 0
+    # Current frontier: node-id pairs, one node per tree.  Levels may
+    # differ while the taller tree descends against the other's root.
+    frontier: List[Tuple[int, int]] = [
+        (tree_a.root_page_id, tree_b.root_page_id)
+    ]
+    while frontier:
+        max_join_index = max(max_join_index, len(frontier))
+        # Fetch each distinct page of this round once, in page-id
+        # order — ascending disk order on a bulk-loaded tree.
+        ids_a = sorted({pa for pa, _ in frontier})
+        ids_b = sorted({pb for _, pb in frontier})
+        nodes_a = _fetch(tree_a, ids_a)
+        nodes_b = _fetch(tree_b, ids_b)
+        disk_reads += len(ids_a) + len(ids_b)
+
+        next_frontier: List[Tuple[int, int]] = []
+        for pa, pb in frontier:
+            _match(nodes_a[pa], nodes_b[pb], next_frontier, sink, env)
+        frontier = next_frontier
+
+    return JoinResult(
+        algorithm="ST-BFS",
+        n_pairs=n_pairs,
+        pairs=pairs,
+        max_memory_bytes=max_join_index * PAIR_BYTES,
+        detail={
+            "disk_reads": disk_reads,
+            "max_join_index_pairs": max_join_index,
+            "lower_bound_pages": tree_a.page_count + tree_b.page_count,
+        },
+    )
+
+
+def _fetch(tree: RTree, page_ids: List[int]) -> Dict[int, Node]:
+    return {pid: tree.read_node(pid) for pid in page_ids}
+
+
+def _match(node_a: Node, node_b: Node,
+           next_frontier: List[Tuple[int, int]], sink, env) -> None:
+    """ST's per-pair computation, emitting into the next frontier."""
+    region = intersection(node_a.mbr(), node_b.mbr())
+    if region is None:
+        return
+    live_a = [e for e in node_a.entries if intersects(e, region)]
+    live_b = [e for e in node_b.entries if intersects(e, region)]
+    env.charge("st_filter", 2 * (len(node_a.entries) + len(node_b.entries)))
+    if not live_a or not live_b:
+        return
+    if node_a.level == node_b.level:
+        if node_a.is_leaf:
+            forward_sweep_pairs(live_a, live_b, env, on_pair=sink)
+        else:
+            forward_sweep_pairs(
+                live_a, live_b, env,
+                on_pair=lambda ea, eb: next_frontier.append(
+                    (ea.rid, eb.rid)
+                ),
+            )
+    elif node_a.level > node_b.level:
+        b_mbr = node_b.mbr()
+        for ea in live_a:
+            if intersects(ea, b_mbr):
+                next_frontier.append((ea.rid, node_b.page_id))
+    else:
+        a_mbr = node_a.mbr()
+        for eb in live_b:
+            if intersects(eb, a_mbr):
+                next_frontier.append((node_a.page_id, eb.rid))

@@ -1,0 +1,43 @@
+"""Workload generation: TIGER-like data and the Table 2 datasets.
+
+The paper joins road features against hydrographic features extracted
+from the TIGER/Line 97 census CDs.  The raw CDs are unavailable, so
+:mod:`repro.data.tiger` synthesizes data with the statistical properties
+the algorithms actually see: road MBRs are numerous, tiny and elongated,
+clustered around population centers; hydro MBRs are ~4-7x fewer, larger,
+and follow meandering river paths plus lake blobs.  The six named
+datasets (NJ ... DISK1-6) keep the paper's cardinality ratios under the
+active scale factor.  Everything is deterministic given the seed.
+"""
+
+from repro.data.generator import (
+    uniform_rects,
+    clustered_rects,
+    stabbing_rects,
+    grid_rects,
+)
+from repro.data.tiger import make_roads, make_hydro, make_landuse
+from repro.data.datasets import (
+    DatasetSpec,
+    Dataset,
+    DATASET_SPECS,
+    DATASET_ORDER,
+    build_dataset,
+    US_UNIVERSE,
+)
+
+__all__ = [
+    "uniform_rects",
+    "clustered_rects",
+    "stabbing_rects",
+    "grid_rects",
+    "make_roads",
+    "make_hydro",
+    "make_landuse",
+    "DatasetSpec",
+    "Dataset",
+    "DATASET_SPECS",
+    "DATASET_ORDER",
+    "build_dataset",
+    "US_UNIVERSE",
+]

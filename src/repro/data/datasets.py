@@ -1,0 +1,168 @@
+"""The six named datasets of Table 2, scaled.
+
+Paper cardinalities (TIGER/Line 97 road and hydro MBRs):
+
+=========  ==========  =========  ===========
+Dataset    Roads       Hydro      Output pairs
+=========  ==========  =========  ===========
+NJ            414,442     50,853      130,756
+NY            870,412    156,567      421,110
+DISK1       6,030,844  1,161,906    3,197,520
+DISK4-6    11,888,474  3,446,094    8,554,133
+DISK1-3    17,199,848  3,967,649    9,378,642
+DISK1-6    29,088,173  7,413,353   17,938,533
+=========  ==========  =========  ===========
+
+Each dataset occupies a geographic region (NJ and NY are states, the
+DISK sets are groups of states); region extents below are rough
+longitude/latitude boxes so that localized-join experiments ("Minnesota
+hydro x US roads", Section 6.3) have real geometry to work with.
+
+``build_dataset`` scales the cardinalities by the active
+:class:`~repro.sim.scale.ScaleConfig` and memoizes the result, since
+benchmarks use the same datasets repeatedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.tiger import make_hydro, make_roads
+from repro.geom.rect import RECT_BYTES, Rect, mbr_of, union_mbr
+from repro.sim.scale import DEFAULT_SCALE, ScaleConfig
+
+
+def _f32_rect(xlo: float, xhi: float, ylo: float, yhi: float) -> Rect:
+    """Region with float32-exact bounds.
+
+    Generators clip coordinates into the region before rounding them to
+    float32; because float32 rounding is monotone, coordinates stay
+    inside the region only if the region bounds are themselves float32
+    values.
+    """
+    f = np.float32
+    return Rect(float(f(xlo)), float(f(xhi)), float(f(ylo)),
+                float(f(yhi)), 0)
+
+
+#: Rough bounding box of the continental US (lon/lat degrees).
+US_UNIVERSE = _f32_rect(-125.0, -66.0, 24.0, 50.0)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one Table 2 dataset."""
+
+    name: str
+    paper_roads: int
+    paper_hydro: int
+    paper_output: int
+    region: Rect
+    seed: int
+
+    @property
+    def paper_road_bytes(self) -> int:
+        return self.paper_roads * RECT_BYTES
+
+    @property
+    def paper_hydro_bytes(self) -> int:
+        return self.paper_hydro * RECT_BYTES
+
+
+DATASET_SPECS: Dict[str, DatasetSpec] = {
+    "NJ": DatasetSpec(
+        "NJ", 414_442, 50_853, 130_756,
+        _f32_rect(-75.6, -73.9, 38.9, 41.4), seed=101,
+    ),
+    "NY": DatasetSpec(
+        "NY", 870_412, 156_567, 421_110,
+        _f32_rect(-79.8, -71.8, 40.5, 45.0), seed=102,
+    ),
+    "DISK1": DatasetSpec(
+        "DISK1", 6_030_844, 1_161_906, 3_197_520,
+        _f32_rect(-83.0, -66.0, 33.0, 48.0), seed=103,
+    ),
+    "DISK4-6": DatasetSpec(
+        "DISK4-6", 11_888_474, 3_446_094, 8_554_133,
+        _f32_rect(-125.0, -98.0, 24.0, 50.0), seed=104,
+    ),
+    "DISK1-3": DatasetSpec(
+        "DISK1-3", 17_199_848, 3_967_649, 9_378_642,
+        _f32_rect(-98.0, -66.0, 24.0, 50.0), seed=105,
+    ),
+    "DISK1-6": DatasetSpec(
+        "DISK1-6", 29_088_173, 7_413_353, 17_938_533,
+        US_UNIVERSE, seed=106,
+    ),
+}
+
+#: Table order used by every experiment report.
+DATASET_ORDER: Tuple[str, ...] = (
+    "NJ", "NY", "DISK1", "DISK4-6", "DISK1-3", "DISK1-6",
+)
+
+
+@dataclass
+class Dataset:
+    """Materialized (scaled) road and hydro rectangle sets."""
+
+    spec: DatasetSpec
+    scale: ScaleConfig
+    roads: List[Rect]
+    hydro: List[Rect]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def universe(self) -> Rect:
+        return self.spec.region
+
+    @property
+    def road_bytes(self) -> int:
+        return len(self.roads) * RECT_BYTES
+
+    @property
+    def hydro_bytes(self) -> int:
+        return len(self.hydro) * RECT_BYTES
+
+    def data_mbr(self) -> Rect:
+        return union_mbr(mbr_of(self.roads), mbr_of(self.hydro))
+
+
+_CACHE: Dict[Tuple[str, int], Dataset] = {}
+
+
+def build_dataset(name: str,
+                  scale: ScaleConfig = DEFAULT_SCALE) -> Dataset:
+    """Materialize (and memoize) one named dataset at ``scale``."""
+    try:
+        spec = DATASET_SPECS[name]
+    except KeyError:
+        known = ", ".join(DATASET_ORDER)
+        raise KeyError(f"unknown dataset {name!r}; known: {known}") from None
+    cache_key = (name, scale.scale)
+    cached = _CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    n_roads = scale.scaled_count(spec.paper_roads)
+    n_hydro = scale.scaled_count(spec.paper_hydro)
+    ds = Dataset(
+        spec=spec,
+        scale=scale,
+        roads=make_roads(n_roads, spec.region, seed=spec.seed,
+                         layout_seed=spec.seed),
+        hydro=make_hydro(n_hydro, spec.region, seed=spec.seed + 5000,
+                         layout_seed=spec.seed),
+    )
+    _CACHE[cache_key] = ds
+    return ds
+
+
+def clear_cache() -> None:
+    """Drop memoized datasets (tests that tweak generators use this)."""
+    _CACHE.clear()

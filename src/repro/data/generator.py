@@ -1,0 +1,143 @@
+"""Generic synthetic rectangle generators.
+
+These are the building blocks the TIGER-like generator composes, and
+they double as test workloads: uniform and clustered sets for
+correctness checks, ``stabbing_rects`` as the adversarial input that
+defeats plain plane-sweeping (it forces SSSJ's partitioning fallback),
+and ``grid_rects`` for exactly predictable join counts.
+
+All coordinates are rounded to float32 so that in-memory rectangles and
+their serialized 16-byte form are identical (see :mod:`repro.geom.rect`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.geom.rect import Rect
+
+
+def _f32(a: np.ndarray) -> np.ndarray:
+    return a.astype(np.float32).astype(np.float64)
+
+
+def _to_rects(xlo, xhi, ylo, yhi, id_base: int = 0) -> List[Rect]:
+    xlo, xhi = _f32(xlo), _f32(xhi)
+    ylo, yhi = _f32(ylo), _f32(yhi)
+    return [
+        Rect(float(a), float(b), float(c), float(d), id_base + i)
+        for i, (a, b, c, d) in enumerate(zip(xlo, xhi, ylo, yhi))
+    ]
+
+
+def uniform_rects(
+    n: int,
+    universe: Rect,
+    avg_width: float,
+    avg_height: Optional[float] = None,
+    seed: int = 0,
+    id_base: int = 0,
+) -> List[Rect]:
+    """``n`` rectangles with exponential extents, centers uniform."""
+    if avg_height is None:
+        avg_height = avg_width
+    rng = np.random.default_rng(seed)
+    w = rng.exponential(avg_width, n)
+    h = rng.exponential(avg_height, n)
+    cx = rng.uniform(universe.xlo, universe.xhi, n)
+    cy = rng.uniform(universe.ylo, universe.yhi, n)
+    xlo = np.clip(cx - w / 2, universe.xlo, universe.xhi)
+    xhi = np.clip(cx + w / 2, universe.xlo, universe.xhi)
+    ylo = np.clip(cy - h / 2, universe.ylo, universe.yhi)
+    yhi = np.clip(cy + h / 2, universe.ylo, universe.yhi)
+    return _to_rects(xlo, xhi, ylo, yhi, id_base)
+
+
+def clustered_rects(
+    n: int,
+    universe: Rect,
+    avg_width: float,
+    n_clusters: int = 10,
+    spread: float = 0.05,
+    seed: int = 0,
+    id_base: int = 0,
+) -> List[Rect]:
+    """Rectangles around Gaussian cluster centers (a city-like skew)."""
+    rng = np.random.default_rng(seed)
+    span_x = universe.xhi - universe.xlo
+    span_y = universe.yhi - universe.ylo
+    centers_x = rng.uniform(universe.xlo, universe.xhi, n_clusters)
+    centers_y = rng.uniform(universe.ylo, universe.yhi, n_clusters)
+    weights = rng.dirichlet(np.ones(n_clusters) * 1.5)
+    assign = rng.choice(n_clusters, size=n, p=weights)
+    cx = centers_x[assign] + rng.normal(0.0, spread * span_x, n)
+    cy = centers_y[assign] + rng.normal(0.0, spread * span_y, n)
+    w = rng.exponential(avg_width, n)
+    h = rng.exponential(avg_width, n)
+    xlo = np.clip(cx - w / 2, universe.xlo, universe.xhi)
+    xhi = np.clip(cx + w / 2, universe.xlo, universe.xhi)
+    ylo = np.clip(cy - h / 2, universe.ylo, universe.yhi)
+    yhi = np.clip(cy + h / 2, universe.ylo, universe.yhi)
+    return _to_rects(xlo, xhi, ylo, yhi, id_base)
+
+
+def stabbing_rects(
+    n: int,
+    universe: Rect,
+    seed: int = 0,
+    id_base: int = 0,
+) -> List[Rect]:
+    """Adversarial input: every rectangle crosses the universe's mid-height.
+
+    All ``n`` rectangles are simultaneously active when the sweep-line
+    passes the middle, so any in-memory interval structure holds the
+    entire input — the worst case that SSSJ's partitioning fallback
+    exists for.  X-extents are narrow and spread out, so partitioning
+    along x actually helps (the paper's fallback assumes as much).
+    """
+    rng = np.random.default_rng(seed)
+    mid = (universe.ylo + universe.yhi) / 2.0
+    span_y = universe.yhi - universe.ylo
+    span_x = universe.xhi - universe.xlo
+    cx = rng.uniform(universe.xlo, universe.xhi, n)
+    w = rng.exponential(span_x / max(n, 1) * 4.0, n)
+    ylo = np.clip(mid - rng.uniform(0.05, 0.5, n) * span_y, universe.ylo, None)
+    yhi = np.clip(mid + rng.uniform(0.05, 0.5, n) * span_y, None, universe.yhi)
+    xlo = np.clip(cx - w / 2, universe.xlo, universe.xhi)
+    xhi = np.clip(cx + w / 2, universe.xlo, universe.xhi)
+    return _to_rects(xlo, xhi, ylo, yhi, id_base)
+
+
+def grid_rects(
+    per_side: int,
+    universe: Rect,
+    fill: float = 0.9,
+    id_base: int = 0,
+) -> List[Rect]:
+    """A regular ``per_side x per_side`` grid of disjoint rectangles.
+
+    With ``fill < 1`` neighbours do not touch, so joining the grid with
+    itself yields exactly ``per_side**2`` pairs — handy for exactness
+    tests.
+    """
+    xs = np.linspace(universe.xlo, universe.xhi, per_side + 1)
+    ys = np.linspace(universe.ylo, universe.yhi, per_side + 1)
+    rects = []
+    i = 0
+    for r in range(per_side):
+        for c in range(per_side):
+            w = (xs[c + 1] - xs[c]) * fill
+            h = (ys[r + 1] - ys[r]) * fill
+            rects.append(
+                Rect(
+                    float(np.float32(xs[c])),
+                    float(np.float32(xs[c] + w)),
+                    float(np.float32(ys[r])),
+                    float(np.float32(ys[r] + h)),
+                    id_base + i,
+                )
+            )
+            i += 1
+    return rects

@@ -1,0 +1,20 @@
+"""Experiment harness: set up a dataset on a simulated machine trio,
+run an algorithm with fresh counters, and format paper-style tables."""
+
+from repro.experiments.runner import (
+    ExperimentSetup,
+    prepare_experiment,
+    run_algorithm,
+    ALGORITHMS,
+)
+from repro.experiments.report import format_table, fmt_seconds, fmt_ratio
+
+__all__ = [
+    "ExperimentSetup",
+    "prepare_experiment",
+    "run_algorithm",
+    "ALGORITHMS",
+    "format_table",
+    "fmt_seconds",
+    "fmt_ratio",
+]

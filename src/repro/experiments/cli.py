@@ -1,0 +1,109 @@
+"""Command-line experiment runner.
+
+Reproduce any cell of the paper's evaluation from a shell::
+
+    python -m repro.experiments --dataset NY --algorithms SSSJ PQ ST
+    python -m repro.experiments --dataset DISK1-6 --scale quick
+    python -m repro.experiments --all
+
+Prints the per-machine observed/estimated costs and the page-request
+accounting for each run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.data.datasets import DATASET_ORDER
+from repro.experiments.report import fmt_seconds, format_table
+from repro.experiments.runner import (
+    ALGORITHMS,
+    prepare_experiment,
+    run_algorithm,
+)
+from repro.sim.scale import DEFAULT_SCALE, QUICK_SCALE, ScaleConfig
+
+
+def _parse_args(argv: List[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=(
+            "Run the paper's spatial-join experiments on the simulated "
+            "machine trio."
+        ),
+    )
+    parser.add_argument(
+        "--dataset", choices=DATASET_ORDER, default=None,
+        help="one Table 2 dataset (default: NY; see also --all)",
+    )
+    parser.add_argument(
+        "--all", action="store_true",
+        help="run every Table 2 dataset",
+    )
+    parser.add_argument(
+        "--algorithms", nargs="+", choices=ALGORITHMS,
+        default=list(ALGORITHMS), metavar="ALGO",
+        help=f"subset of {', '.join(ALGORITHMS)} (default: all four)",
+    )
+    parser.add_argument(
+        "--scale", choices=("default", "quick"), default="default",
+        help="1/256 of the paper's sizes (default) or 1/1024 (quick)",
+    )
+    return parser.parse_args(argv)
+
+
+def _scale(name: str) -> ScaleConfig:
+    return QUICK_SCALE if name == "quick" else DEFAULT_SCALE
+
+
+def run_dataset(name: str, algorithms: List[str],
+                scale: ScaleConfig) -> str:
+    setup = prepare_experiment(name, scale=scale)
+    rows = []
+    for algo in algorithms:
+        out = run_algorithm(algo, setup)
+        res = out["result"]
+        for snap in out["machines"]:
+            rows.append(
+                [
+                    algo,
+                    snap["machine"].split("(")[0].strip(),
+                    fmt_seconds(snap["observed_seconds"]),
+                    fmt_seconds(snap["cpu_seconds"]),
+                    fmt_seconds(snap["io_seconds"]),
+                    fmt_seconds(snap["estimated_seconds"]),
+                    out["page_reads"],
+                    res.n_pairs,
+                ]
+            )
+    ds = setup.dataset
+    title = (
+        f"{name} (scale {scale.name}): {len(ds.roads):,} roads x "
+        f"{len(ds.hydro):,} hydro, indexes "
+        f"{setup.lower_bound_pages:,} pages"
+    )
+    return format_table(
+        ["Algorithm", "Machine", "Observed s", "CPU s", "I/O s",
+         "Estimated s", "Page reads", "Pairs"],
+        rows,
+        title=title,
+    )
+
+
+def main(argv: List[str] = None) -> int:
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+    scale = _scale(args.scale)
+    datasets = (
+        list(DATASET_ORDER) if args.all
+        else [args.dataset or "NY"]
+    )
+    for name in datasets:
+        print(run_dataset(name, args.algorithms, scale))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

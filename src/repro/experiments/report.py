@@ -1,0 +1,83 @@
+"""Plain-text table formatting for the benchmark reports."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width table; numeric columns right-aligned."""
+    str_rows: List[List[str]] = [
+        [_cell(v) for v in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    numeric = [
+        all(_is_numeric(row[i]) for row in str_rows if i < len(row))
+        for i in range(len(headers))
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if numeric[i] and i > 0:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(headers))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def fmt_seconds(s: float) -> str:
+    """Seconds with sensible precision across magnitudes."""
+    if s != s:  # NaN
+        return "-"
+    if s >= 100:
+        return f"{s:.0f}"
+    if s >= 1:
+        return f"{s:.2f}"
+    return f"{s:.4f}"
+
+
+def fmt_ratio(measured: float, reference: float) -> str:
+    """measured/reference as "x.xx", "-" when the reference is 0/NaN."""
+    if not reference or reference != reference or measured != measured:
+        return "-"
+    return f"{measured / reference:.2f}"
+
+
+def _cell(v) -> str:
+    if isinstance(v, float):
+        if v != v:
+            return "-"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.3f}"
+    if isinstance(v, int):
+        return f"{v:,}"
+    return str(v)
+
+
+def _is_numeric(s: str) -> bool:
+    if s in ("-", ""):
+        return True
+    try:
+        float(s.replace(",", "").replace("%", "").replace("x", ""))
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,40 @@
+"""Geometry kernel: rectangles (MBRs) and exact-geometry refinement.
+
+The paper's filter step operates exclusively on minimal bounding
+rectangles (MBRs); :mod:`repro.geom.rect` provides the rectangle type and
+the handful of predicates every join algorithm needs.  The refinement
+step (exact polyline intersection) used by the examples lives in
+:mod:`repro.geom.refine`.
+"""
+
+from repro.geom.rect import (
+    Rect,
+    intersects,
+    intersects_x,
+    intersects_y,
+    intersection,
+    union_mbr,
+    mbr_of,
+    area,
+    margin,
+    enlargement,
+    reference_point,
+    contains,
+    RECT_BYTES,
+)
+
+__all__ = [
+    "Rect",
+    "intersects",
+    "intersects_x",
+    "intersects_y",
+    "intersection",
+    "union_mbr",
+    "mbr_of",
+    "area",
+    "margin",
+    "enlargement",
+    "reference_point",
+    "contains",
+    "RECT_BYTES",
+]

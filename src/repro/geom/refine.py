@@ -1,0 +1,78 @@
+"""Refinement step: exact geometry tests behind the MBR filter.
+
+The paper studies the *filter* step only, but a GIS pipeline follows it
+with a refinement step that checks the exact geometries of each
+candidate pair (Orenstein's two-step architecture cited in the paper's
+introduction).  The example applications use this module to complete
+the pipeline: segment/segment and polyline/polyline intersection
+predicates, robust for the float32-representable coordinates our data
+generators produce.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+Point = Tuple[float, float]
+Segment = Tuple[Point, Point]
+
+
+def _orient(p: Point, q: Point, r: Point) -> float:
+    """Twice the signed area of triangle pqr (>0 = counter-clockwise)."""
+    return (q[0] - p[0]) * (r[1] - p[1]) - (q[1] - p[1]) * (r[0] - p[0])
+
+
+def _on_segment(p: Point, q: Point, r: Point) -> bool:
+    """True if collinear point ``q`` lies within segment pr's box."""
+    return (
+        min(p[0], r[0]) <= q[0] <= max(p[0], r[0])
+        and min(p[1], r[1]) <= q[1] <= max(p[1], r[1])
+    )
+
+
+def segments_intersect(s1: Segment, s2: Segment) -> bool:
+    """Exact (orientation-based) closed segment intersection test."""
+    p1, q1 = s1
+    p2, q2 = s2
+    d1 = _orient(p1, q1, p2)
+    d2 = _orient(p1, q1, q2)
+    d3 = _orient(p2, q2, p1)
+    d4 = _orient(p2, q2, q1)
+    if ((d1 > 0) != (d2 > 0) and d1 != 0 and d2 != 0) and (
+        (d3 > 0) != (d4 > 0) and d3 != 0 and d4 != 0
+    ):
+        return True
+    if d1 == 0 and _on_segment(p1, p2, q1):
+        return True
+    if d2 == 0 and _on_segment(p1, q2, q1):
+        return True
+    if d3 == 0 and _on_segment(p2, p1, q2):
+        return True
+    if d4 == 0 and _on_segment(p2, q1, q2):
+        return True
+    return False
+
+
+def polylines_intersect(a: Sequence[Point], b: Sequence[Point]) -> bool:
+    """True when any segment of polyline ``a`` meets any of ``b``.
+
+    Quadratic in the segment counts — refinement candidates are single
+    features, so the inputs are tiny.
+    """
+    if len(a) < 2 or len(b) < 2:
+        return False
+    for i in range(len(a) - 1):
+        sa = (a[i], a[i + 1])
+        for j in range(len(b) - 1):
+            if segments_intersect(sa, (b[j], b[j + 1])):
+                return True
+    return False
+
+
+def polyline_mbr(points: Sequence[Point]) -> Tuple[float, float, float, float]:
+    """(xlo, xhi, ylo, yhi) of a polyline (filter-step input)."""
+    if not points:
+        raise ValueError("empty polyline has no MBR")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    return min(xs), max(xs), min(ys), max(ys)

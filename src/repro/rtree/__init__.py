@@ -1,0 +1,40 @@
+"""R-tree index: pages, bulk loading, dynamic inserts, persistence.
+
+The paper's index-based joins (ST and PQ) run over packed R-trees
+bulk-loaded with the Hilbert heuristic of Kamel & Faloutsos, filled to
+75% with the DeWitt et al. "+20% area" admission rule (Section 3.3).
+This package provides:
+
+* :mod:`repro.rtree.hilbert` — the space-filling curve;
+* :mod:`repro.rtree.node` / :mod:`repro.rtree.rtree` — the page-resident
+  tree structure with validation and window queries;
+* :mod:`repro.rtree.bulk_load` — the paper's packing algorithm;
+* :mod:`repro.rtree.insert` — Guttman-style dynamic inserts and
+  deletes, used by the index-quality ablation (Section 7 discusses how
+  update-degraded trees hurt ST);
+* :mod:`repro.rtree.rstar` — R*-tree insertion (Beckmann et al.), the
+  other index family the paper names;
+* :mod:`repro.rtree.persist` — byte-exact serialization to real files.
+"""
+
+from repro.rtree.hilbert import hilbert_d, hilbert_xy_to_d
+from repro.rtree.node import Node, node_capacity
+from repro.rtree.rtree import RTree
+from repro.rtree.bulk_load import bulk_load, BulkLoadConfig
+from repro.rtree.insert import RTreeBuilder
+from repro.rtree.rstar import RStarTreeBuilder
+from repro.rtree.persist import save_rtree, load_rtree
+
+__all__ = [
+    "hilbert_d",
+    "hilbert_xy_to_d",
+    "Node",
+    "node_capacity",
+    "RTree",
+    "bulk_load",
+    "BulkLoadConfig",
+    "RTreeBuilder",
+    "RStarTreeBuilder",
+    "save_rtree",
+    "load_rtree",
+]

@@ -1,0 +1,294 @@
+"""Dynamic R-tree maintenance (Guttman inserts and deletes).
+
+The paper's experiments run on bulk-loaded trees, but its Section 6.3 /
+Section 7 discussion — ST "benefits from the layout produced by a good
+bulk-loading algorithm, and its performance may degrade if the R-tree is
+updated frequently after bulk loading" — needs an update-degraded tree
+to compare against.  :class:`RTreeBuilder` provides one: classic
+Guttman ChooseLeaf (least area enlargement) plus the quadratic split,
+with a 40% minimum fill, and the matching delete (FindLeaf +
+CondenseTree with orphan reinsertion).  Trees maintained this way have
+lower packing ratios (~70%) and, because split pages are allocated at
+the end of the store, siblings scattered across the disk — exactly the
+two degradations the index-quality ablation measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.geom.rect import Rect, area, enlargement, mbr_of, union_mbr
+from repro.rtree.node import LEAF_LEVEL, Node, node_capacity
+from repro.rtree.rtree import RTree
+from repro.storage.pages import PageStore
+
+#: Guttman's m: a split leaves at least this fraction of capacity per node.
+MIN_FILL_FRACTION = 0.4
+
+
+class RTreeBuilder:
+    """Builds an R-tree by repeated insertion; call :meth:`finish` when done."""
+
+    def __init__(self, store: PageStore, name: str = "rtree-dyn") -> None:
+        self.store = store
+        self.name = name
+        self.capacity = node_capacity(store.page_bytes)
+        self.min_fill = max(1, int(self.capacity * MIN_FILL_FRACTION))
+        root_id = store.allocate()
+        self._root = Node(root_id, LEAF_LEVEL, [])
+        store.write(root_id, self._root)
+        self._height = 1
+        self._level_pages: Dict[int, Set[int]] = {LEAF_LEVEL: {root_id}}
+        self._num_objects = 0
+
+    # -- public API -------------------------------------------------------
+
+    def insert(self, rect: Rect) -> None:
+        """Insert one data rectangle."""
+        self._num_objects += 1
+        split = self._insert_at(self._root, rect, LEAF_LEVEL)
+        if split is not None:
+            self._grow_root(split)
+
+    def extend(self, rects) -> None:
+        for r in rects:
+            self.insert(r)
+
+    def delete(self, rect: Rect) -> bool:
+        """Remove one data rectangle (matched by coordinates and id).
+
+        Returns ``True`` if found.  Underflowing nodes are dissolved
+        and their surviving entries reinserted (Guttman CondenseTree);
+        an internal root with a single child is collapsed.
+        """
+        path = self._find_leaf(self._root, rect, [])
+        if path is None:
+            return False
+        leaf = path[-1]
+        leaf.entries.remove(rect)
+        self.store.write(leaf.page_id, leaf)
+        self._num_objects -= 1
+        self._condense(path)
+        self._shrink_root()
+        return True
+
+    def finish(self) -> RTree:
+        """Freeze the structure into an immutable :class:`RTree` handle."""
+        if self._num_objects == 0:
+            raise ValueError("cannot finish an empty R-tree")
+        pages_per_level = [
+            sorted(self._level_pages.get(lvl, ()))
+            for lvl in range(self._height)
+        ]
+        return RTree(
+            self.store,
+            root_page_id=self._root.page_id,
+            height=self._height,
+            num_objects=self._num_objects,
+            pages_per_level=pages_per_level,
+            name=self.name,
+        )
+
+    # -- insertion machinery ---------------------------------------------
+
+    def _insert_at(self, node: Node, rect: Rect,
+                   target_level: int) -> Optional[Rect]:
+        """Recursively insert; return the new sibling's entry on split."""
+        env = self.store.disk.env
+        if node.level == target_level:
+            node.entries.append(rect)
+            self.store.write(node.page_id, node)
+            if len(node.entries) > self.capacity:
+                return self._split(node)
+            return None
+
+        idx = self._choose_subtree(node, rect)
+        child_entry = node.entries[idx]
+        child: Node = self.store.read(child_entry.rid)
+        env.charge("insert", len(node.entries))
+        split = self._insert_at(child, rect, target_level)
+
+        child_mbr = child.mbr()
+        node.entries[idx] = Rect(
+            child_mbr.xlo, child_mbr.xhi, child_mbr.ylo, child_mbr.yhi,
+            child_entry.rid,
+        )
+        if split is not None:
+            node.entries.append(split)
+        self.store.write(node.page_id, node)
+        if len(node.entries) > self.capacity:
+            return self._split(node)
+        return None
+
+    def _choose_subtree(self, node: Node, rect: Rect) -> int:
+        """Least enlargement, ties by smaller area (Guttman ChooseLeaf)."""
+        best_idx = 0
+        best_enl = float("inf")
+        best_area = float("inf")
+        for i, entry in enumerate(node.entries):
+            enl = enlargement(entry, rect)
+            a = area(entry)
+            if enl < best_enl or (enl == best_enl and a < best_area):
+                best_idx, best_enl, best_area = i, enl, a
+        return best_idx
+
+    def _split(self, node: Node) -> Rect:
+        """Quadratic split of an overflowing node.
+
+        ``node`` keeps one group in place; the other group moves to a
+        freshly allocated page whose parent entry is returned.
+        """
+        entries = node.entries
+        env = self.store.disk.env
+        env.charge("insert", len(entries) * len(entries) // 2)
+        seed_a, seed_b = self._pick_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        mbr_a = entries[seed_a]
+        mbr_b = entries[seed_b]
+        rest = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+
+        while rest:
+            # Force-assign when one group must absorb the remainder to
+            # reach minimum fill.
+            need_a = self.min_fill - len(group_a)
+            need_b = self.min_fill - len(group_b)
+            if need_a >= len(rest):
+                group_a.extend(rest)
+                mbr_a = mbr_of(group_a)
+                break
+            if need_b >= len(rest):
+                group_b.extend(rest)
+                mbr_b = mbr_of(group_b)
+                break
+            idx, to_a = self._pick_next(rest, mbr_a, mbr_b)
+            e = rest.pop(idx)
+            if to_a:
+                group_a.append(e)
+                mbr_a = union_mbr(mbr_a, e)
+            else:
+                group_b.append(e)
+                mbr_b = union_mbr(mbr_b, e)
+
+        node.entries = group_a
+        self.store.write(node.page_id, node)
+        new_page = self.store.allocate()
+        sibling = Node(new_page, node.level, group_b)
+        self.store.write(new_page, sibling)
+        self._level_pages.setdefault(node.level, set()).add(new_page)
+        g_mbr = mbr_of(group_b)
+        return Rect(g_mbr.xlo, g_mbr.xhi, g_mbr.ylo, g_mbr.yhi, new_page)
+
+    @staticmethod
+    def _pick_seeds(entries: List[Rect]) -> Tuple[int, int]:
+        """The pair wasting the most area if placed together."""
+        worst = -1.0
+        pair = (0, 1)
+        for i in range(len(entries)):
+            ai = area(entries[i])
+            for j in range(i + 1, len(entries)):
+                waste = (
+                    area(union_mbr(entries[i], entries[j]))
+                    - ai
+                    - area(entries[j])
+                )
+                if waste > worst:
+                    worst = waste
+                    pair = (i, j)
+        return pair
+
+    @staticmethod
+    def _pick_next(rest: List[Rect], mbr_a: Rect,
+                   mbr_b: Rect) -> Tuple[int, bool]:
+        """Entry with max preference difference, and its chosen group."""
+        best_idx = 0
+        best_diff = -1.0
+        best_to_a = True
+        for i, e in enumerate(rest):
+            da = enlargement(mbr_a, e)
+            db = enlargement(mbr_b, e)
+            diff = abs(da - db)
+            if diff > best_diff:
+                best_diff = diff
+                best_idx = i
+                best_to_a = da < db or (da == db and area(mbr_a) < area(mbr_b))
+        return best_idx, best_to_a
+
+    # -- deletion machinery ------------------------------------------------
+
+    def _find_leaf(self, node: Node, rect: Rect, path):
+        """Root-to-leaf path of nodes whose leaf contains ``rect``."""
+        path = path + [node]
+        if node.is_leaf:
+            return path if rect in node.entries else None
+        for entry in node.entries:
+            if (
+                entry.xlo <= rect.xlo and rect.xhi <= entry.xhi
+                and entry.ylo <= rect.ylo and rect.yhi <= entry.yhi
+            ):
+                child: Node = self.store.read(entry.rid)
+                self.store.disk.env.charge("delete", len(node.entries))
+                found = self._find_leaf(child, rect, path)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, path) -> None:
+        """Dissolve underflowing nodes bottom-up, reinserting orphans."""
+        orphans = []
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            idx = next(
+                i for i, e in enumerate(parent.entries)
+                if e.rid == node.page_id
+            )
+            if len(node.entries) < self.min_fill:
+                # Remove the node; queue its entries for reinsertion at
+                # their original level.
+                del parent.entries[idx]
+                self._level_pages.get(node.level, set()).discard(
+                    node.page_id
+                )
+                orphans.append((node.level, list(node.entries)))
+            else:
+                mbr = node.mbr()
+                parent.entries[idx] = Rect(
+                    mbr.xlo, mbr.xhi, mbr.ylo, mbr.yhi, node.page_id
+                )
+            self.store.write(parent.page_id, parent)
+        for level, entries in orphans:
+            for entry in entries:
+                split = self._insert_at(self._root, entry, level)
+                if split is not None:
+                    self._grow_root(split)
+
+    def _shrink_root(self) -> None:
+        while (
+            not self._root.is_leaf and len(self._root.entries) == 1
+        ):
+            old = self._root
+            child: Node = self.store.read(old.entries[0].rid)
+            self._level_pages.get(old.level, set()).discard(old.page_id)
+            self._root = child
+            self._height = child.level + 1
+
+    def _grow_root(self, split_entry: Rect) -> None:
+        """Root overflowed: create a new root one level up."""
+        old_root = self._root
+        old_mbr = old_root.mbr()
+        new_root_page = self.store.allocate()
+        new_level = old_root.level + 1
+        new_root = Node(
+            new_root_page,
+            new_level,
+            [
+                Rect(old_mbr.xlo, old_mbr.xhi, old_mbr.ylo, old_mbr.yhi,
+                     old_root.page_id),
+                split_entry,
+            ],
+        )
+        self.store.write(new_root_page, new_root)
+        self._root = new_root
+        self._height = new_level + 1
+        self._level_pages.setdefault(new_level, set()).add(new_root_page)

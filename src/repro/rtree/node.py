@@ -1,0 +1,74 @@
+"""R-tree node layout.
+
+A node occupies exactly one page.  Its serialized layout is an 8-byte
+header (level, entry count as two little-endian int32) followed by
+20-byte entries: four float32 coordinates plus a uint32 payload that is
+an object id in leaves and a child page id in internal nodes — the
+paper's Section 5.3 record format.  With the scaled 512-byte pages this
+yields a fanout of 25; with the paper's 8 KB pages, 409 (the paper
+rounded to 400).
+
+In the simulator nodes travel as Python objects (byte-exact
+serialization is exercised by :mod:`repro.rtree.persist`), but every
+capacity decision uses the serialized size, so tree page counts and
+megabytes are faithful.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.geom.rect import Rect, mbr_of
+
+#: Bytes of node header: int32 level + int32 count.
+NODE_HEADER_BYTES = 8
+#: Bytes per entry: 4 x float32 + uint32 payload.
+ENTRY_BYTES = 20
+
+#: Leaf nodes live at level 0; a node's children live one level below it.
+LEAF_LEVEL = 0
+
+
+def node_capacity(page_bytes: int) -> int:
+    """Maximum entries per node for a given page size."""
+    cap = (page_bytes - NODE_HEADER_BYTES) // ENTRY_BYTES
+    if cap < 2:
+        raise ValueError(
+            f"page size {page_bytes} cannot hold an R-tree node "
+            f"(capacity {cap} < 2)"
+        )
+    return cap
+
+
+class Node:
+    """One R-tree node: a level tag plus a list of entry rectangles.
+
+    ``entries[i].rid`` is an object identifier when ``level == 0`` and a
+    child page id otherwise.
+    """
+
+    __slots__ = ("page_id", "level", "entries")
+
+    def __init__(self, page_id: int, level: int,
+                 entries: List[Rect]) -> None:
+        self.page_id = page_id
+        self.level = level
+        self.entries = entries
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == LEAF_LEVEL
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def mbr(self) -> Rect:
+        """Bounding rectangle of all entries."""
+        return mbr_of(self.entries)
+
+    def serialized_bytes(self) -> int:
+        return NODE_HEADER_BYTES + len(self.entries) * ENTRY_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else f"level-{self.level}"
+        return f"<Node page={self.page_id} {kind} n={len(self.entries)}>"

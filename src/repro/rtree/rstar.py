@@ -1,0 +1,273 @@
+"""R*-tree insertion (Beckmann, Kriegel, Schneider & Seeger [7]).
+
+The paper's index-based joins run over "a spatial index structure
+(e.g., an R-tree or R*-tree)".  This module provides the R*-tree's
+insertion algorithm as a drop-in alternative to the Guttman builder of
+:mod:`repro.rtree.insert`:
+
+* **ChooseSubtree** — at the level above the leaves, minimize *overlap*
+  enlargement (ties: area enlargement, then area); higher up, minimize
+  area enlargement as usual.
+* **Split** — choose the split axis by minimum margin (perimeter) sum
+  over all distributions, then the distribution with minimum overlap
+  (ties: minimum area).
+* **Forced reinsertion** — on the first overflow at each level per
+  insertion, the 30% of entries farthest from the node's center are
+  removed and reinserted, which tightens nodes instead of splitting
+  eagerly.
+
+The result is a dynamically built tree with noticeably less node
+overlap than Guttman's — the tests quantify this with the overlap
+metric and the tree-join ablation uses it as the "well-maintained
+dynamic index" point between bulk-loaded and insert-degraded trees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.geom.rect import (
+    Rect,
+    area,
+    enlargement,
+    intersection,
+    margin,
+    mbr_of,
+    union_mbr,
+)
+from repro.rtree.node import LEAF_LEVEL, Node, node_capacity
+from repro.rtree.rtree import RTree
+from repro.storage.pages import PageStore
+
+#: Fraction of a node reinserted on its first overflow (the paper value
+#: of Beckmann et al.: p = 30%).
+REINSERT_FRACTION = 0.3
+#: Minimum entries per node after a split (R*-tree default: 40%).
+MIN_FILL_FRACTION = 0.4
+
+
+def overlap_area(target: Rect, others: List[Rect]) -> float:
+    """Total pairwise intersection area of ``target`` with ``others``."""
+    total = 0.0
+    for o in others:
+        inter = intersection(target, o)
+        if inter is not None:
+            total += area(inter)
+    return total
+
+
+class RStarTreeBuilder:
+    """Builds an R*-tree by repeated insertion; call :meth:`finish`."""
+
+    def __init__(self, store: PageStore, name: str = "rstar") -> None:
+        self.store = store
+        self.name = name
+        self.capacity = node_capacity(store.page_bytes)
+        self.min_fill = max(1, int(self.capacity * MIN_FILL_FRACTION))
+        root_id = store.allocate()
+        self._root = Node(root_id, LEAF_LEVEL, [])
+        store.write(root_id, self._root)
+        self._height = 1
+        self._level_pages: Dict[int, Set[int]] = {LEAF_LEVEL: {root_id}}
+        self._num_objects = 0
+        self._reinserted_levels: Set[int] = set()
+
+    # -- public API -------------------------------------------------------
+
+    def insert(self, rect: Rect) -> None:
+        self._num_objects += 1
+        self._reinserted_levels = set()
+        # Forced reinsertions are queued and processed after the
+        # triggering descent fully unwinds — re-entering the tree while
+        # an ancestor's recursion frame holds stale indexes corrupts it.
+        self._pending: List[Tuple[Rect, int]] = [(rect, LEAF_LEVEL)]
+        while self._pending:
+            entry, level = self._pending.pop()
+            self._insert_entry(entry, level)
+
+    def extend(self, rects) -> None:
+        for r in rects:
+            self.insert(r)
+
+    def finish(self) -> RTree:
+        if self._num_objects == 0:
+            raise ValueError("cannot finish an empty R*-tree")
+        pages_per_level = [
+            sorted(self._level_pages.get(lvl, ()))
+            for lvl in range(self._height)
+        ]
+        return RTree(
+            self.store,
+            root_page_id=self._root.page_id,
+            height=self._height,
+            num_objects=self._num_objects,
+            pages_per_level=pages_per_level,
+            name=self.name,
+        )
+
+    # -- insertion ---------------------------------------------------------
+
+    def _insert_entry(self, entry: Rect, target_level: int) -> None:
+        split = self._insert_at(self._root, entry, target_level)
+        if split is not None:
+            self._grow_root(split)
+
+    def _insert_at(self, node: Node, entry: Rect,
+                   target_level: int) -> Optional[Rect]:
+        env = self.store.disk.env
+        if node.level == target_level:
+            node.entries.append(entry)
+            self.store.write(node.page_id, node)
+            if len(node.entries) > self.capacity:
+                return self._overflow(node)
+            return None
+
+        idx = self._choose_subtree(node, entry)
+        child_entry = node.entries[idx]
+        child: Node = self.store.read(child_entry.rid)
+        env.charge("insert", len(node.entries))
+        split = self._insert_at(child, entry, target_level)
+
+        child_mbr = child.mbr()
+        node.entries[idx] = Rect(
+            child_mbr.xlo, child_mbr.xhi, child_mbr.ylo, child_mbr.yhi,
+            child_entry.rid,
+        )
+        if split is not None:
+            node.entries.append(split)
+        self.store.write(node.page_id, node)
+        if len(node.entries) > self.capacity:
+            return self._overflow(node)
+        return None
+
+    def _choose_subtree(self, node: Node, entry: Rect) -> int:
+        env = self.store.disk.env
+        if node.level == 1:
+            # Children are leaves: minimize overlap enlargement.
+            env.charge("insert", len(node.entries) ** 2)
+            best_idx = 0
+            best = (float("inf"), float("inf"), float("inf"))
+            for i, e in enumerate(node.entries):
+                grown = union_mbr(e, entry)
+                others = [o for j, o in enumerate(node.entries) if j != i]
+                d_overlap = (
+                    overlap_area(grown, others)
+                    - overlap_area(e, others)
+                )
+                key = (d_overlap, enlargement(e, entry), area(e))
+                if key < best:
+                    best = key
+                    best_idx = i
+            return best_idx
+        # Higher levels: minimize area enlargement (ties by area).
+        best_idx = 0
+        best = (float("inf"), float("inf"))
+        for i, e in enumerate(node.entries):
+            key = (enlargement(e, entry), area(e))
+            if key < best:
+                best = key
+                best_idx = i
+        return best_idx
+
+    # -- overflow treatment -------------------------------------------------
+
+    def _overflow(self, node: Node) -> Optional[Rect]:
+        """Forced reinsertion on first overflow per level, else split."""
+        is_root = node.page_id == self._root.page_id
+        if node.level not in self._reinserted_levels and not is_root:
+            self._reinserted_levels.add(node.level)
+            self._reinsert(node)
+            return None
+        return self._split(node)
+
+    def _reinsert(self, node: Node) -> None:
+        center = node.mbr()
+        cx = (center.xlo + center.xhi) / 2
+        cy = (center.ylo + center.yhi) / 2
+
+        def dist(e: Rect) -> float:
+            ex = (e.xlo + e.xhi) / 2
+            ey = (e.ylo + e.yhi) / 2
+            return (ex - cx) ** 2 + (ey - cy) ** 2
+
+        k = max(1, int(len(node.entries) * REINSERT_FRACTION))
+        by_distance = sorted(node.entries, key=dist)
+        keep, evicted = by_distance[:-k], by_distance[-k:]
+        node.entries = keep
+        self.store.write(node.page_id, node)
+        self.store.disk.env.charge(
+            "insert", int(len(by_distance) * 4)
+        )
+        # Ancestors of `node` recompute their entry MBRs as the current
+        # recursion unwinds (node is on the active insertion path), so
+        # only the evicted entries need queueing.  Close reinsertion
+        # (Beckmann et al.): nearest evictions go back in first —
+        # pending is a stack, so push nearest last.
+        for e in evicted:
+            self._pending.append((e, node.level))
+
+    # -- R* split ------------------------------------------------------------
+
+    def _split(self, node: Node) -> Rect:
+        entries = node.entries
+        env = self.store.disk.env
+        env.charge("insert", len(entries) * len(entries))
+        group_a, group_b = self._choose_split(entries)
+        node.entries = group_a
+        self.store.write(node.page_id, node)
+        new_page = self.store.allocate()
+        sibling = Node(new_page, node.level, group_b)
+        self.store.write(new_page, sibling)
+        self._level_pages.setdefault(node.level, set()).add(new_page)
+        g = mbr_of(group_b)
+        return Rect(g.xlo, g.xhi, g.ylo, g.yhi, new_page)
+
+    def _choose_split(self, entries: List[Rect]
+                      ) -> Tuple[List[Rect], List[Rect]]:
+        """Axis by minimum margin sum; distribution by minimum overlap."""
+        m = self.min_fill
+        best_axis_cost = float("inf")
+        best_axis_distributions = None
+        for axis_key in (
+            lambda e: (e.xlo, e.xhi),
+            lambda e: (e.ylo, e.yhi),
+        ):
+            ordered = sorted(entries, key=axis_key)
+            margin_sum = 0.0
+            distributions = []
+            for split_at in range(m, len(ordered) - m + 1):
+                left = ordered[:split_at]
+                right = ordered[split_at:]
+                margin_sum += margin(mbr_of(left)) + margin(mbr_of(right))
+                distributions.append((left, right))
+            if margin_sum < best_axis_cost:
+                best_axis_cost = margin_sum
+                best_axis_distributions = distributions
+        best = None
+        best_key = (float("inf"), float("inf"))
+        for left, right in best_axis_distributions:
+            ml, mr = mbr_of(left), mbr_of(right)
+            inter = intersection(ml, mr)
+            key = (area(inter) if inter else 0.0, area(ml) + area(mr))
+            if key < best_key:
+                best_key = key
+                best = (left, right)
+        return list(best[0]), list(best[1])
+
+    def _grow_root(self, split_entry: Rect) -> None:
+        old_root = self._root
+        old_mbr = old_root.mbr()
+        new_root_page = self.store.allocate()
+        new_level = old_root.level + 1
+        new_root = Node(
+            new_root_page, new_level,
+            [
+                Rect(old_mbr.xlo, old_mbr.xhi, old_mbr.ylo, old_mbr.yhi,
+                     old_root.page_id),
+                split_entry,
+            ],
+        )
+        self.store.write(new_root_page, new_root)
+        self._root = new_root
+        self._height = new_level + 1
+        self._level_pages.setdefault(new_level, set()).add(new_root_page)

@@ -1,0 +1,45 @@
+"""Simulation substrate: machine models, scaling, and the event clock.
+
+The paper's conclusions hinge on *where time goes* — CPU vs. I/O, random
+vs. sequential — on three machines with very different CPU/disk balances
+(Table 1).  We reproduce those measurements with event accounting:
+
+* algorithms charge abstract CPU operations to a :class:`~repro.sim.env.SimEnv`;
+* all page traffic flows through the environment as byte-addressed read
+  and write events;
+* one :class:`~repro.sim.machines.MachineObserver` per machine converts
+  the shared event trace into per-machine CPU seconds and I/O seconds,
+  classifying each disk access as random, sequential, or a track-buffer
+  hit exactly as the corresponding 1999 disk would have.
+
+Because all observers consume the same trace, a single algorithm run
+yields the timings for all three machines at once.
+"""
+
+from repro.sim.scale import ScaleConfig, PAPER_SCALE, DEFAULT_SCALE
+from repro.sim.machines import (
+    CpuSpec,
+    DiskSpec,
+    MachineSpec,
+    MachineObserver,
+    MACHINE_1,
+    MACHINE_2,
+    MACHINE_3,
+    ALL_MACHINES,
+)
+from repro.sim.env import SimEnv
+
+__all__ = [
+    "ScaleConfig",
+    "PAPER_SCALE",
+    "DEFAULT_SCALE",
+    "CpuSpec",
+    "DiskSpec",
+    "MachineSpec",
+    "MachineObserver",
+    "MACHINE_1",
+    "MACHINE_2",
+    "MACHINE_3",
+    "ALL_MACHINES",
+    "SimEnv",
+]

@@ -1,0 +1,119 @@
+"""The simulation environment shared by every algorithm run.
+
+A :class:`SimEnv` bundles
+
+* the active :class:`~repro.sim.scale.ScaleConfig` (page sizes, memory
+  budget, buffer pool capacity),
+* the machine observers that price CPU and I/O events,
+* raw event counters that are machine-independent (page requests,
+  logical reads/writes) — these power Table 4, which the paper notes is
+  "independent of the machine used".
+
+Algorithms never talk to observers directly; they call
+:meth:`SimEnv.charge` for CPU work and perform I/O through the page
+store and streams, which forward byte-addressed events here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.sim.machines import ALL_MACHINES, MachineObserver, MachineSpec
+from repro.sim.scale import DEFAULT_SCALE, ScaleConfig
+
+
+class SimEnv:
+    """Event clock + configuration for one experiment run.
+
+    Parameters
+    ----------
+    scale:
+        Size configuration; defaults to the 1/256 setup.
+    machines:
+        Machine specs to observe.  Defaults to the paper's three
+        machines.  Pass an empty sequence for pure-functionality runs
+        (unit tests of the algorithms) where pricing is irrelevant —
+        event counting still works.
+    """
+
+    def __init__(
+        self,
+        scale: ScaleConfig = DEFAULT_SCALE,
+        machines: Optional[Sequence[MachineSpec]] = ALL_MACHINES,
+    ) -> None:
+        self.scale = scale
+        specs = list(machines) if machines else []
+        self.observers: List[MachineObserver] = [
+            MachineObserver(spec, latency_scale=scale.latency_scale)
+            for spec in specs
+        ]
+        # Machine-independent raw counters.
+        self.page_reads = 0
+        self.page_writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.cpu_ops = 0
+
+    # -- CPU accounting ---------------------------------------------------
+
+    def charge(self, category: str, ops: int) -> None:
+        """Charge ``ops`` abstract CPU operations under ``category``.
+
+        Hot loops accumulate local integer counters and flush them here
+        in one call, so the accounting itself stays off the critical
+        path.
+        """
+        if ops <= 0:
+            return
+        self.cpu_ops += ops
+        for obs in self.observers:
+            obs.on_cpu(category, ops)
+
+    # -- I/O accounting ---------------------------------------------------
+
+    def io_read(self, offset: int, nbytes: int) -> None:
+        """Record a disk read of ``nbytes`` starting at byte ``offset``."""
+        self.page_reads += 1
+        self.bytes_read += nbytes
+        for obs in self.observers:
+            obs.on_read(offset, nbytes)
+
+    def io_write(self, offset: int, nbytes: int) -> None:
+        """Record a disk write of ``nbytes`` starting at byte ``offset``."""
+        self.page_writes += 1
+        self.bytes_written += nbytes
+        for obs in self.observers:
+            obs.on_write(offset, nbytes)
+
+    # -- reporting ----------------------------------------------------------
+
+    def observer_for(self, spec: MachineSpec) -> MachineObserver:
+        for obs in self.observers:
+            if obs.spec is spec or obs.spec.name == spec.name:
+                return obs
+        raise KeyError(f"no observer for machine {spec.name!r}")
+
+    def snapshots(self) -> List[dict]:
+        return [obs.snapshot() for obs in self.observers]
+
+    def reset_counters(self) -> None:
+        """Zero all counters, keeping configuration and machine set.
+
+        Used between the build phase (bulk loading, which the paper
+        excludes from join cost) and the join phase of an experiment.
+        """
+        self.page_reads = 0
+        self.page_writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.cpu_ops = 0
+        fresh = [
+            MachineObserver(obs.spec, latency_scale=self.scale.latency_scale)
+            for obs in self.observers
+        ]
+        self.observers = fresh
+
+
+def null_env(scale: ScaleConfig = DEFAULT_SCALE) -> SimEnv:
+    """An environment with no machine observers (counting only)."""
+    return SimEnv(scale=scale, machines=())

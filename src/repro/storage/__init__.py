@@ -1,0 +1,33 @@
+"""External-memory substrate (the repo's TPIE analogue).
+
+The paper implements everything on top of TPIE streams and memory-mapped
+page access.  This package rebuilds those abstractions over a simulated
+byte-addressed disk:
+
+* :mod:`repro.storage.disk` — the allocation layer; every read/write is
+  forwarded to the :class:`~repro.sim.env.SimEnv` for pricing;
+* :mod:`repro.storage.pages` — fixed-size page store for index nodes;
+* :mod:`repro.storage.stream` — sequential rectangle streams with a
+  logical block size (the stream BTE);
+* :mod:`repro.storage.buffer_pool` — the LRU pool the tree join uses;
+* :mod:`repro.storage.sort` — external multiway mergesort;
+* :mod:`repro.storage.pqueue` — an external (spilling) priority queue,
+  the overflow mechanism Section 4 sketches for PQ.
+"""
+
+from repro.storage.disk import Disk
+from repro.storage.pages import PageStore
+from repro.storage.stream import Stream
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.sort import external_sort, sort_stream_by_ylo
+from repro.storage.pqueue import ExternalHeap
+
+__all__ = [
+    "Disk",
+    "PageStore",
+    "Stream",
+    "BufferPool",
+    "external_sort",
+    "sort_stream_by_ylo",
+    "ExternalHeap",
+]

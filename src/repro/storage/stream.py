@@ -1,0 +1,147 @@
+"""Sequential rectangle streams — the TPIE stream BTE analogue.
+
+SSSJ and PBSM are stream algorithms: they read and write relations as
+sequences of 20-byte rectangle records in logical blocks (the paper used
+512 KB blocks to exploit sequential bandwidth, Section 5.2).  A
+:class:`Stream` buffers appended rectangles and flushes a block to
+disk whenever the buffer fills.  Like a filesystem growing a file, a
+stream reserves disk space in contiguous multi-block extents
+(``RESERVE_BLOCKS`` at a time): blocks of one stream lie back-to-back
+inside each extent, while several streams being written concurrently
+claim alternating extents.  The machine observers therefore see a
+single stream writing sequentially, but the 2p PBSM partition streams
+seeking between their extents — exactly the "one non-sequential write
+pass" of Section 3.2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.geom.rect import RECT_BYTES, Rect
+from repro.storage.disk import Disk
+
+#: Contiguous blocks reserved per extent when a stream grows (the
+#: filesystem-extent analogue; keeps one stream sequential while
+#: interleaved streams seek between extents).
+RESERVE_BLOCKS = 4
+
+
+class Stream:
+    """An appendable, re-readable sequence of rectangles on disk.
+
+    The lifecycle is write-then-read: ``append``/``extend`` while
+    writing, then ``close()`` (flushes the tail block), after which the
+    stream may be scanned any number of times with ``scan()``.
+    Appending after close raises — a closed stream is immutable, like a
+    finished TPIE temp file.
+    """
+
+    def __init__(self, disk: Disk, block_bytes: Optional[int] = None,
+                 name: str = "") -> None:
+        self.disk = disk
+        self.block_bytes = block_bytes or disk.env.scale.stream_block_bytes
+        self.block_capacity = max(1, self.block_bytes // RECT_BYTES)
+        self.name = name
+        self._block_offsets: List[int] = []
+        self._block_lengths: List[int] = []
+        self._reserve_pos = 0
+        self._reserve_end = 0
+        self._buffer: List[Rect] = []
+        self._count = 0
+        self._closed = False
+
+    # -- writing ---------------------------------------------------------
+
+    def append(self, rect: Rect) -> None:
+        if self._closed:
+            raise RuntimeError(f"stream {self.name!r} is closed")
+        self._buffer.append(rect)
+        self._count += 1
+        if len(self._buffer) >= self.block_capacity:
+            self._flush_block()
+
+    def extend(self, rects: Iterable[Rect]) -> None:
+        for r in rects:
+            self.append(r)
+
+    def close(self) -> "Stream":
+        """Flush the tail block and freeze the stream.  Idempotent."""
+        if not self._closed:
+            if self._buffer:
+                self._flush_block()
+            self._closed = True
+        return self
+
+    # -- reading ---------------------------------------------------------
+
+    def scan(self) -> Iterator[Rect]:
+        """Yield all rectangles in append order, charging block reads."""
+        self._require_closed("scan")
+        for offset in self._block_offsets:
+            block = self.disk.read(offset)
+            yield from block
+
+    def scan_blocks(self) -> Iterator[Sequence[Rect]]:
+        """Yield whole blocks; the merge phase of sorting consumes these."""
+        self._require_closed("scan_blocks")
+        for offset in self._block_offsets:
+            yield self.disk.read(offset)
+
+    # -- metadata ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._block_offsets)
+
+    @property
+    def data_bytes(self) -> int:
+        """Logical payload size: records x 20 bytes (paper Table 2)."""
+        return self._count * RECT_BYTES
+
+    def free(self) -> None:
+        """Release block payloads (temporary run files)."""
+        for offset in self._block_offsets:
+            self.disk.free(offset)
+        self._block_offsets.clear()
+        self._block_lengths.clear()
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def from_rects(cls, disk: Disk, rects: Iterable[Rect],
+                   block_bytes: Optional[int] = None,
+                   name: str = "") -> "Stream":
+        s = cls(disk, block_bytes=block_bytes, name=name)
+        s.extend(rects)
+        return s.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _flush_block(self) -> None:
+        nbytes = len(self._buffer) * RECT_BYTES
+        if self._reserve_pos + nbytes > self._reserve_end:
+            # Extent size is a whole number of full blocks so that
+            # consecutive flushes of one stream stay byte-contiguous.
+            extent = self.block_capacity * RECT_BYTES * RESERVE_BLOCKS
+            self._reserve_pos = self.disk.allocate(max(extent, nbytes))
+            self._reserve_end = self._reserve_pos + max(extent, nbytes)
+        offset = self._reserve_pos
+        self._reserve_pos += nbytes
+        self.disk.write(offset, nbytes, tuple(self._buffer))
+        self._block_offsets.append(offset)
+        self._block_lengths.append(nbytes)
+        self._buffer = []
+
+    def _require_closed(self, op: str) -> None:
+        if not self._closed:
+            raise RuntimeError(
+                f"cannot {op} stream {self.name!r} before close()"
+            )

@@ -1,0 +1,48 @@
+"""Shared fixtures: a small simulated machine room and tiny datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geom.rect import Rect
+from repro.sim.env import SimEnv
+from repro.sim.machines import ALL_MACHINES
+from repro.sim.scale import ScaleConfig
+from repro.storage.disk import Disk
+from repro.storage.pages import PageStore
+
+#: A small-memory scale so tests exercise external behaviour (run
+#: formation, pool eviction, partitioning) on tiny inputs.
+TEST_SCALE = ScaleConfig(
+    scale=1024,
+    index_page_bytes=256,
+    stream_block_bytes=512,
+    memory_bytes=4096,          # 204 rectangles
+    buffer_pool_bytes=4096,     # 16 pages
+    name="test",
+)
+
+
+@pytest.fixture
+def env() -> SimEnv:
+    return SimEnv(scale=TEST_SCALE, machines=ALL_MACHINES)
+
+
+@pytest.fixture
+def disk(env) -> Disk:
+    return Disk(env)
+
+
+@pytest.fixture
+def store(disk) -> PageStore:
+    return PageStore(disk, TEST_SCALE.index_page_bytes)
+
+
+@pytest.fixture
+def unit_square() -> Rect:
+    return Rect(0.0, 1.0, 0.0, 1.0, 0)
+
+
+def make_env(scale: ScaleConfig = TEST_SCALE) -> SimEnv:
+    """Non-fixture variant for hypothesis tests (fresh per example)."""
+    return SimEnv(scale=scale, machines=ALL_MACHINES)

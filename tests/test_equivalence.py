@@ -1,0 +1,125 @@
+"""Cross-algorithm equivalence: all four joins return the same set.
+
+The paper's Figure 3 compares the running times of SSSJ, PBSM, PQ and
+ST on the same inputs — which only makes sense because they compute the
+same relation.  These tests pin that equivalence on varied inputs,
+including degenerate ones, against the brute-force oracle.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.brute import brute_force_pairs
+from repro.core.pbsm import PBSMConfig, pbsm_join
+from repro.core.pq_join import pq_join
+from repro.core.sssj import sssj_join
+from repro.core.st_join import st_join
+from repro.data.generator import (
+    clustered_rects,
+    grid_rects,
+    stabbing_rects,
+    uniform_rects,
+)
+from repro.data.tiger import make_hydro, make_roads
+from repro.geom.rect import Rect
+from repro.rtree.bulk_load import bulk_load
+from repro.storage.disk import Disk
+from repro.storage.pages import PageStore
+from repro.storage.stream import Stream
+
+from tests.conftest import TEST_SCALE, make_env
+
+UNIT = Rect(0.0, 1.0, 0.0, 1.0, 0)
+
+
+def run_all_four(a, b, universe=UNIT):
+    env = make_env()
+    disk = Disk(env)
+    store = PageStore(disk, TEST_SCALE.index_page_bytes)
+    sa = Stream.from_rects(disk, a)
+    sb = Stream.from_rects(disk, b)
+    results = {}
+    results["SSSJ"] = sssj_join(sa, sb, disk, universe=universe,
+                                collect_pairs=True).pair_set()
+    results["PBSM"] = pbsm_join(sa, sb, disk, universe=universe,
+                                collect_pairs=True).pair_set()
+    if a and b:
+        ta = bulk_load(store, a)
+        tb = bulk_load(store, b)
+        results["ST"] = st_join(ta, tb, collect_pairs=True).pair_set()
+        results["PQ"] = pq_join(ta, tb, disk, universe=universe,
+                                collect_pairs=True).pair_set()
+    return results
+
+
+def assert_all_equal(a, b, universe=UNIT):
+    truth = brute_force_pairs(a, b)
+    for name, got in run_all_four(a, b, universe).items():
+        assert got == truth, f"{name} diverges from brute force"
+
+
+class TestEquivalence:
+    def test_uniform(self):
+        assert_all_equal(
+            uniform_rects(250, UNIT, 0.03, seed=1),
+            uniform_rects(200, UNIT, 0.03, seed=2, id_base=10_000),
+        )
+
+    def test_clustered(self):
+        assert_all_equal(
+            clustered_rects(300, UNIT, 0.02, seed=3),
+            clustered_rects(100, UNIT, 0.04, seed=4, id_base=10_000),
+        )
+
+    def test_tiger_like(self):
+        from repro.data.datasets import DATASET_SPECS
+        region = DATASET_SPECS["NJ"].region
+        assert_all_equal(
+            make_roads(400, region, seed=5),
+            make_hydro(80, region, seed=6, layout_seed=5),
+            universe=region,
+        )
+
+    def test_grid_self_join_exact_count(self):
+        g = grid_rects(10, UNIT, fill=0.9)
+        truth = brute_force_pairs(g, g)
+        assert len(truth) == 100  # disjoint grid: only self-pairs
+        for name, got in run_all_four(g, list(g)).items():
+            assert got == truth, name
+
+    def test_stabbing_adversarial(self):
+        assert_all_equal(
+            stabbing_rects(150, UNIT, seed=7),
+            stabbing_rects(150, UNIT, seed=8, id_base=10_000),
+        )
+
+    def test_identical_inputs(self):
+        a = uniform_rects(150, UNIT, 0.04, seed=9)
+        assert_all_equal(a, list(a))
+
+    def test_all_identical_rectangles(self):
+        a = [Rect(0.4, 0.6, 0.4, 0.6, i) for i in range(40)]
+        b = [Rect(0.5, 0.7, 0.5, 0.7, i) for i in range(40)]
+        assert_all_equal(a, b)
+
+    def test_degenerate_zero_area_rects(self):
+        a = [Rect(0.5, 0.5, 0.0, 1.0, 1), Rect(0.0, 1.0, 0.5, 0.5, 2)]
+        b = [Rect(0.5, 0.5, 0.5, 0.5, 3), Rect(0.2, 0.2, 0.2, 0.2, 4)]
+        assert_all_equal(a, b)
+
+    def test_skewed_sizes(self):
+        big = [Rect(0.0, 1.0, 0.0, 1.0, i) for i in range(5)]
+        small = uniform_rects(200, UNIT, 0.01, seed=10, id_base=100)
+        assert_all_equal(big, small)
+
+    def test_one_element_each(self):
+        assert_all_equal([Rect(0, 0.5, 0, 0.5, 1)],
+                         [Rect(0.4, 1, 0.4, 1, 2)])
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 120), st.integers(1, 120),
+           st.integers(0, 1000))
+    def test_property_random_workloads(self, na, nb, seed):
+        a = uniform_rects(na, UNIT, 0.05, seed=seed)
+        b = uniform_rects(nb, UNIT, 0.05, seed=seed + 1, id_base=10_000)
+        assert_all_equal(a, b)

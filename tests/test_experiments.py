@@ -1,0 +1,124 @@
+"""Experiment harness: runner, report formatting, CLI."""
+
+import pytest
+
+from repro.experiments.cli import main as cli_main, run_dataset
+from repro.experiments.report import fmt_ratio, fmt_seconds, format_table
+from repro.experiments.runner import (
+    ALGORITHMS,
+    prepare_experiment,
+    run_algorithm,
+)
+from repro.sim.machines import MACHINE_1, MACHINE_3
+from repro.sim.scale import QUICK_SCALE
+
+
+@pytest.fixture(scope="module")
+def nj_setup():
+    return prepare_experiment("NJ", scale=QUICK_SCALE)
+
+
+class TestRunner:
+    def test_prepare_builds_everything(self, nj_setup):
+        assert nj_setup.roads_tree is not None
+        assert nj_setup.hydro_tree is not None
+        assert len(nj_setup.roads_stream) == len(nj_setup.dataset.roads)
+        assert nj_setup.lower_bound_pages == (
+            nj_setup.roads_tree.page_count
+            + nj_setup.hydro_tree.page_count
+        )
+
+    def test_counters_zero_after_prepare(self):
+        setup = prepare_experiment("NJ", scale=QUICK_SCALE)
+        assert setup.env.page_reads == 0
+        assert setup.env.cpu_ops == 0
+
+    def test_all_algorithms_agree_on_counts(self, nj_setup):
+        counts = {
+            a: run_algorithm(a, nj_setup)["result"].n_pairs
+            for a in ALGORITHMS
+        }
+        assert len(set(counts.values())) == 1, counts
+
+    def test_runs_start_from_fresh_counters(self, nj_setup):
+        first = run_algorithm("PQ", nj_setup)
+        second = run_algorithm("PQ", nj_setup)
+        assert first["page_reads"] == second["page_reads"]
+        assert first["cpu_ops"] == second["cpu_ops"]
+
+    def test_snapshots_cover_all_machines(self, nj_setup):
+        out = run_algorithm("SSSJ", nj_setup)
+        names = [m["machine"] for m in out["machines"]]
+        assert MACHINE_1.name in names and MACHINE_3.name in names
+
+    def test_unknown_algorithm_rejected(self, nj_setup):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            run_algorithm("NESTED-LOOP", nj_setup)
+
+    def test_index_algorithms_require_trees(self):
+        setup = prepare_experiment("NJ", scale=QUICK_SCALE,
+                                   build_trees=False)
+        with pytest.raises(ValueError, match="needs indexes"):
+            run_algorithm("PQ", setup)
+        with pytest.raises(ValueError, match="needs indexes"):
+            run_algorithm("ST", setup)
+        # Stream algorithms still work.
+        out = run_algorithm("SSSJ", setup)
+        assert out["result"].n_pairs >= 0
+
+    def test_collect_pairs_passthrough(self, nj_setup):
+        out = run_algorithm("SSSJ", nj_setup, collect_pairs=True)
+        assert out["result"].pairs is not None
+        assert len(out["result"].pairs) == out["result"].n_pairs
+
+
+class TestReport:
+    def test_format_table_basic(self):
+        text = format_table(
+            ["Name", "Value"], [["a", 1], ["bb", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Name" in lines[2]
+        assert any("bb" in ln for ln in lines)
+
+    def test_numeric_right_alignment(self):
+        text = format_table(["K", "N"], [["x", 5], ["y", 500]])
+        rows = text.splitlines()[-2:]
+        # Both numbers end at the same column (right-aligned).
+        assert rows[0].rstrip().endswith("5")
+        assert rows[1].rstrip().endswith("500")
+
+    def test_thousands_separator(self):
+        text = format_table(["K", "N"], [["x", 1234567]])
+        assert "1,234,567" in text
+
+    def test_fmt_seconds_ranges(self):
+        assert fmt_seconds(123.4) == "123"
+        assert fmt_seconds(1.234) == "1.23"
+        assert fmt_seconds(0.01234) == "0.0123"
+        assert fmt_seconds(float("nan")) == "-"
+
+    def test_fmt_ratio(self):
+        assert fmt_ratio(2.0, 1.0) == "2.00"
+        assert fmt_ratio(1.0, 0.0) == "-"
+        assert fmt_ratio(float("nan"), 1.0) == "-"
+
+
+class TestCLI:
+    def test_run_dataset_produces_rows(self):
+        text = run_dataset("NJ", ["SSSJ", "PQ"], QUICK_SCALE)
+        assert "SSSJ" in text and "PQ" in text
+        assert "Machine 1" in text and "Machine 3" in text
+
+    def test_cli_main_single_dataset(self, capsys):
+        rc = cli_main(["--dataset", "NJ", "--scale", "quick",
+                       "--algorithms", "SSSJ"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "NJ (scale 1/1024)" in out
+        assert "SSSJ" in out
+
+    def test_cli_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            cli_main(["--dataset", "TEXAS"])

@@ -1,0 +1,112 @@
+"""Hilbert curve: bijectivity, locality, and key normalization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtree.hilbert import (
+    DEFAULT_ORDER,
+    hilbert_d,
+    hilbert_d_to_xy,
+    hilbert_keys,
+    hilbert_xy_to_d,
+)
+
+
+class TestBijection:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 5])
+    def test_exhaustive_bijection_small_orders(self, order):
+        side = 1 << order
+        seen = set()
+        for x in range(side):
+            for y in range(side):
+                d = hilbert_xy_to_d(x, y, order)
+                assert 0 <= d < side * side
+                seen.add(d)
+        assert len(seen) == side * side
+
+    @pytest.mark.parametrize("order", [2, 4, 6])
+    def test_inverse_roundtrip(self, order):
+        side = 1 << order
+        for d in range(side * side):
+            x, y = hilbert_d_to_xy(d, order)
+            assert hilbert_xy_to_d(x, y, order) == d
+
+    @given(st.integers(0, (1 << 16) - 1), st.integers(0, (1 << 16) - 1))
+    def test_roundtrip_at_full_order(self, x, y):
+        d = hilbert_xy_to_d(x, y, DEFAULT_ORDER)
+        assert hilbert_d_to_xy(d, DEFAULT_ORDER) == (x, y)
+
+
+class TestContinuity:
+    @pytest.mark.parametrize("order", [2, 3, 4])
+    def test_consecutive_positions_are_grid_neighbours(self, order):
+        # The defining property of the curve: step 1 along the curve
+        # moves exactly 1 in Manhattan distance on the grid.
+        side = 1 << order
+        prev = hilbert_d_to_xy(0, order)
+        for d in range(1, side * side):
+            cur = hilbert_d_to_xy(d, order)
+            manhattan = abs(cur[0] - prev[0]) + abs(cur[1] - prev[1])
+            assert manhattan == 1, f"jump of {manhattan} at d={d}"
+            prev = cur
+
+
+class TestValidation:
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_xy_to_d(-1, 0, 4)
+        with pytest.raises(ValueError):
+            hilbert_xy_to_d(16, 0, 4)
+        with pytest.raises(ValueError):
+            hilbert_d_to_xy(-1, 4)
+        with pytest.raises(ValueError):
+            hilbert_d_to_xy(256, 4)
+
+
+class TestNormalizedKeys:
+    def test_fraction_clamping(self):
+        # Out-of-box fractions clamp instead of raising.
+        assert hilbert_d(-0.5, 0.0) == hilbert_d(0.0, 0.0)
+        assert hilbert_d(1.5, 1.5) == hilbert_d(1.0, 1.0)
+
+    def test_keys_for_degenerate_box(self):
+        keys = hilbert_keys([(3.0, 1.0), (3.0, 2.0)], 3.0, 0.0, 3.0, 4.0)
+        assert len(keys) == 2  # zero-width box still yields a total order
+
+    def test_keys_ordering_is_deterministic(self):
+        pts = [(0.1, 0.2), (0.8, 0.9), (0.5, 0.5)]
+        k1 = hilbert_keys(pts, 0, 0, 1, 1)
+        k2 = hilbert_keys(pts, 0, 0, 1, 1)
+        assert k1 == k2
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1, allow_nan=False),
+                      st.floats(0, 1, allow_nan=False)),
+            min_size=1, max_size=50,
+        )
+    )
+    def test_keys_in_range(self, pts):
+        keys = hilbert_keys(pts, 0.0, 0.0, 1.0, 1.0)
+        top = (1 << DEFAULT_ORDER) ** 2
+        assert all(0 <= k < top for k in keys)
+
+    def test_locality_beats_row_major_on_average(self):
+        # Spot-check the reason we use Hilbert at all: consecutive curve
+        # positions of a uniform sample are closer on average than
+        # consecutive row-major positions of the same sample.
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        pts = [(float(x), float(y)) for x, y in rng.random((500, 2))]
+        hk = hilbert_keys(pts, 0, 0, 1, 1)
+        by_hilbert = [p for _, p in sorted(zip(hk, pts))]
+        by_row_major = sorted(pts, key=lambda p: (round(p[1], 1), p[0]))
+
+        def avg_step(seq):
+            return sum(
+                abs(a[0] - b[0]) + abs(a[1] - b[1])
+                for a, b in zip(seq, seq[1:])
+            ) / (len(seq) - 1)
+
+        assert avg_step(by_hilbert) < avg_step(by_row_major)

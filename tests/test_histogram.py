@@ -1,0 +1,127 @@
+"""Spatial histograms: construction, selectivity, leaf fractions."""
+
+import pytest
+
+from repro.core.brute import brute_force_pairs
+from repro.core.histogram import SpatialHistogram
+from repro.data.generator import clustered_rects, uniform_rects
+from repro.geom.rect import Rect
+
+UNIT = Rect(0.0, 1.0, 0.0, 1.0, 0)
+
+
+class TestConstruction:
+    def test_counts_and_total(self):
+        rects = uniform_rects(200, UNIT, 0.02, seed=1)
+        h = SpatialHistogram.build(rects, UNIT, grid=8)
+        assert h.total == 200
+        assert sum(h.counts) == 200
+
+    def test_out_of_universe_rects_clamped(self):
+        h = SpatialHistogram(UNIT, grid=4)
+        h.add(Rect(5.0, 6.0, 5.0, 6.0, 1))  # far outside
+        assert h.total == 1
+        assert h.counts[-1] == 1  # clamped to the last cell
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            SpatialHistogram(UNIT, grid=0)
+
+    def test_occupied_cells(self):
+        h = SpatialHistogram(UNIT, grid=4)
+        h.add(Rect(0.1, 0.1, 0.1, 0.1, 1))
+        h.add(Rect(0.12, 0.12, 0.12, 0.12, 2))
+        h.add(Rect(0.9, 0.9, 0.9, 0.9, 3))
+        assert h.occupied_cells() == 2
+
+
+class TestJoinEstimate:
+    def test_estimate_within_factor_of_truth_uniform(self):
+        a = uniform_rects(400, UNIT, 0.03, seed=2)
+        b = uniform_rects(300, UNIT, 0.03, seed=3)
+        ha = SpatialHistogram.build(a, UNIT, grid=16)
+        hb = SpatialHistogram.build(b, UNIT, grid=16)
+        est = ha.estimate_join_pairs(hb)
+        truth = len(brute_force_pairs(a, b))
+        assert truth / 4 <= est <= truth * 4
+
+    def test_estimate_zero_for_disjoint_regions(self):
+        a = uniform_rects(100, Rect(0.0, 0.4, 0.0, 0.4, 0), 0.01, seed=4)
+        b = uniform_rects(100, Rect(0.6, 1.0, 0.6, 1.0, 0), 0.01, seed=5)
+        ha = SpatialHistogram.build(a, UNIT, grid=16)
+        hb = SpatialHistogram.build(b, UNIT, grid=16)
+        assert ha.estimate_join_pairs(hb) == 0.0
+
+    def test_incompatible_histograms_rejected(self):
+        ha = SpatialHistogram(UNIT, grid=8)
+        hb = SpatialHistogram(UNIT, grid=16)
+        with pytest.raises(ValueError):
+            ha.estimate_join_pairs(hb)
+
+    def test_estimate_symmetric(self):
+        a = clustered_rects(200, UNIT, 0.02, seed=6)
+        b = clustered_rects(150, UNIT, 0.02, seed=7)
+        ha = SpatialHistogram.build(a, UNIT, grid=8)
+        hb = SpatialHistogram.build(b, UNIT, grid=8)
+        assert ha.estimate_join_pairs(hb) == pytest.approx(
+            hb.estimate_join_pairs(ha)
+        )
+
+    def test_estimate_scales_with_density(self):
+        a1 = uniform_rects(100, UNIT, 0.03, seed=8)
+        a2 = uniform_rects(400, UNIT, 0.03, seed=8)
+        b = uniform_rects(100, UNIT, 0.03, seed=9)
+        hb = SpatialHistogram.build(b, UNIT, grid=8)
+        est1 = SpatialHistogram.build(a1, UNIT, grid=8).estimate_join_pairs(hb)
+        est2 = SpatialHistogram.build(a2, UNIT, grid=8).estimate_join_pairs(hb)
+        assert est2 > est1
+
+
+class TestLeafFraction:
+    def test_none_window_is_everything(self):
+        h = SpatialHistogram.build(
+            uniform_rects(50, UNIT, 0.02, seed=10), UNIT
+        )
+        assert h.leaf_fraction(None) == 1.0
+
+    def test_empty_histogram(self):
+        h = SpatialHistogram(UNIT)
+        assert h.leaf_fraction(UNIT) == 0.0
+
+    def test_full_window_is_one(self):
+        h = SpatialHistogram.build(
+            uniform_rects(200, UNIT, 0.02, seed=11), UNIT, grid=8
+        )
+        assert h.leaf_fraction(UNIT) == pytest.approx(1.0)
+
+    def test_disjoint_window_is_zero(self):
+        h = SpatialHistogram.build(
+            uniform_rects(200, UNIT, 0.02, seed=12), UNIT, grid=8
+        )
+        assert h.leaf_fraction(Rect(5, 6, 5, 6, 0)) == 0.0
+
+    def test_half_window_about_half_for_uniform_data(self):
+        h = SpatialHistogram.build(
+            uniform_rects(2000, UNIT, 0.01, seed=13), UNIT, grid=32
+        )
+        frac = h.leaf_fraction(Rect(0.0, 0.5, 0.0, 1.0, 0))
+        assert 0.35 <= frac <= 0.65
+
+    def test_localized_data_fraction_tracks_mass(self):
+        # 90% of the data in the left quarter: a window over the left
+        # quarter should report ~0.9.
+        left = uniform_rects(900, Rect(0.0, 0.25, 0.0, 1.0, 0), 0.01,
+                             seed=14)
+        right = uniform_rects(100, Rect(0.25, 1.0, 0.0, 1.0, 0), 0.01,
+                              seed=15, id_base=1000)
+        h = SpatialHistogram.build(left + right, UNIT, grid=32)
+        frac = h.leaf_fraction(Rect(0.0, 0.25, 0.0, 1.0, 0))
+        assert 0.8 <= frac <= 1.0
+
+    def test_monotone_in_window_size(self):
+        h = SpatialHistogram.build(
+            clustered_rects(500, UNIT, 0.02, seed=16), UNIT, grid=16
+        )
+        small = h.leaf_fraction(Rect(0.4, 0.6, 0.4, 0.6, 0))
+        large = h.leaf_fraction(Rect(0.2, 0.8, 0.2, 0.8, 0))
+        assert small <= large

@@ -1,0 +1,103 @@
+"""End-to-end integration: the full experiment pipeline at quick scale.
+
+These tests run the complete paper pipeline — named dataset, streams,
+bulk-loaded indexes, all five join algorithms, machine pricing — and
+cross-check the pieces against each other, catching wiring regressions
+that unit tests of individual modules cannot.
+"""
+
+import pytest
+
+from repro.core.brute import brute_force_pairs
+from repro.core.st_bfs import st_bfs_join
+from repro.experiments.runner import (
+    ALGORITHMS,
+    prepare_experiment,
+    run_algorithm,
+)
+from repro.sim.scale import QUICK_SCALE
+
+
+@pytest.fixture(scope="module")
+def ny():
+    return prepare_experiment("NY", scale=QUICK_SCALE)
+
+
+@pytest.fixture(scope="module")
+def ny_runs(ny):
+    return {a: run_algorithm(a, ny, collect_pairs=True)
+            for a in ALGORITHMS}
+
+
+class TestFullPipeline:
+    def test_all_five_algorithms_compute_the_same_join(self, ny, ny_runs):
+        truth = brute_force_pairs(ny.dataset.roads, ny.dataset.hydro)
+        for a in ALGORITHMS:
+            assert ny_runs[a]["result"].pair_set() == truth, a
+        ny.env.reset_counters()
+        bfs = st_bfs_join(ny.roads_tree, ny.hydro_tree,
+                          collect_pairs=True)
+        assert bfs.pair_set() == truth
+
+    def test_trees_valid_after_all_runs(self, ny, ny_runs):
+        # Joins must never mutate the indexes.
+        ny.roads_tree.validate()
+        ny.hydro_tree.validate()
+
+    def test_observed_never_exceeds_estimated_io(self, ny_runs):
+        # The naive model prices every access at the random rate, so it
+        # upper-bounds the pattern-aware observation for reads-dominated
+        # runs (writes can exceed it via the 1.5x penalty; PQ/ST do not
+        # write).
+        for a in ("PQ", "ST"):
+            for snap in ny_runs[a]["machines"]:
+                assert (
+                    snap["io_seconds"] <= snap["estimated_io_seconds"] * 1.001
+                ), (a, snap)
+
+    def test_machine_ordering_consistent(self, ny_runs):
+        # For identical event traces, the slow-CPU machine always has
+        # the largest CPU time and machine 3 the smallest.
+        for a in ALGORITHMS:
+            cpu = [m["cpu_seconds"] for m in ny_runs[a]["machines"]]
+            assert cpu[0] > cpu[1] > cpu[2], (a, cpu)
+
+    def test_bytes_accounting_consistent(self, ny_runs):
+        for a in ALGORITHMS:
+            run = ny_runs[a]
+            for snap in run["machines"]:
+                assert snap["bytes_read"] == run["bytes_read"]
+                assert snap["bytes_written"] == run["bytes_written"]
+
+    def test_read_classification_partitions_reads(self, ny_runs):
+        for a in ALGORITHMS:
+            run = ny_runs[a]
+            for snap in run["machines"]:
+                classified = (
+                    snap["reads_random"]
+                    + snap["reads_sequential"]
+                    + snap["reads_buffered"]
+                )
+                assert classified == run["page_reads"], (a, snap)
+
+    def test_pq_reads_equal_lower_bound(self, ny, ny_runs):
+        assert ny_runs["PQ"]["page_reads"] == ny.lower_bound_pages
+
+    def test_stream_algorithms_do_not_touch_the_indexes(self, ny, ny_runs):
+        # SSSJ and PBSM read strictly stream bytes: total bytes read is
+        # a multiple-pass function of the data size, not the index size.
+        data_bytes = (
+            ny.dataset.road_bytes + ny.dataset.hydro_bytes
+        )
+        for a in ("SSSJ", "PBSM"):
+            read = ny_runs[a]["bytes_read"]
+            assert read <= 4 * data_bytes, (a, read, data_bytes)
+
+    def test_deterministic_across_preparations(self):
+        s1 = prepare_experiment("NJ", scale=QUICK_SCALE)
+        s2 = prepare_experiment("NJ", scale=QUICK_SCALE)
+        r1 = run_algorithm("SSSJ", s1)
+        r2 = run_algorithm("SSSJ", s2)
+        assert r1["result"].n_pairs == r2["result"].n_pairs
+        assert r1["page_reads"] == r2["page_reads"]
+        assert r1["cpu_ops"] == r2["cpu_ops"]

@@ -1,0 +1,191 @@
+"""Multi-way intersection joins by PQ cascading (Section 4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.brute import brute_force_pairs
+from repro.core.multiway import multiway_join
+from repro.data.generator import uniform_rects
+from repro.data.tiger import make_hydro, make_landuse, make_roads
+from repro.geom.rect import Rect, intersection
+from repro.rtree.bulk_load import bulk_load
+from repro.storage.disk import Disk
+from repro.storage.pages import PageStore
+from repro.storage.stream import Stream
+
+from tests.conftest import TEST_SCALE, make_env
+
+UNIT = Rect(0.0, 1.0, 0.0, 1.0, 0)
+
+
+def brute_three_way(a, b, c):
+    """Oracle: all (i, j, k) whose left-fold intersection is non-empty."""
+    out = set()
+    for ra in a:
+        for rb in b:
+            ab = intersection(ra, rb)
+            if ab is None:
+                continue
+            for rc in c:
+                if ab.intersects(rc):
+                    out.add((ra.rid, rb.rid, rc.rid))
+    return out
+
+
+class TestThreeWay:
+    def _inputs(self, n=80, seed=1):
+        a = uniform_rects(n, UNIT, 0.08, seed=seed)
+        b = uniform_rects(n, UNIT, 0.08, seed=seed + 1, id_base=10_000)
+        c = uniform_rects(n, UNIT, 0.08, seed=seed + 2, id_base=20_000)
+        return a, b, c
+
+    def test_matches_oracle_with_lists(self):
+        from repro.core.sources import ListSource
+
+        a, b, c = self._inputs()
+        env = make_env()
+        disk = Disk(env)
+        res = multiway_join(
+            [ListSource(a), ListSource(b), ListSource(c)],
+            disk, universe=UNIT, collect_tuples=True,
+        )
+        assert set(res.pairs) == brute_three_way(a, b, c)
+        assert res.algorithm == "PQ-3way"
+
+    def test_matches_oracle_with_mixed_representations(self):
+        a, b, c = self._inputs(seed=4)
+        env = make_env()
+        disk = Disk(env)
+        store = PageStore(disk, TEST_SCALE.index_page_bytes)
+        tree_a = bulk_load(store, a)
+        stream_b = Stream.from_rects(disk, b)
+        tree_c = bulk_load(store, c)
+        res = multiway_join(
+            [tree_a, stream_b, tree_c], disk, universe=UNIT,
+            collect_tuples=True,
+        )
+        assert set(res.pairs) == brute_three_way(a, b, c)
+
+    def test_two_way_degenerates_to_pq(self):
+        a, b, _ = self._inputs(seed=7)
+        env = make_env()
+        disk = Disk(env)
+        res = multiway_join(
+            [Stream.from_rects(disk, a), Stream.from_rects(disk, b)],
+            disk, universe=UNIT, collect_tuples=True,
+        )
+        assert {(x, y) for x, y in res.pairs} == brute_force_pairs(a, b)
+
+    def test_four_way(self):
+        env = make_env()
+        disk = Disk(env)
+        rels = [
+            uniform_rects(30, UNIT, 0.15, seed=10 + i, id_base=i * 1000)
+            for i in range(4)
+        ]
+        res = multiway_join(
+            [Stream.from_rects(disk, r) for r in rels],
+            disk, universe=UNIT, collect_tuples=True,
+        )
+        # Oracle by folding.
+        want = set()
+        for t3 in brute_three_way(rels[0], rels[1], rels[2]):
+            ra = next(r for r in rels[0] if r.rid == t3[0])
+            rb = next(r for r in rels[1] if r.rid == t3[1])
+            rc = next(r for r in rels[2] if r.rid == t3[2])
+            abc = intersection(intersection(ra, rb), rc)
+            for rd in rels[3]:
+                if abc.intersects(rd):
+                    want.add(t3 + (rd.rid,))
+        assert set(res.pairs) == want
+
+    def test_count_only_mode(self):
+        a, b, c = self._inputs(seed=20)
+        env = make_env()
+        disk = Disk(env)
+        from repro.core.sources import ListSource
+
+        res = multiway_join(
+            [ListSource(a), ListSource(b), ListSource(c)],
+            disk, universe=UNIT,
+        )
+        assert res.n_pairs == len(brute_three_way(a, b, c))
+        assert res.pairs is None
+
+    def test_fewer_than_two_inputs_rejected(self):
+        env = make_env()
+        disk = Disk(env)
+        with pytest.raises(ValueError):
+            multiway_join([Stream.from_rects(disk, [])], disk)
+
+    def test_empty_middle_relation(self):
+        a, _, c = self._inputs(seed=30)
+        env = make_env()
+        disk = Disk(env)
+        res = multiway_join(
+            [Stream.from_rects(disk, a), Stream.from_rects(disk, []),
+             Stream.from_rects(disk, c)],
+            disk, universe=UNIT, collect_tuples=True,
+        )
+        assert res.n_pairs == 0
+
+    def test_gis_three_way(self):
+        from repro.data.datasets import DATASET_SPECS
+        region = DATASET_SPECS["NJ"].region
+        roads = make_roads(250, region, seed=1)
+        hydro = make_hydro(60, region, seed=2, layout_seed=1)
+        landuse = make_landuse(40, region, seed=3, layout_seed=1)
+        env = make_env()
+        disk = Disk(env)
+        store = PageStore(disk, TEST_SCALE.index_page_bytes)
+        res = multiway_join(
+            [bulk_load(store, roads), Stream.from_rects(disk, hydro),
+             Stream.from_rects(disk, landuse)],
+            disk, universe=region, collect_tuples=True,
+        )
+        assert set(res.pairs) == brute_three_way(roads, hydro, landuse)
+
+
+class TestMultiwayProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(5, 40), st.integers(5, 40), st.integers(5, 40),
+        st.integers(0, 500),
+    )
+    def test_property_three_way_matches_oracle(self, na, nb, nc, seed):
+        from repro.core.sources import ListSource
+
+        a = uniform_rects(na, UNIT, 0.12, seed=seed)
+        b = uniform_rects(nb, UNIT, 0.12, seed=seed + 1, id_base=10_000)
+        c = uniform_rects(nc, UNIT, 0.12, seed=seed + 2, id_base=20_000)
+        env = make_env()
+        disk = Disk(env)
+        res = multiway_join(
+            [ListSource(a), ListSource(b), ListSource(c)],
+            disk, universe=UNIT, collect_tuples=True,
+        )
+        assert set(res.pairs) == brute_three_way(a, b, c)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 300))
+    def test_property_input_order_changes_tuple_order_not_set(self, seed):
+        from repro.core.sources import ListSource
+
+        a = uniform_rects(25, UNIT, 0.15, seed=seed)
+        b = uniform_rects(25, UNIT, 0.15, seed=seed + 1, id_base=10_000)
+        c = uniform_rects(25, UNIT, 0.15, seed=seed + 2, id_base=20_000)
+        env = make_env()
+        disk = Disk(env)
+        abc = multiway_join(
+            [ListSource(a), ListSource(b), ListSource(c)],
+            disk, universe=UNIT, collect_tuples=True,
+        )
+        env2 = make_env()
+        disk2 = Disk(env2)
+        cba = multiway_join(
+            [ListSource(c), ListSource(b), ListSource(a)],
+            disk2, universe=UNIT, collect_tuples=True,
+        )
+        assert {tuple(sorted(t)) for t in abc.pairs} == {
+            tuple(sorted(t)) for t in cba.pairs
+        }

@@ -1,0 +1,132 @@
+"""R-tree persistence: byte-exact round trips through the file format."""
+
+import struct
+
+import pytest
+
+from repro.data.generator import clustered_rects, uniform_rects
+from repro.geom.rect import Rect
+from repro.rtree.bulk_load import bulk_load
+from repro.rtree.insert import RTreeBuilder
+from repro.rtree.persist import MAGIC, load_rtree, save_rtree
+from repro.storage.disk import Disk
+from repro.storage.pages import PageStore
+
+from tests.conftest import TEST_SCALE, make_env
+
+UNIT = Rect(0.0, 1.0, 0.0, 1.0, 0)
+
+
+def fresh_store():
+    return PageStore(Disk(make_env()), TEST_SCALE.index_page_bytes)
+
+
+def roundtrip(tree, tmp_path, into=None):
+    path = str(tmp_path / "tree.rpqt")
+    save_rtree(tree, path)
+    return load_rtree(into or fresh_store(), path), path
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, tmp_path):
+        rects = uniform_rects(400, UNIT, 0.02, seed=1)
+        tree = bulk_load(fresh_store(), rects)
+        loaded, _ = roundtrip(tree, tmp_path)
+        loaded.validate()
+        assert loaded.height == tree.height
+        assert loaded.num_objects == tree.num_objects
+        assert loaded.page_count == tree.page_count
+
+    def test_data_rects_identical(self, tmp_path):
+        # Generators produce float32-representable coordinates, so the
+        # float32 file format loses nothing.
+        rects = clustered_rects(300, UNIT, 0.01, seed=2)
+        tree = bulk_load(fresh_store(), rects)
+        loaded, _ = roundtrip(tree, tmp_path)
+        original = sorted(tree.iter_all())
+        restored = sorted(loaded.iter_all())
+        assert original == restored
+
+    def test_dynamic_tree_roundtrip(self, tmp_path):
+        builder = RTreeBuilder(fresh_store())
+        builder.extend(uniform_rects(250, UNIT, 0.02, seed=3))
+        tree = builder.finish()
+        loaded, _ = roundtrip(tree, tmp_path)
+        loaded.validate()
+        assert sorted(loaded.iter_all()) == sorted(tree.iter_all())
+
+    def test_single_node_tree(self, tmp_path):
+        tree = bulk_load(fresh_store(), [UNIT._replace(rid=42)])
+        loaded, _ = roundtrip(tree, tmp_path)
+        assert [r.rid for r in loaded.iter_all()] == [42]
+
+    def test_load_into_nonempty_store_remaps_ids(self, tmp_path):
+        rects = uniform_rects(200, UNIT, 0.02, seed=4)
+        tree = bulk_load(fresh_store(), rects)
+        target = fresh_store()
+        # Occupy some pages first; loaded ids must not collide.
+        other = bulk_load(target, uniform_rects(100, UNIT, 0.02, seed=5))
+        loaded, _ = roundtrip(tree, tmp_path, into=target)
+        loaded.validate()
+        other.validate()
+        assert set(
+            pid for lvl in loaded.pages_per_level for pid in lvl
+        ).isdisjoint(
+            pid for lvl in other.pages_per_level for pid in lvl
+        )
+
+    def test_queries_agree_after_reload(self, tmp_path):
+        rects = uniform_rects(300, UNIT, 0.02, seed=6)
+        tree = bulk_load(fresh_store(), rects)
+        loaded, _ = roundtrip(tree, tmp_path)
+        window = Rect(0.25, 0.6, 0.1, 0.5, 0)
+        assert sorted(r.rid for r in tree.query(window)) == sorted(
+            r.rid for r in loaded.query(window)
+        )
+
+
+class TestFormatValidation:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.rpqt"
+        path.write_bytes(b"NOPE" + b"\0" * 64)
+        with pytest.raises(ValueError, match="not an R-tree file"):
+            load_rtree(fresh_store(), str(path))
+
+    def test_wrong_page_size_rejected(self, tmp_path):
+        tree = bulk_load(fresh_store(), uniform_rects(50, UNIT, 0.02))
+        path = str(tmp_path / "t.rpqt")
+        save_rtree(tree, path)
+        other = PageStore(Disk(make_env()), 512)  # different page size
+        with pytest.raises(ValueError, match="page size"):
+            load_rtree(other, path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        tree = bulk_load(fresh_store(), uniform_rects(200, UNIT, 0.02))
+        path = tmp_path / "t.rpqt"
+        save_rtree(tree, str(path))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - TEST_SCALE.index_page_bytes // 2])
+        with pytest.raises(ValueError, match="truncated"):
+            load_rtree(fresh_store(), str(path))
+
+    def test_file_starts_with_magic(self, tmp_path):
+        tree = bulk_load(fresh_store(), [UNIT])
+        path = tmp_path / "t.rpqt"
+        save_rtree(tree, str(path))
+        assert path.read_bytes()[:4] == MAGIC
+
+    def test_pages_are_page_aligned(self, tmp_path):
+        tree = bulk_load(fresh_store(), uniform_rects(100, UNIT, 0.02))
+        path = tmp_path / "t.rpqt"
+        save_rtree(tree, str(path))
+        size = path.stat().st_size
+        # header + level table + page_count * page_bytes
+        assert (size - _header_and_table_size(tree)) % (
+            TEST_SCALE.index_page_bytes
+        ) == 0
+
+
+def _header_and_table_size(tree) -> int:
+    header = struct.calcsize("<4sIIIQII")
+    table = sum(4 + 4 * len(lvl) for lvl in tree.pages_per_level)
+    return header + table

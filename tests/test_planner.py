@@ -1,0 +1,154 @@
+"""Unified planner: relation catalog, strategy choice, execution."""
+
+import math
+
+import pytest
+
+from repro.core.brute import brute_force_pairs
+from repro.core.histogram import SpatialHistogram
+from repro.core.planner import Relation, choose_method, unified_spatial_join
+from repro.data.generator import uniform_rects
+from repro.geom.rect import Rect
+from repro.rtree.bulk_load import bulk_load
+from repro.sim.machines import MACHINE_3
+from repro.storage.disk import Disk
+from repro.storage.pages import PageStore
+from repro.storage.stream import Stream
+
+from tests.conftest import TEST_SCALE, make_env
+
+UNIT = Rect(0.0, 1.0, 0.0, 1.0, 0)
+
+
+def build_world(n_a=400, n_b=150, region_a=UNIT, region_b=UNIT,
+                index_a=True, index_b=True, seed=1):
+    env = make_env()
+    disk = Disk(env)
+    store = PageStore(disk, TEST_SCALE.index_page_bytes)
+    a = uniform_rects(n_a, region_a, 0.02, seed=seed)
+    b = uniform_rects(n_b, region_b, 0.03, seed=seed + 1, id_base=100_000)
+    rel_a = Relation(
+        name="a",
+        stream=Stream.from_rects(disk, a),
+        tree=bulk_load(store, a) if index_a else None,
+        universe=region_a,
+        histogram=SpatialHistogram.build(a, region_a, grid=16),
+    )
+    rel_b = Relation(
+        name="b",
+        stream=Stream.from_rects(disk, b),
+        tree=bulk_load(store, b) if index_b else None,
+        universe=region_b,
+        histogram=SpatialHistogram.build(b, region_b, grid=16),
+    )
+    env.reset_counters()
+    return env, disk, a, b, rel_a, rel_b
+
+
+class TestRelation:
+    def test_requires_some_representation(self):
+        with pytest.raises(ValueError):
+            Relation(name="empty")
+
+    def test_universe_defaults_to_tree_mbr(self):
+        env, disk, a, b, rel_a, _ = build_world()
+        rel = Relation(name="x", tree=rel_a.tree)
+        assert rel.universe == rel_a.tree.root_mbr()
+
+    def test_fraction_in_full_window(self):
+        _, _, _, _, rel_a, _ = build_world(seed=2)
+        assert rel_a.fraction_in(None) == 1.0
+
+    def test_fraction_in_partial_window_uses_histogram(self):
+        _, _, _, _, rel_a, _ = build_world(seed=3)
+        frac = rel_a.fraction_in(Rect(0.0, 0.3, 0.0, 1.0, 0))
+        assert 0.1 < frac < 0.6
+
+    def test_fraction_without_histogram_uses_area(self):
+        env, disk, a, _, rel_a, _ = build_world(seed=4)
+        rel = Relation(name="x", tree=rel_a.tree, universe=UNIT)
+        frac = rel.fraction_in(Rect(0.0, 0.5, 0.0, 1.0, 0))
+        assert frac == pytest.approx(0.5, abs=0.1)
+
+
+class TestChooseMethod:
+    def test_dense_overlap_prefers_sorting(self):
+        # Both relations cover the same region: the join touches every
+        # leaf, so the index path loses (fraction 1 > f*).
+        _, _, _, _, rel_a, rel_b = build_world(seed=5)
+        strategy, est = choose_method(rel_a, rel_b, MACHINE_3, TEST_SCALE)
+        assert strategy == "sssj"
+
+    def test_localized_join_prefers_index(self):
+        # Relation B occupies a sliver of A's region: the pruned index
+        # traversal reads a small fraction of A's leaves.
+        wide = Rect(0.0, 16.0, 0.0, 1.0, 0)
+        sliver = Rect(7.1, 7.3, 0.0, 1.0, 0)
+        _, _, _, _, rel_a, rel_b = build_world(
+            n_a=3000, n_b=40, region_a=wide, region_b=sliver, seed=6,
+        )
+        strategy, est = choose_method(rel_a, rel_b, MACHINE_3, TEST_SCALE)
+        assert strategy in ("pq-index", "pq-mixed-a", "pq-mixed-b")
+
+    def test_no_indexes_forces_sssj(self):
+        _, _, _, _, rel_a, rel_b = build_world(index_a=False,
+                                               index_b=False, seed=7)
+        strategy, _ = choose_method(rel_a, rel_b, MACHINE_3, TEST_SCALE)
+        assert strategy == "sssj"
+
+    def test_estimate_returned(self):
+        _, _, _, _, rel_a, rel_b = build_world(seed=8)
+        _, est = choose_method(rel_a, rel_b, MACHINE_3, TEST_SCALE)
+        assert est.io_seconds > 0 and math.isfinite(est.io_seconds)
+
+
+class TestUnifiedJoin:
+    def test_auto_choice_correct(self):
+        env, disk, a, b, rel_a, rel_b = build_world(seed=9)
+        res = unified_spatial_join(rel_a, rel_b, disk, MACHINE_3,
+                                   collect_pairs=True)
+        assert res.pair_set() == brute_force_pairs(a, b)
+        assert res.detail["strategy"] in (
+            "pq-index", "pq-mixed-a", "pq-mixed-b", "sssj",
+        )
+
+    @pytest.mark.parametrize("force", ["pq-index", "pq-mixed-a",
+                                       "pq-mixed-b", "sssj"])
+    def test_every_forced_strategy_correct(self, force):
+        env, disk, a, b, rel_a, rel_b = build_world(seed=10)
+        res = unified_spatial_join(rel_a, rel_b, disk, MACHINE_3,
+                                   collect_pairs=True, force=force)
+        assert res.pair_set() == brute_force_pairs(a, b)
+        assert res.detail["strategy"] == force
+
+    def test_unknown_strategy_rejected(self):
+        env, disk, a, b, rel_a, rel_b = build_world(seed=11)
+        with pytest.raises(ValueError):
+            unified_spatial_join(rel_a, rel_b, disk, MACHINE_3,
+                                 force="nested-loop")
+
+    def test_localized_join_prunes_io(self):
+        # The Section 6.3 scenario end-to-end: Minnesota-style hydro
+        # against nationwide roads — the planner's choice should beat
+        # forced SSSJ in simulated I/O seconds.
+        wide = Rect(0.0, 16.0, 0.0, 1.0, 0)
+        sliver = Rect(7.1, 7.3, 0.0, 1.0, 0)
+        env, disk, a, b, rel_a, rel_b = build_world(
+            n_a=4000, n_b=60, region_a=wide, region_b=sliver, seed=12,
+        )
+        auto = unified_spatial_join(rel_a, rel_b, disk, MACHINE_3,
+                                    collect_pairs=True)
+        auto_io = env.observer_for(MACHINE_3).io_seconds
+        env.reset_counters()
+        forced = unified_spatial_join(rel_a, rel_b, disk, MACHINE_3,
+                                      collect_pairs=True, force="sssj")
+        sssj_io = env.observer_for(MACHINE_3).io_seconds
+        assert auto.pair_set() == forced.pair_set()
+        assert auto.detail["strategy"] != "sssj"
+        assert auto_io < sssj_io
+
+    def test_detail_carries_estimate_and_machine(self):
+        env, disk, a, b, rel_a, rel_b = build_world(seed=13)
+        res = unified_spatial_join(rel_a, rel_b, disk, MACHINE_3)
+        assert res.detail["machine"] == MACHINE_3.name
+        assert "estimated_io_seconds" in res.detail

@@ -1,0 +1,123 @@
+"""External (spilling) priority queue: heap semantics under overflow."""
+
+import heapq
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.disk import Disk
+from repro.storage.pqueue import ExternalHeap
+
+from tests.conftest import make_env
+
+
+def fresh_heap(memory_items=8):
+    env = make_env()
+    return ExternalHeap(Disk(env), memory_items=memory_items)
+
+
+class TestBasics:
+    def test_push_pop_ordering(self):
+        h = fresh_heap()
+        for k in [5, 1, 4, 2, 3]:
+            h.push(k, f"v{k}")
+        assert [h.pop()[0] for _ in range(5)] == [1, 2, 3, 4, 5]
+
+    def test_len_and_bool(self):
+        h = fresh_heap()
+        assert not h and len(h) == 0
+        h.push(1, None)
+        assert h and len(h) == 1
+        h.pop()
+        assert not h
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            fresh_heap().pop()
+
+    def test_peek_matches_pop(self):
+        h = fresh_heap()
+        for k in [9, 3, 7]:
+            h.push(k, None)
+        assert h.peek_key() == 3
+        assert h.pop()[0] == 3
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            fresh_heap().peek_key()
+
+    def test_values_travel_with_keys(self):
+        h = fresh_heap()
+        h.push(2, "two")
+        h.push(1, "one")
+        assert h.pop() == (1, "one")
+        assert h.pop() == (2, "two")
+
+    def test_min_memory_rejected(self):
+        env = make_env()
+        with pytest.raises(ValueError):
+            ExternalHeap(Disk(env), memory_items=3)
+
+
+class TestSpilling:
+    def test_overflow_spills_to_disk(self):
+        h = fresh_heap(memory_items=8)
+        for k in range(50):
+            h.push(50 - k, None)
+        assert h.spills > 0
+        assert h.run_count > 0
+        assert len(h) == 50
+
+    def test_order_preserved_across_spills(self):
+        h = fresh_heap(memory_items=8)
+        keys = list(range(200))
+        random.Random(1).shuffle(keys)
+        for k in keys:
+            h.push(k, None)
+        assert [h.pop()[0] for _ in range(200)] == sorted(range(200))
+
+    def test_interleaved_push_pop_with_spills(self):
+        h = fresh_heap(memory_items=8)
+        rng = random.Random(2)
+        model = []
+        for _ in range(500):
+            if model and rng.random() < 0.45:
+                heapq.heapify(model)
+                assert h.pop()[0] == heapq.heappop(model)
+            else:
+                k = rng.randint(0, 1000)
+                h.push(k, None)
+                model.append(k)
+        assert len(h) == len(model)
+
+    def test_spill_charges_io(self):
+        env = make_env()
+        h = ExternalHeap(Disk(env), memory_items=8)
+        for k in range(100):
+            h.push(k, None)
+        assert env.page_writes >= h.spills
+
+    def test_in_memory_mode_never_spills(self):
+        h = fresh_heap(memory_items=1 << 20)
+        for k in range(1000):
+            h.push(k, None)
+        assert h.spills == 0
+
+    def test_max_memory_items_tracked(self):
+        h = fresh_heap(memory_items=8)
+        for k in range(20):
+            h.push(k, None)
+        assert 0 < h.max_memory_items <= 9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=300),
+           st.integers(4, 32))
+    def test_property_heapsort_equivalence(self, keys, mem):
+        env = make_env()
+        h = ExternalHeap(Disk(env), memory_items=mem)
+        for k in keys:
+            h.push(k, None)
+        out = [h.pop()[0] for _ in range(len(keys))]
+        assert out == sorted(keys)
+        assert not h

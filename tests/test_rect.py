@@ -1,0 +1,201 @@
+"""Rectangle kernel: predicates, constructors, and algebraic properties."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geom.rect import (
+    RECT_BYTES,
+    Rect,
+    area,
+    contains,
+    enlargement,
+    intersection,
+    intersects,
+    intersects_x,
+    intersects_y,
+    margin,
+    mbr_of,
+    reference_point,
+    union_mbr,
+)
+
+A = Rect(0.0, 2.0, 0.0, 2.0, 1)
+B = Rect(1.0, 3.0, 1.0, 3.0, 2)
+DISJOINT = Rect(5.0, 6.0, 5.0, 6.0, 3)
+TOUCH_EDGE = Rect(2.0, 4.0, 0.0, 2.0, 4)
+TOUCH_CORNER = Rect(2.0, 3.0, 2.0, 3.0, 5)
+
+
+def coords(lo=-100.0, hi=100.0):
+    return st.floats(lo, hi, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coords()), draw(coords())))
+    y1, y2 = sorted((draw(coords()), draw(coords())))
+    return Rect(x1, x2, y1, y2, draw(st.integers(0, 10_000)))
+
+
+class TestPredicates:
+    def test_overlapping(self):
+        assert intersects(A, B)
+        assert A.intersects(B)
+
+    def test_disjoint(self):
+        assert not intersects(A, DISJOINT)
+
+    def test_edge_touch_counts_as_intersection(self):
+        assert intersects(A, TOUCH_EDGE)
+
+    def test_corner_touch_counts_as_intersection(self):
+        assert intersects(A, TOUCH_CORNER)
+
+    def test_containment_is_intersection(self):
+        inner = Rect(0.5, 1.5, 0.5, 1.5, 9)
+        assert intersects(A, inner)
+        assert contains(A, inner)
+        assert not contains(inner, A)
+
+    def test_projection_tests_compose(self):
+        assert intersects_x(A, B) and intersects_y(A, B)
+        tall = Rect(0.0, 2.0, 10.0, 12.0, 7)
+        assert intersects_x(A, tall) and not intersects_y(A, tall)
+        assert not intersects(A, tall)
+
+    def test_self_intersection(self):
+        assert intersects(A, A)
+
+    @given(rects(), rects())
+    def test_symmetry(self, r1, r2):
+        assert intersects(r1, r2) == intersects(r2, r1)
+
+    @given(rects(), rects())
+    def test_matches_projection_decomposition(self, r1, r2):
+        assert intersects(r1, r2) == (
+            intersects_x(r1, r2) and intersects_y(r1, r2)
+        )
+
+
+class TestIntersection:
+    def test_basic(self):
+        inter = intersection(A, B)
+        assert inter == Rect(1.0, 2.0, 1.0, 2.0, 0)
+
+    def test_disjoint_returns_none(self):
+        assert intersection(A, DISJOINT) is None
+
+    def test_touching_returns_degenerate(self):
+        inter = intersection(A, TOUCH_EDGE)
+        assert inter is not None
+        assert inter.xlo == inter.xhi == 2.0
+
+    @given(rects(), rects())
+    def test_intersection_contained_in_both(self, r1, r2):
+        inter = intersection(r1, r2)
+        if inter is None:
+            assert not intersects(r1, r2)
+        else:
+            assert contains(r1, inter) and contains(r2, inter)
+
+    @given(rects(), rects())
+    def test_commutative(self, r1, r2):
+        assert intersection(r1, r2) == intersection(r2, r1)
+
+
+class TestUnionAndMBR:
+    def test_union_covers_both(self):
+        u = union_mbr(A, DISJOINT)
+        assert contains(u, A) and contains(u, DISJOINT)
+
+    def test_mbr_of_single(self):
+        m = mbr_of([A])
+        assert (m.xlo, m.xhi, m.ylo, m.yhi) == (0.0, 2.0, 0.0, 2.0)
+
+    def test_mbr_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            mbr_of([])
+
+    def test_mbr_of_matches_folded_union(self):
+        rs = [A, B, DISJOINT, TOUCH_CORNER]
+        folded = rs[0]
+        for r in rs[1:]:
+            folded = union_mbr(folded, r)
+        assert mbr_of(rs) == folded
+
+    @given(st.lists(rects(), min_size=1, max_size=20))
+    def test_mbr_contains_all(self, rs):
+        m = mbr_of(rs)
+        assert all(contains(m, r) for r in rs)
+
+    @given(rects(), rects())
+    def test_union_is_tight(self, r1, r2):
+        u = union_mbr(r1, r2)
+        assert u.xlo == min(r1.xlo, r2.xlo)
+        assert u.xhi == max(r1.xhi, r2.xhi)
+        assert u.ylo == min(r1.ylo, r2.ylo)
+        assert u.yhi == max(r1.yhi, r2.yhi)
+
+
+class TestMetrics:
+    def test_area(self):
+        assert area(A) == 4.0
+
+    def test_area_degenerate(self):
+        assert area(Rect(1.0, 1.0, 0.0, 5.0, 0)) == 0.0
+
+    def test_margin(self):
+        assert margin(A) == 4.0
+
+    def test_enlargement_zero_when_contained(self):
+        inner = Rect(0.5, 1.0, 0.5, 1.0, 0)
+        assert enlargement(A, inner) == 0.0
+
+    def test_enlargement_positive_when_outside(self):
+        assert enlargement(A, DISJOINT) > 0.0
+
+    @given(rects(), rects())
+    def test_enlargement_never_negative(self, r1, r2):
+        assert enlargement(r1, r2) >= 0.0
+
+
+class TestReferencePoint:
+    def test_inside_intersection(self):
+        rx, ry = reference_point(A, B)
+        assert (rx, ry) == (1.0, 1.0)
+
+    @given(rects(), rects())
+    def test_reference_point_in_both(self, r1, r2):
+        if not intersects(r1, r2):
+            return
+        rx, ry = reference_point(r1, r2)
+        for r in (r1, r2):
+            assert r.xlo <= rx <= r.xhi
+            assert r.ylo <= ry <= r.yhi
+
+    @given(rects(), rects())
+    def test_reference_point_symmetric(self, r1, r2):
+        if intersects(r1, r2):
+            assert reference_point(r1, r2) == reference_point(r2, r1)
+
+
+class TestShape:
+    def test_record_size_matches_paper(self):
+        assert RECT_BYTES == 20
+
+    def test_width_height(self):
+        assert A.width == 2.0 and A.height == 2.0
+
+    def test_is_valid(self):
+        assert A.is_valid()
+        assert not Rect(1.0, 0.0, 0.0, 1.0, 0).is_valid()
+
+    def test_named_tuple_order(self):
+        # The tuple layout (xlo, xhi, ylo, yhi, rid) is relied on by
+        # sort keys and serialization.
+        assert tuple(A) == (0.0, 2.0, 0.0, 2.0, 1)
+
+    def test_default_rid(self):
+        assert Rect(0, 1, 0, 1).rid == 0

@@ -1,0 +1,76 @@
+"""Refinement-step geometry: exact segment and polyline intersection."""
+
+import pytest
+
+from repro.geom.refine import (
+    polyline_mbr,
+    polylines_intersect,
+    segments_intersect,
+)
+
+
+class TestSegments:
+    def test_crossing(self):
+        assert segments_intersect(((0, 0), (2, 2)), ((0, 2), (2, 0)))
+
+    def test_disjoint(self):
+        assert not segments_intersect(((0, 0), (1, 0)), ((0, 1), (1, 1)))
+
+    def test_shared_endpoint(self):
+        assert segments_intersect(((0, 0), (1, 1)), ((1, 1), (2, 0)))
+
+    def test_t_junction(self):
+        assert segments_intersect(((0, 0), (2, 0)), ((1, 0), (1, 1)))
+
+    def test_collinear_overlapping(self):
+        assert segments_intersect(((0, 0), (2, 0)), ((1, 0), (3, 0)))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect(((0, 0), (1, 0)), ((2, 0), (3, 0)))
+
+    def test_collinear_touching(self):
+        assert segments_intersect(((0, 0), (1, 0)), ((1, 0), (2, 0)))
+
+    def test_parallel_never(self):
+        assert not segments_intersect(((0, 0), (1, 1)), ((0, 1), (1, 2)))
+
+    def test_near_miss(self):
+        # MBRs overlap but geometries do not — the whole reason the
+        # refinement step exists after the filter step.
+        assert not segments_intersect(((0, 0), (2, 2)), ((1.5, 0.0), (2.5, 1.0)))
+
+    def test_symmetric(self):
+        s1, s2 = ((0, 0), (2, 2)), ((0, 2), (2, 0))
+        assert segments_intersect(s1, s2) == segments_intersect(s2, s1)
+
+
+class TestPolylines:
+    RIVER = [(0.0, 0.0), (1.0, 0.5), (2.0, 0.2), (3.0, 1.0)]
+    ROAD_CROSSING = [(1.5, -1.0), (1.5, 2.0)]
+    ROAD_PARALLEL = [(0.0, 2.0), (3.0, 2.0)]
+
+    def test_crossing(self):
+        assert polylines_intersect(self.RIVER, self.ROAD_CROSSING)
+
+    def test_not_crossing(self):
+        assert not polylines_intersect(self.RIVER, self.ROAD_PARALLEL)
+
+    def test_degenerate_single_point(self):
+        assert not polylines_intersect([(0, 0)], self.RIVER)
+
+    def test_mbrs_overlap_but_geometry_does_not(self):
+        zigzag_a = [(0.0, 0.0), (1.0, 1.0)]
+        zigzag_b = [(0.0, 0.9), (0.05, 1.0)]
+        xa = polyline_mbr(zigzag_a)
+        xb = polyline_mbr(zigzag_b)
+        assert xa[0] <= xb[1] and xb[0] <= xa[1]  # filter would pass them
+        assert not polylines_intersect(zigzag_a, zigzag_b)
+
+
+class TestMBR:
+    def test_mbr(self):
+        assert polyline_mbr([(1, 5), (3, 2), (2, 7)]) == (1, 3, 2, 7)
+
+    def test_mbr_empty_raises(self):
+        with pytest.raises(ValueError):
+            polyline_mbr([])

@@ -1,0 +1,118 @@
+"""R*-tree insertion: invariants, overlap quality, join compatibility."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.brute import brute_force_pairs
+from repro.core.st_join import st_join
+from repro.data.generator import clustered_rects, uniform_rects
+from repro.geom.rect import Rect, area, intersection
+from repro.rtree.insert import RTreeBuilder
+from repro.rtree.rstar import RStarTreeBuilder, overlap_area
+from repro.storage.disk import Disk
+from repro.storage.pages import PageStore
+
+from tests.conftest import TEST_SCALE, make_env
+
+UNIT = Rect(0.0, 1.0, 0.0, 1.0, 0)
+
+
+def fresh_store():
+    return PageStore(Disk(make_env()), TEST_SCALE.index_page_bytes)
+
+
+def level1_overlap(tree) -> float:
+    """Total pairwise overlap area among sibling leaf MBRs."""
+    total = 0.0
+    if tree.height < 2:
+        return 0.0
+    for pid in tree.pages_per_level[1]:
+        node = tree.read_node_silent(pid)
+        for i, e in enumerate(node.entries):
+            total += overlap_area(e, node.entries[i + 1:])
+    return total
+
+
+class TestRStar:
+    def test_empty_finish_rejected(self):
+        with pytest.raises(ValueError):
+            RStarTreeBuilder(fresh_store()).finish()
+
+    def test_invariants_small(self):
+        builder = RStarTreeBuilder(fresh_store())
+        builder.extend(uniform_rects(60, UNIT, 0.03, seed=1))
+        tree = builder.finish()
+        tree.validate()
+        assert tree.num_objects == 60
+
+    def test_invariants_with_reinsertion_and_splits(self):
+        builder = RStarTreeBuilder(fresh_store())
+        builder.extend(clustered_rects(800, UNIT, 0.01, seed=2))
+        tree = builder.finish()
+        tree.validate()
+        assert tree.height >= 2
+
+    def test_all_objects_reachable(self):
+        rects = uniform_rects(400, UNIT, 0.02, seed=3)
+        builder = RStarTreeBuilder(fresh_store())
+        builder.extend(rects)
+        tree = builder.finish()
+        assert sorted(r.rid for r in tree.iter_all()) == sorted(
+            r.rid for r in rects
+        )
+
+    def test_less_overlap_than_guttman(self):
+        # The R*-tree's reason to exist: tighter, less overlapping
+        # nodes than Guttman insertion on the same data.
+        rects = clustered_rects(1200, UNIT, 0.01, seed=4)
+        g = RTreeBuilder(fresh_store())
+        g.extend(rects)
+        guttman = g.finish()
+        r = RStarTreeBuilder(fresh_store())
+        r.extend(rects)
+        rstar = r.finish()
+        assert level1_overlap(rstar) < level1_overlap(guttman)
+
+    def test_queries_match_filter(self):
+        from repro.geom.rect import intersects
+
+        rects = uniform_rects(300, UNIT, 0.02, seed=5)
+        builder = RStarTreeBuilder(fresh_store())
+        builder.extend(rects)
+        tree = builder.finish()
+        window = Rect(0.25, 0.6, 0.3, 0.8, 0)
+        got = sorted(x.rid for x in tree.query(window))
+        want = sorted(x.rid for x in rects if intersects(x, window))
+        assert got == want
+
+    def test_joinable_with_st(self):
+        env = make_env()
+        disk = Disk(env)
+        store = PageStore(disk, TEST_SCALE.index_page_bytes)
+        a = uniform_rects(400, UNIT, 0.03, seed=6)
+        b = uniform_rects(150, UNIT, 0.04, seed=7, id_base=10_000)
+        ba = RStarTreeBuilder(store)
+        ba.extend(a)
+        bb = RStarTreeBuilder(store)
+        bb.extend(b)
+        res = st_join(ba.finish(), bb.finish(), collect_pairs=True)
+        assert res.pair_set() == brute_force_pairs(a, b)
+
+    def test_min_fill_after_splits(self):
+        builder = RStarTreeBuilder(fresh_store())
+        builder.extend(uniform_rects(500, UNIT, 0.02, seed=8))
+        tree = builder.finish()
+        for level in tree.pages_per_level:
+            for pid in level:
+                node = tree.read_node_silent(pid)
+                if pid != tree.root_page_id:
+                    assert len(node.entries) >= 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 250), st.integers(0, 40))
+    def test_property_invariants(self, n, seed):
+        builder = RStarTreeBuilder(fresh_store())
+        builder.extend(uniform_rects(n, UNIT, 0.03, seed=seed))
+        tree = builder.finish()
+        tree.validate()
+        assert tree.num_objects == n

@@ -1,0 +1,238 @@
+"""Simulation substrate: scale configs, machine observers, environment."""
+
+import pytest
+
+from repro.sim.env import SimEnv, null_env
+from repro.sim.machines import (
+    ALL_MACHINES,
+    MACHINE_1,
+    MACHINE_2,
+    MACHINE_3,
+    MachineObserver,
+    WRITE_PENALTY,
+)
+from repro.sim.scale import DEFAULT_SCALE, PAPER_SCALE, ScaleConfig
+
+
+class TestScaleConfig:
+    def test_paper_scale_constants(self):
+        assert PAPER_SCALE.index_page_bytes == 8192
+        assert PAPER_SCALE.stream_block_bytes == 512 * 1024
+        assert PAPER_SCALE.memory_bytes == 24 * 1024 * 1024
+        assert PAPER_SCALE.buffer_pool_bytes == 22 * 1024 * 1024
+        assert PAPER_SCALE.latency_scale == 1.0
+
+    def test_default_scale_page_regimes(self):
+        # Page counts shrink by scale/16 when pages shrink 8192 -> 512.
+        assert DEFAULT_SCALE.page_scale == DEFAULT_SCALE.scale / 16
+        assert DEFAULT_SCALE.latency_scale == 16.0
+
+    def test_scaled_count_floor(self):
+        assert DEFAULT_SCALE.scaled_count(1) == 16  # never degenerates
+
+    def test_scaled_count_rounding(self):
+        assert DEFAULT_SCALE.scaled_count(414_442) == round(414_442 / 256)
+
+    def test_memory_rects(self):
+        assert DEFAULT_SCALE.memory_rects == DEFAULT_SCALE.memory_bytes // 20
+
+    def test_buffer_pool_pages(self):
+        cfg = ScaleConfig()
+        assert (
+            cfg.buffer_pool_pages == cfg.buffer_pool_bytes // cfg.index_page_bytes
+        )
+
+
+class TestMachineSpecs:
+    def test_table1_values(self):
+        assert MACHINE_1.cpu.mhz == 50.0
+        assert MACHINE_1.disk.avg_read_ms == 8.0
+        assert MACHINE_1.disk.peak_mb_s == 10.0
+        assert MACHINE_1.disk.buffer_kb == 512
+        assert MACHINE_2.cpu.mhz == 300.0
+        assert MACHINE_2.disk.buffer_kb == 128  # the small track buffer
+        assert MACHINE_3.cpu.mhz == 500.0
+        assert MACHINE_3.disk.avg_read_ms == 7.7
+
+    def test_cpu_speed_ordering(self):
+        # Per-op cost strictly decreases with clock rate.
+        assert (
+            MACHINE_1.cpu.seconds_per_op
+            > MACHINE_2.cpu.seconds_per_op
+            > MACHINE_3.cpu.seconds_per_op
+        )
+
+
+class TestObserverPricing:
+    def _obs(self, machine=MACHINE_1, latency_scale=1.0):
+        return MachineObserver(machine, latency_scale=latency_scale)
+
+    def test_first_read_is_random(self):
+        obs = self._obs()
+        obs.on_read(0, 8192)
+        assert obs.reads_random == 1
+        assert obs.io_seconds > obs.spec.disk.transfer_seconds(8192)
+
+    def test_consecutive_reads_are_sequential(self):
+        obs = self._obs()
+        obs.on_read(0, 8192)
+        obs.on_read(8192, 8192)
+        obs.on_read(16384, 8192)
+        assert obs.reads_sequential == 2
+
+    def test_random_jump_pays_latency(self):
+        obs = self._obs()
+        obs.on_read(0, 8192)
+        base = obs.io_seconds
+        obs.on_read(10_000_000, 8192)
+        assert obs.reads_random == 2
+        assert obs.io_seconds - base >= obs.spec.disk.avg_read_ms / 1e3
+
+    def test_track_buffer_hit(self):
+        obs = self._obs()  # 512 KB readahead window
+        obs.on_read(0, 8192)
+        obs.on_read(8192 * 4, 8192)  # skips 3 pages, still in window
+        assert obs.reads_buffered == 1
+        assert obs.reads_random == 1
+
+    def test_small_track_buffer_misses(self):
+        obs = self._obs(MACHINE_2)  # 128 KB window
+        obs.on_read(0, 8192)
+        obs.on_read(200 * 1024, 8192)  # beyond the Medalist's window
+        assert obs.reads_buffered == 0
+        assert obs.reads_random == 2
+
+    def test_buffered_read_charges_skipped_bytes(self):
+        obs = self._obs()
+        obs.on_read(0, 8192)
+        t0 = obs.io_seconds
+        obs.on_read(8192 * 3, 8192)  # skips 2 pages
+        got = obs.io_seconds - t0
+        want = obs.spec.disk.transfer_seconds(8192 * 3)
+        assert got == pytest.approx(want)
+
+    def test_sequential_write_cost_is_1_5x_read(self):
+        r = self._obs()
+        w = self._obs()
+        r.on_read(0, 8192)
+        r.on_read(8192, 8192)
+        w.on_write(0, 8192)
+        w.on_write(8192, 8192)
+        seq_read = r.io_seconds - (r.spec.disk.avg_read_ms / 1e3)
+        seq_write = w.io_seconds - (w.spec.disk.avg_read_ms / 1e3)
+        assert seq_write == pytest.approx(WRITE_PENALTY * seq_read / 1.0)
+
+    def test_read_segments_survive_writes(self):
+        # Segmented disk caches keep read segments across unrelated
+        # writes; only the arm position moves.
+        obs = self._obs()
+        obs.on_read(0, 8192)
+        obs.on_write(50_000_000, 8192)
+        obs.on_read(8192, 8192)  # still inside the read segment
+        assert obs.reads_buffered == 1
+
+    def test_segment_count_limits_interleaved_streams(self):
+        # More concurrent streams than cache segments: the oldest
+        # stream's window is evicted and its next access is random.
+        obs = self._obs()  # 4 segments
+        streams = [i * 100_000_000 for i in range(6)]
+        for base in streams:
+            obs.on_read(base, 8192)
+        assert obs.reads_random == 6
+        # The first two streams lost their segments.
+        obs.on_read(streams[0] + 8192, 8192)
+        assert obs.reads_random == 7
+        # The most recent stream still has its window.
+        obs.on_read(streams[5] + 8192 * 2, 8192)
+        assert obs.reads_buffered == 1
+
+    def test_two_interleaved_streams_both_ride_cache(self):
+        # The ST pattern: alternating between two index regions.  With a
+        # segmented cache both alternating streams stay buffered.
+        obs = self._obs()
+        obs.on_read(0, 8192)
+        obs.on_read(100_000_000, 8192)
+        for i in range(1, 5):
+            obs.on_read(i * 8192, 8192)
+            obs.on_read(100_000_000 + i * 8192, 8192)
+        assert obs.reads_random == 2
+        assert obs.reads_buffered == 8
+
+    def test_estimated_charges_every_request_at_random_rate(self):
+        obs = self._obs()
+        for i in range(10):
+            obs.on_read(i * 8192, 8192)
+        # 1 random + 9 sequential observed, but the naive estimate
+        # prices all 10 at avg_read.
+        assert obs.reads_sequential == 9
+        latency = obs.spec.disk.avg_read_ms / 1e3
+        assert obs.estimated_io_seconds >= 10 * latency
+        assert obs.io_seconds < obs.estimated_io_seconds
+
+    def test_latency_scale_shrinks_positioning_cost(self):
+        fast = self._obs(latency_scale=16.0)
+        slow = self._obs(latency_scale=1.0)
+        fast.on_read(10_000, 512)
+        slow.on_read(10_000, 512)
+        assert fast.io_seconds < slow.io_seconds
+
+    def test_cpu_accounting(self):
+        obs = self._obs()
+        obs.on_cpu("sweep", 1000)
+        obs.on_cpu("sweep", 500)
+        obs.on_cpu("sort", 100)
+        assert obs.cpu_ops == {"sweep": 1500, "sort": 100}
+        assert obs.cpu_seconds == pytest.approx(
+            1600 * obs.spec.cpu.seconds_per_op
+        )
+
+    def test_snapshot_fields(self):
+        obs = self._obs()
+        obs.on_read(0, 100)
+        snap = obs.snapshot()
+        for key in ("machine", "cpu_seconds", "io_seconds",
+                    "observed_seconds", "estimated_seconds",
+                    "reads_random", "reads_sequential"):
+            assert key in snap
+
+
+class TestSimEnv:
+    def test_charge_reaches_all_observers(self):
+        env = SimEnv(machines=ALL_MACHINES)
+        env.charge("x", 100)
+        assert env.cpu_ops == 100
+        assert all(o.cpu_ops["x"] == 100 for o in env.observers)
+
+    def test_negative_or_zero_charge_ignored(self):
+        env = SimEnv(machines=ALL_MACHINES)
+        env.charge("x", 0)
+        env.charge("x", -5)
+        assert env.cpu_ops == 0
+
+    def test_io_counters(self):
+        env = SimEnv(machines=ALL_MACHINES)
+        env.io_read(0, 512)
+        env.io_write(512, 512)
+        assert env.page_reads == 1 and env.page_writes == 1
+        assert env.bytes_read == 512 and env.bytes_written == 512
+
+    def test_reset_counters(self):
+        env = SimEnv(machines=ALL_MACHINES)
+        env.io_read(0, 512)
+        env.charge("x", 10)
+        env.reset_counters()
+        assert env.page_reads == 0 and env.cpu_ops == 0
+        assert all(o.cpu_seconds == 0.0 for o in env.observers)
+
+    def test_observer_for(self):
+        env = SimEnv(machines=ALL_MACHINES)
+        assert env.observer_for(MACHINE_2).spec.name == MACHINE_2.name
+        with pytest.raises(KeyError):
+            null_env().observer_for(MACHINE_1)
+
+    def test_null_env_counts_without_observers(self):
+        env = null_env()
+        env.io_read(0, 512)
+        env.charge("x", 7)
+        assert env.page_reads == 1 and env.cpu_ops == 7
+        assert env.observers == []

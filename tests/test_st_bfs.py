@@ -1,0 +1,98 @@
+"""Breadth-first tree join (Huang et al. [16], discussed in §3.3)."""
+
+import pytest
+
+from repro.core.brute import brute_force_pairs
+from repro.core.st_bfs import st_bfs_join
+from repro.core.st_join import st_join
+from repro.data.generator import clustered_rects, uniform_rects
+from repro.geom.rect import Rect
+from repro.rtree.bulk_load import bulk_load
+from repro.storage.disk import Disk
+from repro.storage.pages import PageStore
+
+from tests.conftest import TEST_SCALE, make_env
+
+UNIT = Rect(0.0, 1.0, 0.0, 1.0, 0)
+
+
+def world(n_a=600, n_b=200, seed=1):
+    env = make_env()
+    disk = Disk(env)
+    store = PageStore(disk, TEST_SCALE.index_page_bytes)
+    a = clustered_rects(n_a, UNIT, 0.03, seed=seed)
+    b = clustered_rects(n_b, UNIT, 0.04, seed=seed + 1, id_base=10_000)
+    ta = bulk_load(store, a)
+    tb = bulk_load(store, b)
+    env.reset_counters()
+    return env, disk, store, a, b, ta, tb
+
+
+class TestSTBFS:
+    def test_correctness(self):
+        env, disk, store, a, b, ta, tb = world()
+        res = st_bfs_join(ta, tb, collect_pairs=True)
+        assert res.pair_set() == brute_force_pairs(a, b)
+        assert res.algorithm == "ST-BFS"
+
+    def test_matches_depth_first_st(self):
+        env, disk, store, a, b, ta, tb = world(seed=4)
+        bfs = st_bfs_join(ta, tb, collect_pairs=True)
+        dfs = st_join(ta, tb, collect_pairs=True)
+        assert bfs.pair_set() == dfs.pair_set()
+
+    def test_near_optimal_reads_equal_heights(self):
+        # [16]'s claim: each page read at most once when heights match
+        # (every level appears in exactly one round).
+        env, disk, store, a, b, ta, tb = world(n_a=2000, n_b=2000, seed=5)
+        assert ta.height == tb.height
+        res = st_bfs_join(ta, tb)
+        assert res.detail["disk_reads"] <= res.detail["lower_bound_pages"]
+
+    def test_beats_dfs_with_tiny_pool(self):
+        # BFS needs no pool at all; DFS with a tiny pool re-reads.
+        from repro.core.st_join import STConfig
+
+        env, disk, store, a, b, ta, tb = world(n_a=2500, n_b=800, seed=6)
+        bfs = st_bfs_join(ta, tb)
+        dfs = st_join(ta, tb, config=STConfig(buffer_pool_pages=4))
+        assert bfs.detail["disk_reads"] < dfs.detail["disk_reads"]
+
+    def test_height_mismatch(self):
+        env, disk, store, a, b, ta, tb = world(n_a=2000, n_b=15, seed=7)
+        assert ta.height > tb.height
+        res = st_bfs_join(ta, tb, collect_pairs=True)
+        assert res.pair_set() == brute_force_pairs(a, b)
+
+    def test_disjoint_trees(self):
+        env = make_env()
+        disk = Disk(env)
+        store = PageStore(disk, TEST_SCALE.index_page_bytes)
+        ta = bulk_load(store, uniform_rects(100, Rect(0, 1, 0, 1, 0),
+                                            0.02, seed=8))
+        tb = bulk_load(store, uniform_rects(
+            100, Rect(5, 6, 5, 6, 0), 0.02, seed=9, id_base=1000))
+        res = st_bfs_join(ta, tb)
+        assert res.n_pairs == 0
+        assert res.detail["disk_reads"] == 2  # the two roots
+
+    def test_join_index_memory_tracked(self):
+        env, disk, store, a, b, ta, tb = world(seed=10)
+        res = st_bfs_join(ta, tb)
+        assert res.max_memory_bytes > 0
+        assert res.detail["max_join_index_pairs"] >= 1
+
+    def test_different_stores_rejected(self):
+        _, _, _, _, _, ta, _ = world(seed=11)
+        _, _, _, _, _, _, tb = world(seed=12)
+        with pytest.raises(ValueError):
+            st_bfs_join(ta, tb)
+
+    def test_sorted_fetch_is_mostly_forward_on_disk(self):
+        # The point of BFS: page fetches ascend within each round, so
+        # the observed I/O is cheap relative to the naive estimate.
+        env, disk, store, a, b, ta, tb = world(n_a=3000, n_b=900, seed=13)
+        env.reset_counters()
+        st_bfs_join(ta, tb)
+        obs = env.observers[2]  # Machine 3
+        assert obs.io_seconds < 0.6 * obs.estimated_io_seconds

@@ -66,7 +66,7 @@ def pbsm_join(
             f"{tiles}x{tiles} tiles cannot feed {p} partitions"
         )
 
-    grid = _TileGrid(universe, tiles, p)
+    grid = TileGrid(universe, tiles, p)
 
     # -- Phase 1: partitioning (one read pass per input, interleaved
     # writes to the 2p partition streams).
@@ -97,7 +97,7 @@ def pbsm_join(
 
         def sink(ra: Rect, rb: Rect, _i=i) -> None:
             nonlocal n_pairs
-            if grid.partition_of_point(*_ref_point(ra, rb)) == _i:
+            if grid.partition_of_point(*ref_point(ra, rb)) == _i:
                 n_pairs += 1
                 if pairs is not None:
                     pairs.append((ra.rid, rb.rid))
@@ -127,8 +127,14 @@ def pbsm_join(
 # -- internals ---------------------------------------------------------------
 
 
-class _TileGrid:
-    """Tile geometry plus the row-major round-robin partition map."""
+class TileGrid:
+    """Tile geometry plus the row-major round-robin partition map.
+
+    Public contract: the engine's partitioned executor
+    (:mod:`repro.engine.executor`) reuses this grid and
+    :func:`ref_point` so its duplicate elimination stays bit-identical
+    to PBSM's.
+    """
 
     def __init__(self, universe: Rect, tiles_per_side: int,
                  partitions: int) -> None:
@@ -170,14 +176,14 @@ class _TileGrid:
         return (row * self.t + col) % self.p
 
 
-def _ref_point(ra: Rect, rb: Rect) -> Tuple[float, float]:
+def ref_point(ra: Rect, rb: Rect) -> Tuple[float, float]:
     return (
         ra.xlo if ra.xlo >= rb.xlo else rb.xlo,
         ra.ylo if ra.ylo >= rb.ylo else rb.ylo,
     )
 
 
-def _distribute(source: Stream, parts: List[Stream], grid: _TileGrid,
+def _distribute(source: Stream, parts: List[Stream], grid: TileGrid,
                 env) -> int:
     """Scan ``source`` and replicate each rectangle to its partitions.
 

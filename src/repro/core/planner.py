@@ -20,7 +20,7 @@ most cases."  This module is that missing decision layer:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.cost_model import CostModel, JoinCostEstimate
 from repro.core.histogram import SpatialHistogram
@@ -78,22 +78,24 @@ class Relation:
         return min(1.0, area(inter) / denom) if denom > 0 else 1.0
 
 
-def choose_method(
+def candidate_estimates(
     rel_a: Relation,
     rel_b: Relation,
     machine: MachineSpec,
     scale,
-) -> Tuple[str, JoinCostEstimate]:
-    """Pick the cheapest feasible strategy; returns (strategy, estimate).
+) -> List[Tuple[str, JoinCostEstimate]]:
+    """Price every feasible strategy; returns [(strategy, estimate), ...].
 
     Strategies considered (feasibility depends on which representations
     exist): ``"pq-index"`` (both indexed, pruned traversal),
     ``"pq-mixed"`` (one indexed), ``"sssj"`` (sort both streams).
+    Candidates appear in that fixed order, so callers taking the
+    minimum resolve ties toward the index-based paths.
     """
     model = CostModel(machine, scale)
     window_a = rel_a.universe
     window_b = rel_b.universe
-    candidates = []
+    candidates: List[Tuple[str, JoinCostEstimate]] = []
     if rel_a.tree is not None and rel_b.tree is not None:
         est = model.estimate_pq_indexed(
             rel_a.tree.page_count,
@@ -119,6 +121,22 @@ def choose_method(
     if rel_a.stream is not None and rel_b.stream is not None:
         est = model.estimate_sssj(rel_a.data_bytes, rel_b.data_bytes)
         candidates.append(("sssj", est))
+    return candidates
+
+
+def choose_method(
+    rel_a: Relation,
+    rel_b: Relation,
+    machine: MachineSpec,
+    scale,
+) -> Tuple[str, JoinCostEstimate]:
+    """Pick the cheapest feasible strategy; returns (strategy, estimate).
+
+    Ties are broken by candidate order (``min`` is stable), which lists
+    the index paths before ``sssj`` — when the model cannot separate
+    two strategies, the one touching fewer raw bytes wins.
+    """
+    candidates = candidate_estimates(rel_a, rel_b, machine, scale)
     if not candidates:
         raise ValueError("no feasible join strategy for these relations")
     return min(candidates, key=lambda c: c[1].io_seconds)
@@ -142,8 +160,17 @@ def unified_spatial_join(
     if force is None:
         strategy, estimate = choose_method(rel_a, rel_b, machine, env.scale)
     else:
+        # Price the forced strategy with the real model so ablation
+        # benches report estimates comparable with the planner's choice;
+        # a strategy the relations cannot support stays unpriced (its
+        # execution below fails anyway unless it is a known name).
         strategy = force
-        estimate = JoinCostEstimate(force, float("nan"), "forced")
+        priced = dict(
+            candidate_estimates(rel_a, rel_b, machine, env.scale)
+        )
+        estimate = priced.get(
+            force, JoinCostEstimate(force, float("nan"), "forced")
+        )
 
     universe = None
     if rel_a.universe is not None and rel_b.universe is not None:

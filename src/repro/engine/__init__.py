@@ -1,0 +1,58 @@
+"""repro.engine — the persistent spatial query serving layer.
+
+The paper's algorithms (and :mod:`repro.core.planner`'s cost-based
+choice between them) are one-shot functions; this package wraps them in
+the subsystem a production deployment needs:
+
+* :class:`~repro.engine.catalog.Catalog` — register relations once;
+  streams, R-trees and histograms are built lazily and reused;
+* :class:`~repro.engine.query.Query` — declarative pairwise/multiway
+  join requests with optional window and refinement;
+* :class:`~repro.engine.optimizer.Optimizer` — explainable physical
+  plans priced by the paper's :class:`~repro.core.cost_model.CostModel`;
+* :class:`~repro.engine.executor.Executor` — plan execution, including
+  PBSM-style tile-partitioned parallel joins on a worker pool;
+* :class:`~repro.engine.cache.ResultCache` — LRU result cache keyed by
+  query fingerprint + catalog versions;
+* :class:`~repro.engine.engine.SpatialQueryEngine` — the facade tying
+  it together, with serving metrics.
+
+Quick start::
+
+    from repro.engine import Query, SpatialQueryEngine
+
+    engine = SpatialQueryEngine(workers=4)
+    engine.register("roads", road_rects)
+    engine.register("hydro", hydro_rects)
+    out = engine.execute(Query(relations=("roads", "hydro")))
+    print(out.result.n_pairs, engine.metrics_snapshot())
+"""
+
+from repro.engine.cache import ResultCache
+from repro.engine.catalog import Catalog, CatalogEntry
+from repro.engine.engine import EngineResult, SpatialQueryEngine
+from repro.engine.executor import Executor
+from repro.engine.metrics import EngineMetrics
+from repro.engine.optimizer import Optimizer, PhysicalPlan
+from repro.engine.query import Query
+from repro.engine.workload import (
+    engine_for_dataset,
+    make_workload,
+    run_workload,
+)
+
+__all__ = [
+    "Catalog",
+    "CatalogEntry",
+    "EngineMetrics",
+    "EngineResult",
+    "Executor",
+    "Optimizer",
+    "PhysicalPlan",
+    "Query",
+    "ResultCache",
+    "SpatialQueryEngine",
+    "engine_for_dataset",
+    "make_workload",
+    "run_workload",
+]

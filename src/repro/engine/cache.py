@@ -1,0 +1,90 @@
+"""LRU result cache keyed by query fingerprint + catalog versions.
+
+A serving engine sees the same heavy joins again and again (dashboards,
+tile servers); the second identical query should cost a dictionary
+lookup, not an external sort.  Keys are produced by
+``Query.canonical()`` combined with the versions of the referenced
+catalog entries (see :meth:`repro.engine.catalog.Catalog.versions_of`),
+so re-registered relations never serve stale results.  Eviction is
+plain LRU over entry count — result payloads here are id pairs, whose
+footprint the engine already bounds by refusing to cache oversized
+results.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+
+class ResultCache:
+    """Fixed-capacity LRU map from query fingerprints to results."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity cannot be negative")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value, refreshed to most-recently-used; or None."""
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate_relation(self, name: str) -> int:
+        """Drop every entry whose key references relation ``name``.
+
+        Version-stamped keys already make stale entries unreachable;
+        eager invalidation additionally frees their memory the moment a
+        relation is re-registered or dropped.  Returns the number of
+        entries removed.
+        """
+        stale = [k for k in self._entries if _mentions(k, name)]
+        for k in stale:
+            del self._entries[k]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _mentions(key: Hashable, name: str) -> bool:
+    """True when a cache key's version tuple references ``name``.
+
+    Keys are ``(canonical query, ((name, version), ...))``; the second
+    component is what carries relation names.
+    """
+    if not isinstance(key, tuple) or len(key) != 2:
+        return False
+    versions: Tuple = key[1]
+    return any(
+        isinstance(v, tuple) and len(v) == 2 and v[0] == name
+        for v in versions
+    )

@@ -1,0 +1,183 @@
+"""The engine's relation catalog: register once, query many times.
+
+The one-shot planner of :mod:`repro.core.planner` rebuilds streams,
+indexes and histograms for every call.  A serving engine registers each
+relation **once**; the catalog materializes the expensive
+representations lazily, on first use, and keeps them:
+
+* the base :class:`~repro.storage.stream.Stream` (written on
+  registration — the relation's ground truth on disk);
+* the R-tree (bulk-loaded on first demand, or loaded from a persisted
+  index file via :mod:`repro.rtree.persist`);
+* the grid :class:`~repro.core.histogram.SpatialHistogram` feeding the
+  optimizer's selectivity fractions.
+
+Every entry carries a monotonically increasing ``version``;
+re-registering a name bumps it, which is what invalidates cached query
+results (the result cache folds entry versions into its keys).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.histogram import DEFAULT_GRID, SpatialHistogram
+from repro.core.planner import Relation
+from repro.geom.rect import Rect, mbr_of
+from repro.rtree.bulk_load import bulk_load
+from repro.rtree.persist import load_rtree, save_rtree
+from repro.rtree.rtree import RTree
+from repro.storage.disk import Disk
+from repro.storage.pages import PageStore
+from repro.storage.stream import Stream
+
+#: Geometry payload: object id -> polyline (sequence of (x, y) points).
+GeometryMap = Dict[int, Sequence[Tuple[float, float]]]
+
+
+class CatalogEntry:
+    """One registered relation and its lazily-built representations."""
+
+    def __init__(
+        self,
+        catalog: "Catalog",
+        name: str,
+        rects: List[Rect],
+        universe: Optional[Rect],
+        geometries: Optional[GeometryMap],
+        version: int,
+    ) -> None:
+        self.catalog = catalog
+        self.name = name
+        self.rects = rects
+        self.universe = universe if universe is not None else mbr_of(rects)
+        self.geometries = geometries
+        self.version = version
+        self.by_id: Dict[int, Rect] = {r.rid: r for r in rects}
+        self._stream: Optional[Stream] = None
+        self._tree: Optional[RTree] = None
+        self._histogram: Optional[SpatialHistogram] = None
+
+    # -- lazy representations -------------------------------------------
+
+    @property
+    def stream(self) -> Stream:
+        """The relation as a closed on-disk stream (built on first use)."""
+        if self._stream is None:
+            self._stream = Stream.from_rects(
+                self.catalog.disk, self.rects, name=self.name
+            )
+        return self._stream
+
+    @property
+    def tree(self) -> RTree:
+        """The relation's R-tree, bulk-loaded on first use."""
+        if self._tree is None:
+            self._tree = bulk_load(
+                self.catalog.store, self.rects, name=self.name
+            )
+            self.catalog.indexes_built += 1
+        return self._tree
+
+    @property
+    def histogram(self) -> SpatialHistogram:
+        if self._histogram is None:
+            self._histogram = SpatialHistogram.build(
+                self.rects, self.universe, grid=self.catalog.histogram_grid
+            )
+        return self._histogram
+
+    @property
+    def has_tree(self) -> bool:
+        return self._tree is not None
+
+    def relation(self, universe: Optional[Rect] = None,
+                 with_tree: bool = True) -> Relation:
+        """A planner view of this entry.
+
+        ``universe`` overrides the relation's extent (the optimizer
+        passes the window-clipped region so selectivity fractions see
+        the restricted query).  ``with_tree=False`` prices/executes the
+        stream-only paths without triggering a lazy index build.
+        """
+        return Relation(
+            name=self.name,
+            stream=self.stream,
+            tree=self.tree if (with_tree or self.has_tree) else None,
+            universe=universe if universe is not None else self.universe,
+            histogram=self.histogram,
+        )
+
+    def __len__(self) -> int:
+        return len(self.rects)
+
+
+class Catalog:
+    """Name -> :class:`CatalogEntry` registry on one simulated disk."""
+
+    def __init__(self, disk: Disk, store: PageStore,
+                 histogram_grid: int = DEFAULT_GRID) -> None:
+        self.disk = disk
+        self.store = store
+        self.histogram_grid = histogram_grid
+        self.entries: Dict[str, CatalogEntry] = {}
+        self.indexes_built = 0
+        self._next_version = 1
+
+    def register(
+        self,
+        name: str,
+        rects: Sequence[Rect],
+        universe: Optional[Rect] = None,
+        geometries: Optional[GeometryMap] = None,
+    ) -> CatalogEntry:
+        """(Re-)register a relation; returns the fresh entry.
+
+        Re-registering an existing name replaces the entry under a new
+        version, so previously cached results for it become unreachable.
+        """
+        rect_list = list(rects)
+        if not rect_list:
+            raise ValueError(f"relation {name!r} has no rectangles")
+        entry = CatalogEntry(
+            self, name, rect_list, universe, geometries, self._next_version
+        )
+        self._next_version += 1
+        self.entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> CatalogEntry:
+        try:
+            return self.entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self.entries)) or "<empty catalog>"
+            raise KeyError(
+                f"unknown relation {name!r}; registered: {known}"
+            ) from None
+
+    def drop(self, name: str) -> None:
+        self.get(name)
+        del self.entries[name]
+
+    def names(self) -> List[str]:
+        return sorted(self.entries)
+
+    def versions_of(self, names: Sequence[str]) -> Tuple[Tuple[str, int], ...]:
+        """(name, version) pairs — the catalog part of a cache key."""
+        return tuple((n, self.get(n).version) for n in names)
+
+    # -- index persistence ----------------------------------------------
+
+    def save_index(self, name: str, path: str) -> None:
+        """Persist a relation's R-tree (building it first if needed)."""
+        save_rtree(self.get(name).tree, path)
+
+    def load_index(self, name: str, path: str) -> RTree:
+        """Attach a persisted R-tree to a registered relation.
+
+        Skips the lazy bulk load: the pages land in the catalog's store
+        via :func:`repro.rtree.persist.load_rtree`.
+        """
+        entry = self.get(name)
+        entry._tree = load_rtree(self.store, path, name=name)
+        return entry._tree

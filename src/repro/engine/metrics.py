@@ -1,0 +1,109 @@
+"""Per-engine serving metrics.
+
+The paper's experiment runner zeroes all counters before each measured
+run; a serving engine is the opposite — it accumulates forever, and
+operators read rates off the running totals.  :class:`EngineMetrics`
+tracks query traffic (served / cache hits / executed), the raw I/O
+counters delta-ed from the simulation environment around each
+execution, simulated seconds on the engine's machine, and real
+wall-clock seconds spent inside the executor.
+
+``snapshot()`` flattens everything into one dict (the `/metrics`
+endpoint analogue); the engine merges in result-cache and buffer-pool
+statistics so one call tells the whole serving story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class EngineMetrics:
+    """Cumulative counters for one engine instance."""
+
+    queries_served: int = 0
+    cache_hits: int = 0
+    queries_executed: int = 0
+
+    pages_read: int = 0
+    pages_written: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    cpu_ops: int = 0
+
+    #: Simulated seconds on the engine's machine, split and combined.
+    sim_io_seconds: float = 0.0
+    sim_cpu_seconds: float = 0.0
+    sim_wall_seconds: float = 0.0
+
+    #: Real (host) seconds spent executing plans.
+    wall_seconds: float = 0.0
+
+    pairs_returned: int = 0
+    per_strategy: Dict[str, int] = field(default_factory=dict)
+
+    # -- recording -------------------------------------------------------
+
+    def record_hit(self, n_pairs: int) -> None:
+        self.queries_served += 1
+        self.cache_hits += 1
+        self.pairs_returned += n_pairs
+
+    def record_execution(
+        self,
+        strategy: str,
+        n_pairs: int,
+        pages_read: int,
+        pages_written: int,
+        bytes_read: int,
+        bytes_written: int,
+        cpu_ops: int,
+        sim_io_seconds: float,
+        sim_cpu_seconds: float,
+        sim_wall_seconds: float,
+        wall_seconds: float,
+    ) -> None:
+        self.queries_served += 1
+        self.queries_executed += 1
+        self.pairs_returned += n_pairs
+        self.pages_read += pages_read
+        self.pages_written += pages_written
+        self.bytes_read += bytes_read
+        self.bytes_written += bytes_written
+        self.cpu_ops += cpu_ops
+        self.sim_io_seconds += sim_io_seconds
+        self.sim_cpu_seconds += sim_cpu_seconds
+        self.sim_wall_seconds += sim_wall_seconds
+        self.wall_seconds += wall_seconds
+        self.per_strategy[strategy] = self.per_strategy.get(strategy, 0) + 1
+
+    # -- reading ---------------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return (
+            self.cache_hits / self.queries_served
+            if self.queries_served else 0.0
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        """One flat dict of every counter plus derived rates."""
+        return {
+            "queries_served": self.queries_served,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "queries_executed": self.queries_executed,
+            "pages_read": self.pages_read,
+            "pages_written": self.pages_written,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "cpu_ops": self.cpu_ops,
+            "sim_io_seconds": self.sim_io_seconds,
+            "sim_cpu_seconds": self.sim_cpu_seconds,
+            "sim_wall_seconds": self.sim_wall_seconds,
+            "wall_seconds": self.wall_seconds,
+            "pairs_returned": self.pairs_returned,
+            "per_strategy": dict(self.per_strategy),
+        }

@@ -4,17 +4,26 @@ Reproduce any cell of the paper's evaluation from a shell::
 
     python -m repro.experiments --dataset NY --algorithms SSSJ PQ ST
     python -m repro.experiments --dataset DISK1-6 --scale quick
-    python -m repro.experiments --all
+    python -m repro.experiments --all --json
 
 Prints the per-machine observed/estimated costs and the page-request
-accounting for each run.
+accounting for each run; ``--json`` emits one JSON object per
+algorithm x machine row instead, so CI and the throughput bench can
+diff results mechanically.
+
+The ``serve-bench`` subcommand replays a mixed query workload against
+the persistent :class:`~repro.engine.engine.SpatialQueryEngine`::
+
+    python -m repro.experiments serve-bench --dataset NY --queries 40 \
+        --workers 4 --scale quick --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List
+from typing import Dict, List
 
 from repro.data.datasets import DATASET_ORDER
 from repro.experiments.report import fmt_seconds, format_table
@@ -51,6 +60,45 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
         "--scale", choices=("default", "quick"), default="default",
         help="1/256 of the paper's sizes (default) or 1/1024 (quick)",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON object per algorithm x machine row",
+    )
+    return parser.parse_args(argv)
+
+
+def _parse_serve_args(argv: List[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments serve-bench",
+        description=(
+            "Replay a mixed query workload against the persistent "
+            "spatial query engine."
+        ),
+    )
+    parser.add_argument(
+        "--dataset", choices=DATASET_ORDER, default="NJ",
+        help="Table 2 dataset registered as roads/hydro (default: NJ)",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=30,
+        help="workload length (default: 30)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="executor worker-pool size (default: 1)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7,
+        help="workload seed (default: 7)",
+    )
+    parser.add_argument(
+        "--scale", choices=("default", "quick"), default="default",
+        help="1/256 of the paper's sizes (default) or 1/1024 (quick)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the serving report as one JSON object",
+    )
     return parser.parse_args(argv)
 
 
@@ -58,26 +106,51 @@ def _scale(name: str) -> ScaleConfig:
     return QUICK_SCALE if name == "quick" else DEFAULT_SCALE
 
 
-def run_dataset(name: str, algorithms: List[str],
-                scale: ScaleConfig) -> str:
+def _collect(name: str, algorithms: List[str], scale: ScaleConfig):
+    """Run the experiment once; return (setup, per-row dicts)."""
     setup = prepare_experiment(name, scale=scale)
     rows = []
     for algo in algorithms:
         out = run_algorithm(algo, setup)
         res = out["result"]
         for snap in out["machines"]:
-            rows.append(
-                [
-                    algo,
-                    snap["machine"].split("(")[0].strip(),
-                    fmt_seconds(snap["observed_seconds"]),
-                    fmt_seconds(snap["cpu_seconds"]),
-                    fmt_seconds(snap["io_seconds"]),
-                    fmt_seconds(snap["estimated_seconds"]),
-                    out["page_reads"],
-                    res.n_pairs,
-                ]
-            )
+            rows.append({
+                "dataset": name,
+                "scale": scale.name,
+                "algorithm": algo,
+                "machine": snap["machine"].split("(")[0].strip(),
+                "observed_seconds": snap["observed_seconds"],
+                "cpu_seconds": snap["cpu_seconds"],
+                "io_seconds": snap["io_seconds"],
+                "estimated_seconds": snap["estimated_seconds"],
+                "page_reads": out["page_reads"],
+                "pairs": res.n_pairs,
+            })
+    return setup, rows
+
+
+def dataset_rows(name: str, algorithms: List[str],
+                 scale: ScaleConfig) -> List[Dict]:
+    """Machine-readable rows: one dict per algorithm x machine."""
+    return _collect(name, algorithms, scale)[1]
+
+
+def run_dataset(name: str, algorithms: List[str],
+                scale: ScaleConfig) -> str:
+    setup, rows = _collect(name, algorithms, scale)
+    table_rows = [
+        [
+            r["algorithm"],
+            r["machine"],
+            fmt_seconds(r["observed_seconds"]),
+            fmt_seconds(r["cpu_seconds"]),
+            fmt_seconds(r["io_seconds"]),
+            fmt_seconds(r["estimated_seconds"]),
+            r["page_reads"],
+            r["pairs"],
+        ]
+        for r in rows
+    ]
     ds = setup.dataset
     title = (
         f"{name} (scale {scale.name}): {len(ds.roads):,} roads x "
@@ -87,21 +160,71 @@ def run_dataset(name: str, algorithms: List[str],
     return format_table(
         ["Algorithm", "Machine", "Observed s", "CPU s", "I/O s",
          "Estimated s", "Page reads", "Pairs"],
-        rows,
+        table_rows,
         title=title,
     )
 
 
+def serve_bench(args: argparse.Namespace) -> int:
+    # Imported here so the classic experiment path stays importable
+    # even if the engine package is being bisected.
+    from repro.engine.workload import (
+        engine_for_dataset,
+        make_workload,
+        run_workload,
+    )
+
+    scale = _scale(args.scale)
+    engine = engine_for_dataset(
+        args.dataset, scale, workers=max(1, args.workers),
+    )
+    queries = make_workload(
+        engine.catalog.get("roads").universe, args.queries, seed=args.seed,
+    )
+    report = run_workload(engine, queries)
+    if args.json:
+        print(json.dumps(report, default=str, sort_keys=True))
+        return 0
+    m = report["metrics"]
+    rows = [
+        ["queries served", report["queries"]],
+        ["pairs returned", report["pairs_returned"]],
+        ["cache hits", m["cache_hits"]],
+        ["cache hit rate", f"{m['cache_hit_rate']:.0%}"],
+        ["pages read", m["pages_read"]],
+        ["wall seconds", fmt_seconds(report["wall_seconds"])],
+        ["simulated seconds", fmt_seconds(report["sim_wall_seconds"])],
+        ["queries/s (wall)", f"{report['queries_per_sec_wall']:.1f}"],
+        ["queries/s (simulated)", f"{report['queries_per_sec_sim']:.1f}"],
+        ["strategies", ", ".join(
+            f"{k}x{v}" for k, v in sorted(m["per_strategy"].items())
+        )],
+    ]
+    title = (
+        f"serve-bench {args.dataset} (scale {scale.name}): "
+        f"{args.queries} queries, {max(1, args.workers)} workers"
+    )
+    print(format_table(["Metric", "Value"], rows, title=title))
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
-    args = _parse_args(sys.argv[1:] if argv is None else argv)
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "serve-bench":
+        return serve_bench(_parse_serve_args(argv[1:]))
+    args = _parse_args(argv)
     scale = _scale(args.scale)
     datasets = (
         list(DATASET_ORDER) if args.all
         else [args.dataset or "NY"]
     )
     for name in datasets:
-        print(run_dataset(name, args.algorithms, scale))
-        print()
+        if args.json:
+            for row in dataset_rows(name, args.algorithms, scale):
+                print(json.dumps(row, sort_keys=True))
+        else:
+            print(run_dataset(name, args.algorithms, scale))
+            print()
     return 0
 
 

@@ -52,7 +52,25 @@ class BufferPool:
         return page_id in self._cache
 
     def clear(self) -> None:
+        """Drop every resident page.
+
+        Counters (``requests``/``hits``/``misses``/``evictions``) are
+        deliberately left intact: clearing models a cold restart of the
+        *pages*, while the statistics describe the pool's whole service
+        history.  Use :meth:`reset_stats` to zero the counters.
+        """
         self._cache.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the request/hit/miss/eviction counters.
+
+        Resident pages stay cached — a serving engine resets statistics
+        between measurement windows without giving up its warm pool.
+        """
+        self.requests = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     @property
     def resident_pages(self) -> int:

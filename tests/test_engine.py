@@ -1,0 +1,351 @@
+"""The serving engine: catalog, optimizer, executor, caches, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.brute import brute_force_pairs
+from repro.data.generator import uniform_rects
+from repro.engine import (
+    Query,
+    ResultCache,
+    SpatialQueryEngine,
+    make_workload,
+    run_workload,
+)
+from repro.geom.rect import Rect, intersection
+from repro.sim.machines import MACHINE_3
+
+from tests.conftest import TEST_SCALE
+
+UNIT = Rect(0.0, 1.0, 0.0, 1.0, 0)
+
+
+def make_engine(workers: int = 1, cache_capacity: int = 16,
+                n_a: int = 300, n_b: int = 120,
+                region: Rect = UNIT) -> SpatialQueryEngine:
+    engine = SpatialQueryEngine(
+        scale=TEST_SCALE, machine=MACHINE_3, workers=workers,
+        cache_capacity=cache_capacity,
+    )
+    a = uniform_rects(n_a, region, 0.02, seed=1)
+    b = uniform_rects(n_b, region, 0.03, seed=2, id_base=100_000)
+    engine.register("a", a, universe=region)
+    engine.register("b", b, universe=region)
+    engine._test_rects = (a, b)  # stashed for equivalence checks
+    return engine
+
+
+class TestCatalog:
+    def test_register_and_lazy_build(self):
+        engine = make_engine()
+        entry = engine.catalog.get("a")
+        assert not entry.has_tree
+        assert entry.tree.num_objects == 300
+        assert entry.has_tree
+        assert engine.catalog.indexes_built == 1
+        # Second access reuses the built tree.
+        assert entry.tree is entry.tree
+        assert engine.catalog.indexes_built == 1
+
+    def test_reregister_bumps_version(self):
+        engine = make_engine()
+        v1 = engine.catalog.get("a").version
+        engine.register("a", engine._test_rects[0], universe=UNIT)
+        assert engine.catalog.get("a").version > v1
+
+    def test_unknown_relation(self):
+        engine = make_engine()
+        with pytest.raises(KeyError, match="unknown relation"):
+            engine.catalog.get("nope")
+
+    def test_empty_relation_rejected(self):
+        engine = make_engine()
+        with pytest.raises(ValueError, match="no rectangles"):
+            engine.register("empty", [])
+
+    def test_index_persistence_roundtrip(self, tmp_path):
+        engine = make_engine()
+        path = str(tmp_path / "a.rpqt")
+        engine.catalog.save_index("a", path)
+        other = make_engine()
+        tree = other.catalog.load_index("a", path)
+        assert tree.num_objects == 300
+        assert other.catalog.get("a").has_tree
+
+
+class TestQueryValidation:
+    def test_needs_two_relations(self):
+        with pytest.raises(ValueError, match="at least two"):
+            Query(relations=("a",))
+
+    def test_self_join_rejected(self):
+        with pytest.raises(ValueError, match="self-join"):
+            Query(relations=("a", "a"))
+
+    def test_windowed_count_only_rejected(self):
+        with pytest.raises(ValueError, match="post-filter"):
+            Query(relations=("a", "b"), window=UNIT, collect_pairs=False)
+
+    def test_multiway_refine_rejected(self):
+        with pytest.raises(ValueError, match="pairwise"):
+            Query(relations=("a", "b", "c"), refine=True)
+
+    def test_multiway_force_rejected(self):
+        with pytest.raises(ValueError, match="pairwise"):
+            Query(relations=("a", "b", "c"), force="sssj")
+
+
+class TestExecution:
+    def test_full_join_matches_brute_force(self):
+        engine = make_engine()
+        a, b = engine._test_rects
+        out = engine.execute(Query(relations=("a", "b")))
+        assert not out.from_cache
+        assert out.result.pair_set() == brute_force_pairs(a, b)
+
+    def test_windowed_join_matches_filtered_brute_force(self):
+        engine = make_engine()
+        a, b = engine._test_rects
+        window = Rect(0.2, 0.5, 0.1, 0.6, 0)
+        out = engine.execute(Query(relations=("a", "b"), window=window))
+        # Brute-force reference with the same window semantics: the
+        # pair's common intersection must meet the window.
+        by_id_a = {r.rid: r for r in a}
+        by_id_b = {r.rid: r for r in b}
+        expected = set()
+        for ra_id, rb_id in brute_force_pairs(a, b):
+            inter = intersection(by_id_a[ra_id], by_id_b[rb_id])
+            if inter is not None and inter.intersects(window):
+                expected.add((ra_id, rb_id))
+        assert out.result.pair_set() == expected
+        assert "window_filtered" in out.result.detail
+
+    def test_partitioned_matches_direct(self):
+        serial = make_engine(workers=1)
+        parallel = make_engine(workers=4)
+        q = Query(relations=("a", "b"))
+        res_s = serial.execute(q).result
+        res_p = parallel.execute(q).result
+        assert res_p.detail["strategy"] == "pbsm-grid"
+        assert res_p.pair_set() == res_s.pair_set()
+        assert res_p.detail["sweep_ops_critical"] <= (
+            res_p.detail["sweep_ops_total"]
+        )
+        assert res_p.detail["parallel_cpu_seconds_saved"] >= 0.0
+
+    def test_forced_strategy_respected(self):
+        engine = make_engine()
+        out = engine.execute(Query(relations=("a", "b"), force="sssj"))
+        assert out.result.detail["strategy"] == "sssj"
+
+    def test_empty_window_shortcut(self):
+        engine = make_engine()
+        far = Rect(5.0, 6.0, 5.0, 6.0, 0)
+        out = engine.execute(Query(relations=("a", "b"), window=far))
+        assert out.result.n_pairs == 0
+        assert out.plan.mode == "empty"
+        # The empty plan touches no data at all.
+        assert engine.metrics.pages_read == 0
+
+    def test_multiway_query(self):
+        engine = make_engine()
+        c = uniform_rects(80, UNIT, 0.05, seed=3, id_base=200_000)
+        engine.register("c", c, universe=UNIT)
+        out = engine.execute(Query(relations=("a", "b", "c")))
+        assert out.plan.mode == "multiway"
+        assert out.result.n_pairs >= 0
+        assert all(len(t) == 3 for t in out.result.pairs)
+
+    def test_st_strategy_uses_shared_pool(self):
+        engine = make_engine()
+        engine.prepare()
+        out = engine.execute(Query(relations=("a", "b"), force="st"))
+        assert out.result.detail["strategy"] == "st"
+        assert engine.pool.requests > 0
+        snap = engine.metrics_snapshot()
+        assert snap["buffer_pool_requests"] == engine.pool.requests
+
+    def test_st_detail_reports_per_join_deltas(self):
+        # A second ST run over the warm shared pool must report its own
+        # page requests, not the pool's lifetime totals.
+        engine = make_engine(cache_capacity=0)
+        engine.prepare()
+        first = engine.execute(Query(relations=("a", "b"), force="st"))
+        second = engine.execute(Query(relations=("a", "b"), force="st"))
+        assert second.result.detail["page_requests"] == (
+            first.result.detail["page_requests"]
+        )
+        # Warm pool: the repeat join's misses can only shrink.
+        assert second.result.detail["disk_reads"] <= (
+            first.result.detail["disk_reads"]
+        )
+
+    def test_auto_index_off_never_builds_trees(self):
+        engine = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, auto_index=False,
+        )
+        a = uniform_rects(200, UNIT, 0.02, seed=5)
+        b = uniform_rects(80, UNIT, 0.03, seed=6, id_base=100_000)
+        engine.register("a", a, universe=UNIT)
+        engine.register("b", b, universe=UNIT)
+        out = engine.execute(Query(relations=("a", "b")))
+        assert out.result.detail["strategy"] == "sssj"
+        assert engine.catalog.indexes_built == 0
+
+    def test_forced_engine_strategy_priced(self):
+        import math
+
+        engine = make_engine()
+        engine.prepare()
+        window = Rect(0.1, 0.6, 0.1, 0.6, 0)
+        out = engine.execute(
+            Query(relations=("a", "b"), window=window, force="st")
+        )
+        assert out.result.detail["strategy"] == "st"
+        assert math.isfinite(out.plan.estimate.io_seconds)
+        out = engine.execute(Query(relations=("a", "b"),
+                                   force="pbsm-grid"))
+        assert out.result.detail["strategy"] == "pbsm-grid"
+        assert math.isfinite(
+            out.result.detail["estimated_io_seconds"]
+        )
+
+    def test_lazy_builds_charged_to_first_query(self):
+        # No prepare(): the first query triggers stream/index/histogram
+        # construction, and those pages must appear in its metrics.
+        engine = make_engine()
+        engine.execute(Query(relations=("a", "b")))
+        assert engine.metrics.pages_read == engine.env.page_reads
+        assert engine.metrics.pages_written == engine.env.page_writes
+
+    def test_refinement_filters_pairs(self):
+        engine = SpatialQueryEngine(scale=TEST_SCALE, machine=MACHINE_3)
+        # Two crossing segments and two parallel (non-crossing) ones
+        # whose MBRs all intersect pairwise.
+        geoms_a = {1: [(0.0, 0.0), (1.0, 1.0)]}
+        geoms_b = {
+            10: [(0.0, 1.0), (1.0, 0.0)],   # crosses a#1
+            11: [(0.0, 0.1), (0.8, 0.9)],   # parallel-ish, no crossing
+        }
+        rect_a = [Rect(0.0, 1.0, 0.0, 1.0, 1)]
+        rect_b = [Rect(0.0, 1.0, 0.0, 1.0, 10),
+                  Rect(0.0, 0.9, 0.0, 1.0, 11)]
+        engine.register("a", rect_a, universe=UNIT, geometries=geoms_a)
+        engine.register("b", rect_b, universe=UNIT, geometries=geoms_b)
+        filtered = engine.execute(Query(relations=("a", "b")))
+        refined = engine.execute(
+            Query(relations=("a", "b"), refine=True)
+        )
+        assert filtered.result.n_pairs == 2
+        assert refined.result.pair_set() == {(1, 10)}
+        assert refined.result.detail["refined_out"] == 1
+
+
+class TestResultCache:
+    def test_repeat_query_is_cache_hit(self):
+        engine = make_engine()
+        q = Query(relations=("a", "b"))
+        first = engine.execute(q)
+        pages_after_first = engine.metrics.pages_read
+        second = engine.execute(q)
+        assert not first.from_cache and second.from_cache
+        assert second.result.n_pairs == first.result.n_pairs
+        assert second.result.detail.get("cache_hit") is True
+        # Served from memory: no further I/O.
+        assert engine.metrics.pages_read == pages_after_first
+        assert engine.metrics.cache_hits == 1
+
+    def test_reregistration_invalidates(self):
+        engine = make_engine()
+        q = Query(relations=("a", "b"))
+        engine.execute(q)
+        engine.register("a", engine._test_rects[0], universe=UNIT)
+        out = engine.execute(q)
+        assert not out.from_cache
+
+    def test_equivalent_windows_share_entries(self):
+        engine = make_engine()
+        w1 = Rect(0.1, 0.4, 0.1, 0.4, 0)
+        w2 = Rect(0.1, 0.4, 0.1, 0.4, 99)  # same region, different id
+        engine.execute(Query(relations=("a", "b"), window=w1))
+        out = engine.execute(Query(relations=("a", "b"), window=w2))
+        assert out.from_cache
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put("k1", 1)
+        cache.put("k2", 2)
+        assert cache.get("k1") == 1  # refresh k1
+        cache.put("k3", 3)           # evicts k2
+        assert cache.get("k2") is None
+        assert cache.get("k1") == 1 and cache.get("k3") == 3
+        assert cache.evictions == 1
+
+    def test_zero_capacity_never_caches(self):
+        engine = make_engine(cache_capacity=0)
+        q = Query(relations=("a", "b"))
+        engine.execute(q)
+        assert not engine.execute(q).from_cache
+
+    def test_caller_mutation_cannot_corrupt_cache(self):
+        engine = make_engine()
+        q = Query(relations=("a", "b"))
+        first = engine.execute(q)
+        n = first.result.n_pairs
+        first.result.pairs.clear()          # caller abuses its copy
+        first.result.detail["strategy"] = "vandalized"
+        second = engine.execute(q)
+        assert second.from_cache
+        assert len(second.result.pairs) == n
+        assert second.result.detail["strategy"] != "vandalized"
+        # ...and mutating the hit's copy leaves the cache intact too.
+        second.result.pairs.clear()
+        third = engine.execute(q)
+        assert len(third.result.pairs) == n
+
+
+class TestMetricsAndWorkload:
+    def test_snapshot_accounts_queries(self):
+        engine = make_engine()
+        q = Query(relations=("a", "b"))
+        engine.execute(q)
+        engine.execute(q)
+        snap = engine.metrics_snapshot()
+        assert snap["queries_served"] == 2
+        assert snap["queries_executed"] == 1
+        assert snap["cache_hits"] == 1
+        assert snap["cache_hit_rate"] == 0.5
+        assert snap["pages_read"] > 0
+        assert snap["sim_wall_seconds"] > 0
+        assert snap["per_strategy"]  # at least one strategy recorded
+
+    def test_explain_names_candidates_and_choice(self):
+        engine = make_engine()
+        text = engine.explain(Query(relations=("a", "b")))
+        assert "Candidates:" in text
+        assert "Chosen" in text
+        assert "sssj" in text
+
+    def test_workload_runs_and_reports(self):
+        engine = make_engine(workers=2, cache_capacity=32)
+        # make_workload targets relations named roads/hydro.
+        engine.register("roads", engine._test_rects[0], universe=UNIT)
+        engine.register("hydro", engine._test_rects[1], universe=UNIT)
+        queries = make_workload(UNIT, 12, seed=3)
+        report = run_workload(engine, queries)
+        assert report["queries"] == 12
+        assert report["sim_wall_seconds"] > 0
+        assert report["metrics"]["queries_served"] == 12
+
+    def test_run_workload_reports_deltas(self):
+        engine = make_engine(cache_capacity=0)
+        engine.register("roads", engine._test_rects[0], universe=UNIT)
+        engine.register("hydro", engine._test_rects[1], universe=UNIT)
+        queries = make_workload(UNIT, 6, seed=4)
+        first = run_workload(engine, queries)
+        second = run_workload(engine, queries)
+        # Per-workload sim seconds, not the engine's lifetime clock.
+        assert first["sim_wall_seconds"] + second["sim_wall_seconds"] == (
+            pytest.approx(engine.metrics.sim_wall_seconds)
+        )

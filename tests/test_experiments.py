@@ -1,5 +1,7 @@
 """Experiment harness: runner, report formatting, CLI."""
 
+import json
+
 import pytest
 
 from repro.experiments.cli import main as cli_main, run_dataset
@@ -122,3 +124,35 @@ class TestCLI:
     def test_cli_rejects_unknown_dataset(self):
         with pytest.raises(SystemExit):
             cli_main(["--dataset", "TEXAS"])
+
+    def test_cli_json_rows(self, capsys):
+        rc = cli_main(["--dataset", "NJ", "--scale", "quick",
+                       "--algorithms", "SSSJ", "--json"])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        rows = [json.loads(ln) for ln in lines]
+        assert len(rows) == 3  # one per machine
+        for row in rows:
+            assert row["dataset"] == "NJ"
+            assert row["algorithm"] == "SSSJ"
+            assert row["pairs"] >= 0
+            assert row["observed_seconds"] > 0
+        # All machines price the same run, so raw counters agree.
+        assert len({row["page_reads"] for row in rows}) == 1
+
+    def test_cli_serve_bench(self, capsys):
+        rc = cli_main(["serve-bench", "--dataset", "NJ", "--scale",
+                       "quick", "--queries", "8", "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serve-bench NJ" in out
+        assert "cache hit rate" in out
+
+    def test_cli_serve_bench_json(self, capsys):
+        rc = cli_main(["serve-bench", "--dataset", "NJ", "--scale",
+                       "quick", "--queries", "8", "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["queries"] == 8
+        assert report["metrics"]["queries_served"] == 8
+        assert report["sim_wall_seconds"] > 0

@@ -6,7 +6,12 @@ import pytest
 
 from repro.core.brute import brute_force_pairs
 from repro.core.histogram import SpatialHistogram
-from repro.core.planner import Relation, choose_method, unified_spatial_join
+from repro.core.planner import (
+    Relation,
+    candidate_estimates,
+    choose_method,
+    unified_spatial_join,
+)
 from repro.data.generator import uniform_rects
 from repro.geom.rect import Rect
 from repro.rtree.bulk_load import bulk_load
@@ -70,6 +75,31 @@ class TestRelation:
         frac = rel.fraction_in(Rect(0.0, 0.5, 0.0, 1.0, 0))
         assert frac == pytest.approx(0.5, abs=0.1)
 
+    def test_fraction_histogram_beats_area_fallback(self):
+        # All data in the left half; a right-half window: the histogram
+        # sees (almost) nothing, the MBR-area fallback would guess 50%.
+        _, _, _, _, rel_a, _ = build_world(
+            region_a=Rect(0.0, 0.5, 0.0, 1.0, 0), seed=20,
+        )
+        rel_a.universe = UNIT
+        window = Rect(0.6, 1.0, 0.0, 1.0, 0)
+        with_hist = rel_a.fraction_in(window)
+        rel_a.histogram = None
+        without = rel_a.fraction_in(window)
+        assert with_hist < 0.05
+        assert without == pytest.approx(0.4, abs=0.01)
+
+    def test_fraction_without_universe_is_one(self):
+        env, disk, a, _, rel_a, _ = build_world(seed=21)
+        rel = Relation(name="x", stream=rel_a.stream)
+        assert rel.universe is None
+        assert rel.fraction_in(Rect(0.0, 0.1, 0.0, 0.1, 0)) == 1.0
+
+    def test_fraction_disjoint_window_is_zero(self):
+        env, disk, a, _, rel_a, _ = build_world(seed=22)
+        rel = Relation(name="x", tree=rel_a.tree, universe=UNIT)
+        assert rel.fraction_in(Rect(3.0, 4.0, 3.0, 4.0, 0)) == 0.0
+
 
 class TestChooseMethod:
     def test_dense_overlap_prefers_sorting(self):
@@ -100,6 +130,36 @@ class TestChooseMethod:
         _, _, _, _, rel_a, rel_b = build_world(seed=8)
         _, est = choose_method(rel_a, rel_b, MACHINE_3, TEST_SCALE)
         assert est.io_seconds > 0 and math.isfinite(est.io_seconds)
+
+    def test_candidate_estimates_lists_all_feasible(self):
+        _, _, _, _, rel_a, rel_b = build_world(seed=23)
+        names = [n for n, _ in candidate_estimates(
+            rel_a, rel_b, MACHINE_3, TEST_SCALE
+        )]
+        assert names == ["pq-index", "pq-mixed-a", "pq-mixed-b", "sssj"]
+
+    def test_tie_break_prefers_earlier_candidate(self, monkeypatch):
+        # Equal estimates everywhere: min() is stable, so the first
+        # candidate — the indexed path — must win the tie.
+        from repro.core.cost_model import CostModel, JoinCostEstimate
+
+        flat = JoinCostEstimate("flat", 1.0, "forced tie")
+        monkeypatch.setattr(
+            CostModel, "estimate_pq_indexed",
+            lambda self, *a, **k: flat,
+        )
+        monkeypatch.setattr(
+            CostModel, "estimate_pq_mixed",
+            lambda self, *a, **k: flat,
+        )
+        monkeypatch.setattr(
+            CostModel, "estimate_sssj",
+            lambda self, *a, **k: flat,
+        )
+        _, _, _, _, rel_a, rel_b = build_world(seed=24)
+        strategy, est = choose_method(rel_a, rel_b, MACHINE_3, TEST_SCALE)
+        assert strategy == "pq-index"
+        assert est.io_seconds == 1.0
 
 
 class TestUnifiedJoin:
@@ -152,3 +212,19 @@ class TestUnifiedJoin:
         res = unified_spatial_join(rel_a, rel_b, disk, MACHINE_3)
         assert res.detail["machine"] == MACHINE_3.name
         assert "estimated_io_seconds" in res.detail
+
+    @pytest.mark.parametrize("force", ["pq-index", "pq-mixed-a",
+                                       "pq-mixed-b", "sssj"])
+    def test_forced_strategy_priced_with_real_model(self, force):
+        # A forced run must carry the cost model's estimate for that
+        # strategy (not NaN), so ablation tables stay comparable.
+        env, disk, a, b, rel_a, rel_b = build_world(seed=14)
+        expected = dict(candidate_estimates(
+            rel_a, rel_b, MACHINE_3, TEST_SCALE
+        ))[force]
+        res = unified_spatial_join(rel_a, rel_b, disk, MACHINE_3,
+                                   force=force)
+        assert math.isfinite(res.detail["estimated_io_seconds"])
+        assert res.detail["estimated_io_seconds"] == pytest.approx(
+            expected.io_seconds
+        )

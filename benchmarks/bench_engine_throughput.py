@@ -1,29 +1,40 @@
-"""Engine serving throughput: cold vs. warm caches, 1 vs. K workers.
+"""Engine serving throughput: cold vs. warm caches, 1 vs. K workers,
+roomy vs. tight memory budgets.
 
 The serving-layer claim, measured: the same mixed workload (dense
 overlays, localized window joins, ~40% verbatim repeats) is replayed
-against fresh engines in three configurations —
+against fresh engines in four configurations —
 
 * **cold, 1 worker** with the result cache disabled: every query
   re-plans and re-executes, the one-shot baseline;
 * **cold, K workers**, cache still disabled: partitioned parallel
   execution shortens the heavy overlays;
-* **warm, 1 worker**: the LRU result cache serves the repeats.
+* **warm, 1 worker**: the LRU result cache serves the repeats;
+* **tight budget, K workers**: the memory budget is squeezed below the
+  tile footprint, so partitioned tiles spill to disk — correctness is
+  unchanged (identical pair totals) and the spill traffic shows up in
+  the metrics.
 
-Throughput is reported against the simulated clock (machine-trio
-faithful) with real wall seconds alongside.  The bench asserts the
-ordering the engine exists to deliver: both the multi-worker and the
-warm-cache configurations beat the cold single-worker baseline.
+The first three configurations run under a budget large enough to hold
+the partitioned tiles in memory, isolating the parallelism/caching
+comparison from spill effects.  Throughput is reported against the
+simulated clock (machine-trio faithful) with real wall seconds
+alongside.  The bench asserts the ordering the engine exists to
+deliver: multi-worker and warm-cache beat the cold single-worker
+baseline, and the budgeted run spills without changing a single
+answer.
 """
 
 from __future__ import annotations
 
+from repro.data.datasets import build_dataset
 from repro.engine.workload import (
     engine_for_dataset,
     make_workload,
     run_workload,
 )
 from repro.experiments.report import fmt_seconds, format_table
+from repro.geom.rect import RECT_BYTES
 
 from common import bench_scale, emit
 
@@ -32,10 +43,11 @@ N_QUERIES = 30
 WORKERS = 4
 
 
-def _serve(workers: int, cache_capacity: int) -> dict:
+def _serve(workers: int, cache_capacity: int, memory_bytes: int) -> dict:
     scale = bench_scale()
     engine = engine_for_dataset(
         DATASET, scale, workers=workers, cache_capacity=cache_capacity,
+        memory_bytes=memory_bytes,
     )
     queries = make_workload(
         engine.catalog.get("roads").universe, N_QUERIES, seed=7,
@@ -44,15 +56,26 @@ def _serve(workers: int, cache_capacity: int) -> dict:
 
 
 def test_engine_throughput():
-    cold_1 = _serve(workers=1, cache_capacity=0)
-    cold_k = _serve(workers=WORKERS, cache_capacity=0)
-    warm_1 = _serve(workers=1, cache_capacity=64)
+    scale = bench_scale()
+    ds = build_dataset(DATASET, scale)
+    data_bytes = (len(ds.roads) + len(ds.hydro)) * RECT_BYTES
+    # Roomy: tiles, pool and caches all fit — the pre-spill regime.
+    roomy = 8 * data_bytes + scale.buffer_pool_bytes
+    # Tight: well below the tile footprint, forcing the spill path
+    # (but above the admission-control floor).
+    tight = max(4096, data_bytes // 4)
+
+    cold_1 = _serve(workers=1, cache_capacity=0, memory_bytes=roomy)
+    cold_k = _serve(workers=WORKERS, cache_capacity=0, memory_bytes=roomy)
+    warm_1 = _serve(workers=1, cache_capacity=64, memory_bytes=roomy)
+    tight_k = _serve(workers=WORKERS, cache_capacity=0, memory_bytes=tight)
 
     rows = []
     for label, rep in (
-        (f"cold cache, 1 worker", cold_1),
+        ("cold cache, 1 worker", cold_1),
         (f"cold cache, {WORKERS} workers", cold_k),
-        (f"warm cache, 1 worker", warm_1),
+        ("warm cache, 1 worker", warm_1),
+        (f"tight budget, {WORKERS} workers", tight_k),
     ):
         m = rep["metrics"]
         rows.append([
@@ -60,6 +83,8 @@ def test_engine_throughput():
             rep["queries"],
             m["cache_hits"],
             m["pages_read"],
+            m["spilled_rects"],
+            m["budget_high_water_bytes"],
             fmt_seconds(rep["sim_wall_seconds"]),
             f"{rep['queries_per_sec_sim']:.1f}",
             fmt_seconds(rep["wall_seconds"]),
@@ -68,12 +93,12 @@ def test_engine_throughput():
         "engine_throughput",
         format_table(
             ["Configuration", "Queries", "Cache hits", "Pages read",
-             "Sim s", "Sim q/s", "Wall s"],
+             "Spilled", "Budget HW B", "Sim s", "Sim q/s", "Wall s"],
             rows,
             title=(
                 f"Engine serving throughput — {DATASET} "
                 f"(scale {bench_scale().name}), {N_QUERIES}-query "
-                "mixed workload"
+                f"mixed workload, budgets roomy={roomy}B tight={tight}B"
             ),
         ),
     )
@@ -87,9 +112,15 @@ def test_engine_throughput():
         "the warm result cache must beat the cold baseline"
     )
     assert warm_1["metrics"]["cache_hits"] > 0
+    # The memory contract, asserted: the tight budget forces spilling
+    # yet changes no answers.
+    assert tight_k["metrics"]["spilled_rects"] > 0, (
+        "a budget below the tile footprint must spill"
+    )
+    assert tight_k["metrics"]["budget_high_water_bytes"] > 0
     # Identical workload => identical answers in every configuration.
     assert (cold_1["pairs_returned"] == cold_k["pairs_returned"]
-            == warm_1["pairs_returned"])
+            == warm_1["pairs_returned"] == tight_k["pairs_returned"])
 
 
 if __name__ == "__main__":

@@ -124,6 +124,118 @@ def pbsm_join(
     )
 
 
+class TileAllowance:
+    """A shared in-memory byte allowance for a set of tile partitions.
+
+    PBSM-style tile distribution is skewed — a per-partition split of
+    the memory grant would spill hot partitions while cold partitions
+    waste their share.  All of one query's :class:`SpillablePartition`
+    objects therefore draw from a single allowance, first come first
+    served; spilling starts only once the partitions *collectively*
+    exhaust it.
+
+    The initial allowance is an estimate (boundary replication makes
+    the true tile footprint unknowable before distribution), so when a
+    grant is attached the allowance grows on demand — in chunks, via
+    ``grant.try_extend`` — as long as the underlying budget has free
+    bytes.  Spilling therefore means the *budget* is exhausted, not
+    that the up-front estimate was short.  Single-threaded by design:
+    distribution and spill re-reads happen on the thread that owns the
+    I/O accounting.
+    """
+
+    #: Extension step: one chunk of rectangles per budget round-trip.
+    EXTEND_BYTES = 256 * RECT_BYTES
+
+    def __init__(self, total_bytes: int, grant=None) -> None:
+        self.total_bytes = total_bytes
+        self.remaining = total_bytes
+        self._grant = grant
+
+    def try_take(self, nbytes: int) -> bool:
+        if nbytes <= self.remaining:
+            self.remaining -= nbytes
+            return True
+        if self._grant is not None:
+            step = max(nbytes, self.EXTEND_BYTES)
+            if self._grant.try_extend(step):
+                self.total_bytes += step
+                self.remaining += step - nbytes
+                return True
+        return False
+
+
+class SpillablePartition:
+    """One partition's tiles: in memory up to an allowance, then on disk.
+
+    The engine's partitioned executor materializes PBSM-style tile
+    partitions in memory (classic ``pbsm_join`` writes them straight to
+    partition streams).  Under a :class:`ResourceBudget` grant the
+    partitions share a :class:`TileAllowance`; rectangles beyond it
+    overflow to a ``Disk``-backed :class:`Stream` and are re-read
+    during the join phase.  Stream writes and re-reads go through the
+    simulated disk, so spilling is priced by the same ledger as every
+    other I/O; the CPU side of moving a record to/from the spill stream
+    is charged by the caller under ``"spill"`` using
+    :attr:`spilled_rects`.
+
+    ``allowance=None`` means unbudgeted (never spills), which keeps the
+    pre-budget executor behaviour byte-identical.
+    """
+
+    def __init__(self, disk: Disk, name: str,
+                 allowance: Optional[TileAllowance] = None) -> None:
+        self.disk = disk
+        self.name = name
+        self.allowance = allowance
+        self.in_memory: List[Rect] = []
+        self._spill: Optional[Stream] = None
+        self.spilled_rects = 0
+
+    def append(self, r: Rect) -> None:
+        if self.allowance is None or self.allowance.try_take(RECT_BYTES):
+            self.in_memory.append(r)
+            return
+        if self._spill is None:
+            self._spill = Stream(self.disk, name=f"{self.name}.spill")
+        self._spill.append(r)
+        self.spilled_rects += 1
+
+    def __len__(self) -> int:
+        return len(self.in_memory) + self.spilled_rects
+
+    @property
+    def spilled(self) -> bool:
+        return self.spilled_rects > 0
+
+    @property
+    def memory_bytes(self) -> int:
+        return len(self.in_memory) * RECT_BYTES
+
+    @property
+    def spilled_bytes(self) -> int:
+        return self.spilled_rects * RECT_BYTES
+
+    def materialize(self) -> List[Rect]:
+        """All rectangles in append order, re-reading any spill stream.
+
+        The spill re-read charges block reads on the shared disk — call
+        this from the thread that owns the I/O accounting.
+        """
+        if self._spill is None:
+            return self.in_memory
+        self._spill.close()
+        return self.in_memory + list(self._spill.scan())
+
+    def free(self) -> None:
+        """Drop the spill stream's disk payloads (temp-file deletion)."""
+        if self._spill is not None:
+            self._spill.close()
+            self._spill.free()
+            self._spill = None
+        self.in_memory = []
+
+
 # -- internals ---------------------------------------------------------------
 
 

@@ -12,8 +12,11 @@ the subsystem a production deployment needs:
   plans priced by the paper's :class:`~repro.core.cost_model.CostModel`;
 * :class:`~repro.engine.executor.Executor` — plan execution, including
   PBSM-style tile-partitioned parallel joins on a worker pool;
-* :class:`~repro.engine.cache.ResultCache` — LRU result cache keyed by
-  query fingerprint + catalog versions;
+* :class:`~repro.engine.cache.ResultCache` — size-aware LRU result
+  cache keyed by query fingerprint + catalog versions;
+* :class:`~repro.engine.resources.ResourceBudget` — the enforced
+  internal-memory contract shared by every layer (grants, spill,
+  admission control, high-water accounting);
 * :class:`~repro.engine.engine.SpatialQueryEngine` — the facade tying
   it together, with serving metrics.
 
@@ -35,6 +38,11 @@ from repro.engine.executor import Executor
 from repro.engine.metrics import EngineMetrics
 from repro.engine.optimizer import Optimizer, PhysicalPlan
 from repro.engine.query import Query
+from repro.engine.resources import (
+    AdmissionError,
+    ResourceBudget,
+    ResourceGrant,
+)
 from repro.engine.workload import (
     engine_for_dataset,
     make_workload,
@@ -42,6 +50,7 @@ from repro.engine.workload import (
 )
 
 __all__ = [
+    "AdmissionError",
     "Catalog",
     "CatalogEntry",
     "EngineMetrics",
@@ -50,6 +59,8 @@ __all__ = [
     "Optimizer",
     "PhysicalPlan",
     "Query",
+    "ResourceBudget",
+    "ResourceGrant",
     "ResultCache",
     "SpatialQueryEngine",
     "engine_for_dataset",

@@ -1,34 +1,79 @@
-"""LRU result cache keyed by query fingerprint + catalog versions.
+"""Size-aware LRU result cache keyed by query fingerprint + versions.
 
 A serving engine sees the same heavy joins again and again (dashboards,
 tile servers); the second identical query should cost a dictionary
 lookup, not an external sort.  Keys are produced by
 ``Query.canonical()`` combined with the versions of the referenced
 catalog entries (see :meth:`repro.engine.catalog.Catalog.versions_of`),
-so re-registered relations never serve stale results.  Eviction is
-plain LRU over entry count — result payloads here are id pairs, whose
-footprint the engine already bounds by refusing to cache oversized
-results.
+so re-registered relations never serve stale results.
+
+Eviction is LRU under two limits: an entry-count ``capacity`` and an
+optional byte budget ``max_bytes``.  Entry footprints are approximated
+by :func:`approx_result_bytes` (id-tuple payloads dominate, so the
+estimate is pairs x per-tuple cost plus a fixed overhead); a single
+result larger than the whole byte budget is served but never cached.
+
+The cache keeps its own byte ledger (``bytes_used``, surfaced as
+``result_cache_bytes`` in the engine snapshot) rather than charging
+the engine's execution :class:`~repro.engine.resources.ResourceBudget`:
+that budget models the paper's *internal algorithm memory* (sort
+chunks, tiles, buffer pool), and letting cached results consume it
+would pin the executor's grants at zero and force spurious spilling —
+result memory is governed here, by ``max_bytes``.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+#: Approximate CPython cost of one cached id tuple: tuple header plus
+#: one pointer-and-int per component.  Deliberately rough — the cache
+#: needs proportionality, not byte-exactness.
+_TUPLE_BYTES = 56
+_ID_BYTES = 36
+#: Fixed per-entry overhead (result object, detail dict, key).
+_ENTRY_BYTES = 512
+
+
+def approx_result_bytes(value: Any) -> int:
+    """Approximate resident bytes of a cached result.
+
+    Works on anything exposing a ``pairs`` list of id tuples
+    (:class:`~repro.core.join_result.JoinResult`); other values get the
+    fixed overhead only.
+    """
+    pairs = getattr(value, "pairs", None)
+    if not pairs:
+        return _ENTRY_BYTES
+    width = len(pairs[0])
+    return _ENTRY_BYTES + len(pairs) * (_TUPLE_BYTES + width * _ID_BYTES)
 
 
 class ResultCache:
-    """Fixed-capacity LRU map from query fingerprints to results."""
+    """LRU map from query fingerprints to results, bounded by bytes.
 
-    def __init__(self, capacity: int = 64) -> None:
+    ``capacity`` bounds the entry count (the pre-budget behaviour);
+    ``max_bytes`` additionally bounds the approximate resident bytes.
+    ``max_bytes=None`` disables byte-based eviction.
+    """
+
+    def __init__(self, capacity: int = 64,
+                 max_bytes: Optional[int] = None) -> None:
         if capacity < 0:
             raise ValueError("cache capacity cannot be negative")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("cache byte budget cannot be negative")
         self.capacity = capacity
+        self.max_bytes = max_bytes
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._sizes: Dict[Hashable, int] = {}
+        self.bytes_used = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.oversized_rejections = 0
 
     def get(self, key: Hashable) -> Optional[Any]:
         """The cached value, refreshed to most-recently-used; or None."""
@@ -39,13 +84,28 @@ class ResultCache:
         self.misses += 1
         return None
 
-    def put(self, key: Hashable, value: Any) -> None:
-        if self.capacity == 0:
+    def put(self, key: Hashable, value: Any,
+            nbytes: Optional[int] = None) -> None:
+        if self.capacity == 0 or self.max_bytes == 0:
             return
+        if nbytes is None:
+            nbytes = approx_result_bytes(value)
+        if self.max_bytes is not None and nbytes > self.max_bytes:
+            # Larger than the whole byte budget: caching it would just
+            # evict everything else and then be evicted itself.
+            self.oversized_rejections += 1
+            return
+        if key in self._entries:
+            self._forget(key)
         self._entries[key] = value
         self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        self._sizes[key] = nbytes
+        self.bytes_used += nbytes
+        while len(self._entries) > self.capacity or (
+            self.max_bytes is not None and self.bytes_used > self.max_bytes
+        ):
+            stale_key, _ = self._entries.popitem(last=False)
+            self._release_size(stale_key)
             self.evictions += 1
 
     def invalidate_relation(self, name: str) -> int:
@@ -58,13 +118,15 @@ class ResultCache:
         """
         stale = [k for k in self._entries if _mentions(k, name)]
         for k in stale:
-            del self._entries[k]
+            self._forget(k)
         self.invalidations += len(stale)
         return len(stale)
 
     def clear(self) -> None:
         self.invalidations += len(self._entries)
         self._entries.clear()
+        self._sizes.clear()
+        self.bytes_used = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -73,6 +135,15 @@ class ResultCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    # -- internals -------------------------------------------------------
+
+    def _forget(self, key: Hashable) -> None:
+        del self._entries[key]
+        self._release_size(key)
+
+    def _release_size(self, key: Hashable) -> None:
+        self.bytes_used -= self._sizes.pop(key, 0)
 
 
 def _mentions(key: Hashable, name: str) -> bool:

@@ -17,6 +17,16 @@ The engine deliberately owns its whole simulated hardware stack
 share counters and a long-lived engine's buffer pool stays warm across
 queries — the serving advantage the paper's one-shot experiments could
 not show.
+
+It also owns one :class:`~repro.engine.resources.ResourceBudget` — by
+default the paper's internal-memory grant plus the ST buffer pool
+(Section 5.1's 24 MB + 22 MB, scaled) — attached to the environment so
+every layer of *execution* charges the same ledger: the buffer pool's
+resident pages, external sorts' run-formation chunks, and the
+partitioned executor's tile grants (with disk spill beyond them).
+Result memory is governed separately by the size-aware cache's own
+byte bound.  Queries whose minimum grant exceeds the whole budget are
+refused up front (:class:`~repro.engine.resources.AdmissionError`).
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ from repro.engine.executor import Executor
 from repro.engine.metrics import EngineMetrics
 from repro.engine.optimizer import Optimizer, PhysicalPlan
 from repro.engine.query import Query
+from repro.engine.resources import AdmissionError, ResourceBudget
 from repro.geom.rect import Rect
 from repro.sim.env import SimEnv
 from repro.sim.machines import MACHINE_3, MachineSpec
@@ -77,23 +88,43 @@ class SpatialQueryEngine:
         cache_capacity: int = 64,
         auto_index: bool = True,
         histogram_grid: int = 32,
+        memory_bytes: Optional[int] = None,
+        cache_bytes: Optional[int] = None,
     ) -> None:
         self.scale = scale
         self.machine = machine
         self.workers = max(1, workers)
+        # The enforced internal-memory contract.  The default mirrors
+        # the paper's Section 5.1 split: the algorithms' memory grant
+        # plus the tree join's LRU pool, both already scaled.
+        self.budget = ResourceBudget(
+            memory_bytes if memory_bytes is not None
+            else scale.memory_bytes + scale.buffer_pool_bytes
+        )
         self.env = SimEnv(scale=scale, machines=(machine,))
+        self.env.budget = self.budget
         self.disk = Disk(self.env)
         self.store = PageStore(self.disk, scale.index_page_bytes)
-        self.pool = BufferPool(self.store, scale.buffer_pool_pages)
+        self.pool = BufferPool(
+            self.store, scale.buffer_pool_pages, budget=self.budget
+        )
         self.catalog = Catalog(
             self.disk, self.store, histogram_grid=histogram_grid
         )
         self.optimizer = Optimizer(
             self.catalog, machine, scale,
             workers=self.workers, auto_index=auto_index,
+            budget=self.budget,
         )
-        self.executor = Executor(self.disk, machine, pool=self.pool)
-        self.cache = ResultCache(capacity=cache_capacity)
+        self.executor = Executor(
+            self.disk, machine, pool=self.pool, budget=self.budget
+        )
+        # The cache governs result memory with its own byte ledger
+        # (``cache_bytes``); the execution budget above stays dedicated
+        # to algorithm memory, as in the paper's Section 5.1 split.
+        self.cache = ResultCache(
+            capacity=cache_capacity, max_bytes=cache_bytes,
+        )
         self.metrics = EngineMetrics()
 
     # -- catalog management ----------------------------------------------
@@ -153,6 +184,16 @@ class SpatialQueryEngine:
         )
         t0 = time.perf_counter()
         plan = self.optimizer.compile(query)
+        if plan.min_grant_bytes > self.budget.total_bytes:
+            # Admission control: even with maximal spilling this query
+            # could not run under the engine's memory contract; refuse
+            # it instead of degrading every other query.
+            self.metrics.record_rejection()
+            raise AdmissionError(
+                f"query {query.describe()!r} needs a minimum grant of "
+                f"{plan.min_grant_bytes} bytes but the engine budget is "
+                f"{self.budget.total_bytes} bytes"
+            )
         result = self.executor.execute(plan, self.catalog)
         wall = time.perf_counter() - t0
 
@@ -176,6 +217,7 @@ class SpatialQueryEngine:
             cpu_ops=d_cpu_ops,
             sim_io_seconds=d_io, sim_cpu_seconds=d_cpu,
             sim_wall_seconds=sim_wall, wall_seconds=wall,
+            spilled_rects=int(result.detail.get("spilled_rects", 0)),
         )
         if result.pairs is None or len(result.pairs) <= MAX_CACHED_PAIRS:
             # Cache a private copy: the caller owns the returned object
@@ -201,10 +243,18 @@ class SpatialQueryEngine:
     # -- observability ---------------------------------------------------
 
     def metrics_snapshot(self) -> dict:
-        """Engine + result-cache + buffer-pool counters in one dict."""
+        """Engine + cache + buffer-pool + budget counters in one dict."""
         snap = self.metrics.snapshot()
+        budget = self.budget.snapshot()
         snap.update({
+            "budget_total_bytes": budget["total_bytes"],
+            "budget_in_use_bytes": budget["in_use_bytes"],
+            "budget_high_water_bytes": budget["high_water_bytes"],
+            "budget_high_water_by_category":
+                budget["high_water_by_category"],
+            "budget_overcommits": budget["overcommits"],
             "result_cache_entries": len(self.cache),
+            "result_cache_bytes": self.cache.bytes_used,
             "result_cache_hit_rate": self.cache.hit_rate,
             "result_cache_evictions": self.cache.evictions,
             "result_cache_invalidations": self.cache.invalidations,

@@ -18,6 +18,17 @@ computes the *critical path* (the busiest worker's ops under a greedy
 longest-processing-time assignment), from which the engine derives the
 simulated parallel wall time.
 
+Partitioned execution runs under the engine's shared
+:class:`~repro.engine.resources.ResourceBudget`: the executor acquires
+a grant for its tiles (category ``"tiles"``) and splits it evenly over
+the partitions; a partition that outgrows its share overflows into a
+disk-backed :class:`~repro.core.pbsm.SpillablePartition` stream and is
+re-read before its sweep, with the spill traffic priced by the same
+simulated-disk ledger as every other I/O.  Self-joins ride the same
+path: the single input is distributed once, each partition is swept
+against itself, and the symmetric/identity pairs are deduplicated at
+the sink (only ``rid_a < rid_b`` survives).
+
 Window and refinement predicates are applied as post-filters on the
 collected pairs, using the catalog's id -> rectangle / geometry maps.
 """
@@ -29,12 +40,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.join_result import JoinResult
 from repro.core.multiway import multiway_join
-from repro.core.pbsm import TileGrid, ref_point
+from repro.core.pbsm import (
+    SpillablePartition,
+    TileAllowance,
+    TileGrid,
+    ref_point,
+)
 from repro.core.planner import unified_spatial_join
 from repro.core.st_join import st_join
 from repro.core.sweep import forward_sweep_pairs
 from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.optimizer import PhysicalPlan
+from repro.engine.resources import ResourceBudget
 from repro.geom.rect import RECT_BYTES, Rect, intersection, union_mbr
 from repro.geom.refine import polylines_intersect
 from repro.sim.machines import MachineSpec
@@ -55,11 +72,13 @@ class Executor:
         machine: MachineSpec,
         pool: Optional[BufferPool] = None,
         tiles_per_side: int = DEFAULT_TILES_PER_SIDE,
+        budget: Optional[ResourceBudget] = None,
     ) -> None:
         self.disk = disk
         self.machine = machine
         self.pool = pool
         self.tiles_per_side = tiles_per_side
+        self.budget = budget
 
     # -- public ----------------------------------------------------------
 
@@ -131,6 +150,7 @@ class Executor:
                              entries: List[CatalogEntry]) -> JoinResult:
         env = self.disk.env
         query = plan.query
+        self_join = query.is_self_join
         universe = union_mbr(plan.regions[0], plan.regions[1])
         n_parts = max(1, plan.partitions)
         tiles = self.tiles_per_side
@@ -138,26 +158,107 @@ class Executor:
             tiles *= 2
         grid = TileGrid(universe, tiles, n_parts)
 
-        parts_a: List[List[Rect]] = [[] for _ in range(n_parts)]
-        parts_b: List[List[Rect]] = [[] for _ in range(n_parts)]
-        ops = 0
-        ops += _distribute(entries[0].stream, parts_a, grid, query.window)
-        ops += _distribute(entries[1].stream, parts_b, grid, query.window)
-        env.charge("partition", ops)
+        # One grant for all in-memory tiles, drawn down first come
+        # first served by every partition (a per-partition split would
+        # spill hot partitions while cold ones waste their share).
+        # Requested at the scan size and extended on demand while the
+        # budget has free bytes (boundary replication makes the true
+        # footprint unknowable up front), so tiles spill only when the
+        # budget is genuinely exhausted.  The minimum keeps at least
+        # one resident rectangle per partition — admission control has
+        # already refused anything that could not run even at that
+        # floor.
+        grant = allowance = None
+        if self.budget is not None:
+            want = sum(
+                e.stream.data_bytes
+                for e in (entries[:1] if self_join else entries)
+            )
+            grant = self.budget.acquire(
+                "tiles", want, minimum=n_parts * RECT_BYTES
+            )
+            allowance = TileAllowance(grant.bytes, grant=grant)
 
-        tasks = [
-            (i, parts_a[i], parts_b[i])
+        parts_a = [
+            SpillablePartition(self.disk, f"tiles.a{i}",
+                               allowance=allowance)
             for i in range(n_parts)
-            if parts_a[i] and parts_b[i]
         ]
+        parts_b = parts_a
+        try:
+            ops = _distribute(entries[0].stream, parts_a, grid,
+                              query.window)
+            if not self_join:
+                parts_b = [
+                    SpillablePartition(self.disk, f"tiles.b{i}",
+                                       allowance=allowance)
+                    for i in range(n_parts)
+                ]
+                ops += _distribute(entries[1].stream, parts_b, grid,
+                                   query.window)
+            env.charge("partition", ops)
 
-        if plan.workers > 1 and len(tasks) > 1:
-            with ThreadPoolExecutor(max_workers=plan.workers) as tp:
-                outcomes = list(
-                    tp.map(lambda t: _join_partition(grid, *t), tasks)
+            all_parts = (
+                parts_a if self_join else parts_a + parts_b
+            )
+            spilled_rects = sum(p.spilled_rects for p in all_parts)
+            spill_partitions = sum(1 for p in all_parts if p.spilled)
+            # The write side of the spill, one op per record; the
+            # streams charged the block I/O as they flushed.
+            env.charge("spill", spilled_rects)
+
+            # Materialize on this thread (spill re-reads hit the shared
+            # simulated disk, whose counters are not thread-safe);
+            # workers then sweep private in-memory lists.  A self-join
+            # partition is materialized once and swept against itself —
+            # re-reading its spill stream twice would double-charge the
+            # one-write-one-reread model the optimizer priced.  Only
+            # partitions that actually join are re-read, and their
+            # spilled bytes are charged back to the grant: the sweep
+            # phase holds them resident again, and the high-water mark
+            # must say so rather than pretend the spill kept it flat.
+            tasks = []
+            reread_rects = 0
+            for i in range(n_parts):
+                if not (len(parts_a[i]) and len(parts_b[i])):
+                    continue
+                active = (
+                    (parts_a[i],) if self_join
+                    else (parts_a[i], parts_b[i])
                 )
-        else:
-            outcomes = [_join_partition(grid, *t) for t in tasks]
+                reread_rects += sum(p.spilled_rects for p in active)
+                side_a = parts_a[i].materialize()
+                side_b = (
+                    side_a if self_join else parts_b[i].materialize()
+                )
+                tasks.append((i, side_a, side_b))
+            env.charge("spill", reread_rects)
+            if grant is not None:
+                grant.charge(reread_rects * RECT_BYTES)
+
+            if plan.workers > 1 and len(tasks) > 1:
+                with ThreadPoolExecutor(max_workers=plan.workers) as tp:
+                    outcomes = list(
+                        tp.map(
+                            lambda t: _join_partition(
+                                grid, *t, self_join=self_join
+                            ),
+                            tasks,
+                        )
+                    )
+            else:
+                outcomes = [
+                    _join_partition(grid, *t, self_join=self_join)
+                    for t in tasks
+                ]
+        finally:
+            for p in parts_a:
+                p.free()
+            if not self_join:
+                for p in parts_b:
+                    p.free()
+            if grant is not None:
+                grant.release()
 
         pairs: Optional[List[Tuple[int, int]]] = (
             [] if query.collect_pairs else None
@@ -198,6 +299,11 @@ class Executor:
                 "sweep_ops_critical": critical,
                 "parallel_cpu_seconds_saved": saved_seconds,
                 "duplicates_eliminated": duplicates,
+                "self_join": self_join,
+                "tile_grant_bytes": grant.bytes if grant else 0,
+                "spilled_rects": spilled_rects,
+                "spilled_bytes": spilled_rects * RECT_BYTES,
+                "spill_partitions": spill_partitions,
             },
         )
 
@@ -216,13 +322,14 @@ class _OpCounter:
             self.cpu_ops += ops
 
 
-def _distribute(stream, parts: List[List[Rect]], grid: TileGrid,
+def _distribute(stream, parts: List[SpillablePartition], grid: TileGrid,
                 window: Optional[Rect]) -> int:
-    """Scan a base stream into in-memory tile partitions.
+    """Scan a base stream into tile partitions (spillable).
 
     The scan charges one sequential read pass on the shared disk (the
-    partition pass the optimizer priced); the partitions themselves
-    live in engine memory.  Returns abstract partitioning ops.
+    partition pass the optimizer priced); partitions hold tiles in
+    memory up to their allowance and overflow to disk streams beyond
+    it.  Returns abstract partitioning ops.
     """
     ops = 0
     for r in stream.scan():
@@ -239,11 +346,15 @@ def _distribute(stream, parts: List[List[Rect]], grid: TileGrid,
 def _join_partition(
     grid: TileGrid, part_id: int,
     side_a: Sequence[Rect], side_b: Sequence[Rect],
+    self_join: bool = False,
 ) -> Tuple[int, List[Tuple[int, int]], int, int]:
     """Sweep one partition; runs on a worker thread, no shared state.
 
+    For self-joins both sides are the same list; the sweep then emits
+    every pair in both orientations plus each rectangle against itself,
+    and the sink keeps exactly the ``rid_a < rid_b`` representative.
     Returns (owned pair count, owned pairs, cpu ops, duplicates
-    suppressed by the reference-point test).
+    suppressed by the reference-point test and self-join dedup).
     """
     local = _OpCounter()
     owned: List[Tuple[int, int]] = []
@@ -251,6 +362,9 @@ def _join_partition(
 
     def sink(ra: Rect, rb: Rect) -> None:
         nonlocal dups
+        if self_join and not ra.rid < rb.rid:
+            dups += 1
+            return
         if grid.partition_of_point(*ref_point(ra, rb)) == part_id:
             owned.append((ra.rid, rb.rid))
         else:

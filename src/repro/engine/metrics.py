@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.geom.rect import RECT_BYTES
+
 
 @dataclass
 class EngineMetrics:
@@ -26,6 +28,14 @@ class EngineMetrics:
     queries_served: int = 0
     cache_hits: int = 0
     queries_executed: int = 0
+    #: Queries refused by admission control (minimum grant > budget).
+    queries_rejected: int = 0
+
+    #: Tile spill traffic from budget-governed partitioned execution.
+    spilled_rects: int = 0
+    spilled_bytes: int = 0
+    #: Executed queries that spilled at least one tile.
+    spill_queries: int = 0
 
     pages_read: int = 0
     pages_written: int = 0
@@ -51,6 +61,10 @@ class EngineMetrics:
         self.cache_hits += 1
         self.pairs_returned += n_pairs
 
+    def record_rejection(self) -> None:
+        """A query refused by admission control (never executed)."""
+        self.queries_rejected += 1
+
     def record_execution(
         self,
         strategy: str,
@@ -64,10 +78,15 @@ class EngineMetrics:
         sim_cpu_seconds: float,
         sim_wall_seconds: float,
         wall_seconds: float,
+        spilled_rects: int = 0,
     ) -> None:
         self.queries_served += 1
         self.queries_executed += 1
         self.pairs_returned += n_pairs
+        if spilled_rects > 0:
+            self.spilled_rects += spilled_rects
+            self.spilled_bytes += spilled_rects * RECT_BYTES
+            self.spill_queries += 1
         self.pages_read += pages_read
         self.pages_written += pages_written
         self.bytes_read += bytes_read
@@ -95,6 +114,10 @@ class EngineMetrics:
             "cache_hits": self.cache_hits,
             "cache_hit_rate": self.cache_hit_rate,
             "queries_executed": self.queries_executed,
+            "queries_rejected": self.queries_rejected,
+            "spilled_rects": self.spilled_rects,
+            "spilled_bytes": self.spilled_bytes,
+            "spill_queries": self.spill_queries,
             "pages_read": self.pages_read,
             "pages_written": self.pages_written,
             "bytes_read": self.bytes_read,

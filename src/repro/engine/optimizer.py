@@ -16,8 +16,20 @@ window into the selectivity fractions, and emits an explainable
   than one worker, and priced as the single sequential partition pass
   it costs (tiles stay in memory).
 
+Plans are priced against the engine's shared
+:class:`~repro.engine.resources.ResourceBudget`: the ``pbsm-grid``
+candidate's tile footprint is compared with the bytes the budget can
+actually grant, and any overflow is priced as spill I/O (one write plus
+one re-read of the spilled bytes, writes at the paper's 1.5x factor) —
+so a plan that fits in memory is preferred over one that spills, and
+``explain()`` shows the memory verdict.  Every plan also carries its
+*minimum grant* — the floor below which the strategy cannot run even
+with maximal spilling — which the engine's admission control checks
+against the budget before executing.
+
 ``explain()`` renders the full decision — candidates, fractions,
-chosen strategy — so a regression in plan choice is a string diff.
+memory verdict, chosen strategy — so a regression in plan choice is a
+string diff.
 """
 
 from __future__ import annotations
@@ -25,17 +37,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.core.cost_model import CostModel, JoinCostEstimate
+from repro.core.cost_model import WRITE_FACTOR, CostModel, JoinCostEstimate
+from repro.core.histogram import SpatialHistogram
 from repro.core.planner import Relation, candidate_estimates
 from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.query import Query
-from repro.geom.rect import RECT_BYTES, Rect, intersection
+from repro.engine.resources import ResourceBudget
+from repro.geom.rect import RECT_BYTES, Rect, intersection, union_mbr
 from repro.sim.machines import MachineSpec
 from repro.sim.scale import ScaleConfig
 
 #: Tile partitions handed to each worker (over-partitioning smooths the
 #: load when tiles are skewed, the classic morsel trick).
 PARTITIONS_PER_WORKER = 4
+
+#: Irreducible per-input working set: one sweep-ready chunk of this
+#: many rectangles (matching the external sort's smallest viable run).
+#: A query's minimum grant is this times its input count; admission
+#: control refuses queries whose minimum exceeds the whole budget.
+MIN_GRANT_RECTS = 64
+
+
+def min_grant_bytes(n_inputs: int) -> int:
+    """The smallest budget grant under which a join can still run."""
+    return n_inputs * MIN_GRANT_RECTS * RECT_BYTES
 
 
 @dataclass
@@ -56,6 +81,14 @@ class PhysicalPlan:
     fractions: List[float] = field(default_factory=list)
     machine: str = ""
     notes: List[str] = field(default_factory=list)
+    #: Memory governance: the engine budget the plan was priced under,
+    #: the estimated in-memory tile footprint (partitioned mode), the
+    #: bytes expected to spill, and the floor below which the plan
+    #: cannot run at all (checked by admission control).
+    memory_bytes: int = 0
+    tile_bytes: int = 0
+    spill_bytes: int = 0
+    min_grant_bytes: int = 0
 
     def explain(self) -> str:
         lines = [
@@ -65,6 +98,21 @@ class PhysicalPlan:
             + (f"  ({self.workers} workers, {self.partitions} partitions)"
                if self.mode == "partitioned" else ""),
         ]
+        if self.memory_bytes:
+            if self.mode == "partitioned":
+                verdict = (
+                    "fits in budget" if self.spill_bytes == 0
+                    else f"spills ~{self.spill_bytes:,} B to disk"
+                )
+                lines.append(
+                    f"Memory  : budget {self.memory_bytes:,} B, "
+                    f"tiles ~{self.tile_bytes:,} B -> {verdict}"
+                )
+            else:
+                lines.append(
+                    f"Memory  : budget {self.memory_bytes:,} B, "
+                    f"min grant {self.min_grant_bytes:,} B"
+                )
         if self.fractions:
             fr = ", ".join(
                 f"{n}={f:.0%}"
@@ -99,12 +147,18 @@ class Optimizer:
         scale: ScaleConfig,
         workers: int = 1,
         auto_index: bool = True,
+        budget: Optional[ResourceBudget] = None,
     ) -> None:
         self.catalog = catalog
         self.machine = machine
         self.scale = scale
         self.workers = max(1, workers)
         self.auto_index = auto_index
+        self.budget = budget
+        #: (name, version, universe) -> histogram rebuilt on a common
+        #: universe for multiway pricing (see
+        #: :meth:`_histograms_on_common_universe`).
+        self._rebuilt_histograms: dict = {}
 
     # -- public ----------------------------------------------------------
 
@@ -117,12 +171,44 @@ class Optimizer:
                 estimate=JoinCostEstimate("empty", 0.0, "window misses data"),
                 regions=regions, machine=self.machine.name,
                 notes=["query window does not intersect every relation"],
+                memory_bytes=self._budget_total(),
             )
         if query.is_multiway:
             return self._compile_multiway(query, entries, regions)
+        if query.is_self_join:
+            return self._compile_self_join(query, entries, regions)
         return self._compile_pairwise(query, entries, regions)
 
     # -- internals -------------------------------------------------------
+
+    def _budget_total(self) -> int:
+        return self.budget.total_bytes if self.budget is not None else 0
+
+    def _pbsm_estimate(
+        self, model: CostModel, scan_bytes: int, label: str,
+    ) -> Tuple[JoinCostEstimate, int]:
+        """Price the partitioned path, including any spill overflow.
+
+        The tile footprint is approximated by the partition-pass bytes
+        (boundary replication adds a few percent on real data); the
+        bytes the budget cannot grant are priced as one spill write at
+        the paper's 1.5x write factor plus one re-read.  Returns the
+        estimate and the expected spilled bytes.
+        """
+        secs = model.sequential_read_seconds(scan_bytes)
+        spill = 0
+        if self.budget is not None:
+            spill = max(0, scan_bytes - self.budget.available_bytes)
+        if spill:
+            secs += (1.0 + WRITE_FACTOR) * model.sequential_read_seconds(
+                spill
+            )
+            detail = (
+                f"{label}, spills ~{spill} of {scan_bytes} tile bytes"
+            )
+        else:
+            detail = f"{label}, tiles fit the memory budget"
+        return JoinCostEstimate("pbsm-grid", secs, detail), spill
 
     def _effective_region(self, entry: CatalogEntry,
                           window: Optional[Rect]) -> Optional[Rect]:
@@ -156,13 +242,13 @@ class Optimizer:
                 model.estimate_st(rel_a.tree.page_count,
                                   rel_b.tree.page_count),
             ))
+        tile_bytes = rel_a.data_bytes + rel_b.data_bytes
+        spill_bytes = 0
         if self.workers > 1:
-            scan_bytes = rel_a.data_bytes + rel_b.data_bytes
-            est = JoinCostEstimate(
-                "pbsm-grid",
-                model.sequential_read_seconds(scan_bytes),
-                f"1 partition pass over {scan_bytes} bytes, "
-                f"in-memory tiles x{self.workers} workers",
+            est, spill_bytes = self._pbsm_estimate(
+                model, tile_bytes,
+                f"1 partition pass over {tile_bytes} bytes "
+                f"x{self.workers} workers",
             )
             candidates.append(("pbsm-grid", est))
             notes.append(
@@ -190,12 +276,11 @@ class Optimizer:
                         entries[1].tree.page_count,
                     )
                 elif strategy == "pbsm-grid":
-                    scan_bytes = rel_a.data_bytes + rel_b.data_bytes
-                    priced["pbsm-grid"] = JoinCostEstimate(
-                        "pbsm-grid",
-                        model.sequential_read_seconds(scan_bytes),
-                        f"1 partition pass over {scan_bytes} bytes",
+                    est, spill_bytes = self._pbsm_estimate(
+                        model, tile_bytes,
+                        f"1 partition pass over {tile_bytes} bytes",
                     )
+                    priced["pbsm-grid"] = est
             estimate = priced.get(
                 strategy, JoinCostEstimate(strategy, float("nan"), "forced")
             )
@@ -220,6 +305,55 @@ class Optimizer:
             fractions=fractions,
             machine=self.machine.name,
             notes=notes,
+            memory_bytes=self._budget_total(),
+            tile_bytes=tile_bytes if mode == "partitioned" else 0,
+            spill_bytes=spill_bytes if mode == "partitioned" else 0,
+            min_grant_bytes=min_grant_bytes(2),
+        )
+
+    def _compile_self_join(
+        self,
+        query: Query,
+        entries: List[CatalogEntry],
+        regions: List[Optional[Rect]],
+    ) -> PhysicalPlan:
+        """Self-joins always take the partitioned PBSM/sweep path.
+
+        The single input is distributed once into tile partitions and
+        each partition is swept against itself; the executor keeps one
+        representative per unordered pair (``rid_a < rid_b``), the
+        "dedupe the symmetric pair once" rule.  The index and
+        sort-based pairwise paths are not defined for identical inputs
+        here, so forcing any other strategy is an error.
+        """
+        if query.force not in (None, "pbsm-grid"):
+            raise ValueError(
+                f"self-joins execute via pbsm-grid only "
+                f"(force={query.force!r} is not supported)"
+            )
+        entry = entries[0]
+        model = CostModel(self.machine, self.scale)
+        tile_bytes = entry.stream.data_bytes
+        estimate, spill_bytes = self._pbsm_estimate(
+            model, tile_bytes,
+            f"self-join: 1 partition pass over {tile_bytes} bytes",
+        )
+        return PhysicalPlan(
+            query=query,
+            mode="partitioned",
+            strategy="pbsm-grid",
+            estimate=estimate,
+            candidates=[("pbsm-grid", estimate)],
+            workers=self.workers,
+            partitions=self.workers * PARTITIONS_PER_WORKER,
+            regions=regions,
+            fractions=[1.0, 1.0],
+            machine=self.machine.name,
+            notes=["self-join: symmetric pairs deduplicated at the sink"],
+            memory_bytes=self._budget_total(),
+            tile_bytes=tile_bytes,
+            spill_bytes=spill_bytes,
+            min_grant_bytes=min_grant_bytes(2),
         )
 
     def _compile_multiway(
@@ -228,12 +362,40 @@ class Optimizer:
         entries: List[CatalogEntry],
         regions: List[Optional[Rect]],
     ) -> PhysicalPlan:
+        """Price the PQ cascade with the pairwise model, step by step.
+
+        The first step pays the full sort-based cost for both inputs.
+        Every later step joins an already-sorted intermediate (Section
+        4: cascade outputs arrive sorted and are never re-sorted)
+        against the next input, so it pays the next input's sort path
+        plus one sequential pass over the intermediate.  Intermediate
+        cardinalities come from
+        :meth:`SpatialHistogram.estimate_join_pairs`; an intermediate
+        tuple is carried forward as if it were its component from the
+        later relation, so the chain multiplies by
+        ``pairs(k, k+1) / |R_k|`` at each step.
+        """
         model = CostModel(self.machine, self.scale)
-        total_bytes = sum(len(e) * RECT_BYTES for e in entries)
+        hists = self._histograms_on_common_universe(entries)
+        sizes = [len(e) for e in entries]
+        bytes_of = [n * RECT_BYTES for n in sizes]
+
+        total_io = model.estimate_sssj(bytes_of[0], bytes_of[1]).io_seconds
+        card = hists[0].estimate_join_pairs(hists[1])
+        cardinalities = [card]
+        for k in range(2, len(entries)):
+            inter_bytes = int(card) * RECT_BYTES
+            total_io += model.estimate_sssj(0, bytes_of[k]).io_seconds
+            total_io += model.sequential_read_seconds(inter_bytes)
+            card *= hists[k - 1].estimate_join_pairs(hists[k]) / max(
+                1, sizes[k - 1]
+            )
+            cardinalities.append(card)
         estimate = JoinCostEstimate(
-            "pq-multiway",
-            model.estimate_sssj(total_bytes, 0).io_seconds,
-            f"cascaded PQ over {len(entries)} inputs (sort-pass bound)",
+            "pq-multiway", total_io,
+            f"cascaded pairwise cost over {len(entries)} inputs, "
+            f"histogram intermediates ~"
+            + " -> ".join(f"{c:.0f}" for c in cardinalities),
         )
         return PhysicalPlan(
             query=query,
@@ -244,6 +406,39 @@ class Optimizer:
             machine=self.machine.name,
             notes=[
                 "multiway joins cascade PQ; intermediate results stay "
-                "sorted and are never re-sorted (Section 4)"
+                "sorted and are never re-sorted (Section 4)",
+                "intermediate cardinalities estimated from spatial "
+                "histograms",
             ],
+            memory_bytes=self._budget_total(),
+            min_grant_bytes=min_grant_bytes(len(entries)),
         )
+
+    def _histograms_on_common_universe(
+        self, entries: List[CatalogEntry],
+    ) -> List[SpatialHistogram]:
+        """Per-entry histograms sharing one universe and grid.
+
+        ``estimate_join_pairs`` requires compatible histograms.  When
+        all entries already share a universe their cached catalog
+        histograms are reused; otherwise fresh ones are built on the
+        union MBR and memoized per (name, version, universe), so
+        recompiling the same multiway query is a dict lookup, not an
+        O(rects) rebuild.
+        """
+        universes = {e.universe for e in entries}
+        if len(universes) == 1:
+            return [e.histogram for e in entries]
+        common = entries[0].universe
+        for e in entries[1:]:
+            common = union_mbr(common, e.universe)
+        grid = self.catalog.histogram_grid
+        hists = []
+        for e in entries:
+            key = (e.name, e.version, common)
+            hist = self._rebuilt_histograms.get(key)
+            if hist is None:
+                hist = SpatialHistogram.build(e.rects, common, grid=grid)
+                self._rebuilt_histograms[key] = hist
+            hists.append(hist)
+        return hists

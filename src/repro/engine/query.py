@@ -26,7 +26,11 @@ class Query:
     relations:
         Names of the catalog relations to join, in join order.  Two
         names make a pairwise join (planned with the cost model); three
-        or more cascade through the multiway PQ join.
+        or more cascade through the multiway PQ join.  Naming the same
+        relation twice is a **self-join**: it is planned through the
+        partitioned PBSM/sweep path and each unordered pair is reported
+        once, as ``(rid_a, rid_b)`` with ``rid_a < rid_b`` (identity
+        pairs are excluded).  Multiway queries may not repeat a name.
     window:
         Optional region restricting the result to pairs whose MBR
         intersection meets the window — the paper's localized-join
@@ -54,8 +58,12 @@ class Query:
     def __post_init__(self) -> None:
         if len(self.relations) < 2:
             raise ValueError("a join query needs at least two relations")
-        if len(set(self.relations)) != len(self.relations):
-            raise ValueError("self-joins are not supported yet")
+        if (len(self.relations) > 2
+                and len(set(self.relations)) != len(self.relations)):
+            raise ValueError(
+                "multiway self-joins are not supported (pairwise "
+                "self-joins are)"
+            )
         if self.refine and len(self.relations) > 2:
             raise ValueError(
                 "refinement is only defined for pairwise queries"
@@ -74,6 +82,11 @@ class Query:
     @property
     def is_multiway(self) -> bool:
         return len(self.relations) > 2
+
+    @property
+    def is_self_join(self) -> bool:
+        return (len(self.relations) == 2
+                and self.relations[0] == self.relations[1])
 
     def canonical(self) -> Tuple:
         """Hashable identity of the request itself (no catalog state)."""

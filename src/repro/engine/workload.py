@@ -35,12 +35,20 @@ def engine_for_dataset(
     machine: MachineSpec = MACHINE_3,
     workers: int = 1,
     cache_capacity: int = 64,
+    memory_bytes: Optional[int] = None,
+    cache_bytes: Optional[int] = None,
 ) -> SpatialQueryEngine:
-    """An engine with one Table 2 dataset registered as two relations."""
+    """An engine with one Table 2 dataset registered as two relations.
+
+    ``memory_bytes`` overrides the engine's memory budget (default:
+    the scaled paper budget); ``cache_bytes`` bounds the result cache
+    in bytes.
+    """
     ds = build_dataset(dataset, scale)
     engine = SpatialQueryEngine(
         scale=scale, machine=machine, workers=workers,
         cache_capacity=cache_capacity,
+        memory_bytes=memory_bytes, cache_bytes=cache_bytes,
     )
     engine.register("roads", ds.roads, universe=ds.universe)
     engine.register("hydro", ds.hydro, universe=ds.universe)
@@ -86,6 +94,7 @@ def run_workload(engine: SpatialQueryEngine,
     both clocks, and the full metrics snapshot.
     """
     sim_before = engine.metrics.sim_wall_seconds
+    spilled_before = engine.metrics.spilled_rects
     t0 = time.perf_counter()
     total_pairs = 0
     for q in queries:
@@ -103,5 +112,7 @@ def run_workload(engine: SpatialQueryEngine,
         "queries_per_sec_sim": (
             len(queries) / sim_wall if sim_wall > 0 else float("inf")
         ),
+        "spilled_rects": engine.metrics.spilled_rects - spilled_before,
+        "budget": engine.budget.snapshot(),
         "metrics": snap,
     }

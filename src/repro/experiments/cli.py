@@ -96,6 +96,17 @@ def _parse_serve_args(argv: List[str]) -> argparse.Namespace:
         help="1/256 of the paper's sizes (default) or 1/1024 (quick)",
     )
     parser.add_argument(
+        "--memory-bytes", type=int, default=None,
+        help=(
+            "engine memory budget in bytes (default: the scaled paper "
+            "budget); small budgets force partitioned tiles to spill"
+        ),
+    )
+    parser.add_argument(
+        "--spill-report", action="store_true",
+        help="append budget/spill/cache-bytes rows to the report table",
+    )
+    parser.add_argument(
         "--json", action="store_true",
         help="emit the serving report as one JSON object",
     )
@@ -177,6 +188,7 @@ def serve_bench(args: argparse.Namespace) -> int:
     scale = _scale(args.scale)
     engine = engine_for_dataset(
         args.dataset, scale, workers=max(1, args.workers),
+        memory_bytes=args.memory_bytes,
     )
     queries = make_workload(
         engine.catalog.get("roads").universe, args.queries, seed=args.seed,
@@ -200,6 +212,18 @@ def serve_bench(args: argparse.Namespace) -> int:
             f"{k}x{v}" for k, v in sorted(m["per_strategy"].items())
         )],
     ]
+    if args.spill_report:
+        budget = report["budget"]
+        rows += [
+            ["budget total bytes", budget["total_bytes"]],
+            ["budget high-water bytes", budget["high_water_bytes"]],
+            ["budget overcommits", budget["overcommits"]],
+            ["spilled rects", m["spilled_rects"]],
+            ["spilled bytes", m["spilled_bytes"]],
+            ["queries that spilled", m["spill_queries"]],
+            ["queries rejected", m["queries_rejected"]],
+            ["result cache bytes", m["result_cache_bytes"]],
+        ]
     title = (
         f"serve-bench {args.dataset} (scale {scale.name}): "
         f"{args.queries} queries, {max(1, args.workers)} workers"

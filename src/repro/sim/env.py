@@ -53,6 +53,13 @@ class SimEnv:
         self.bytes_read = 0
         self.bytes_written = 0
         self.cpu_ops = 0
+        #: Optional shared memory budget
+        #: (:class:`repro.engine.resources.ResourceBudget`).  The engine
+        #: attaches its budget here so deep call paths (external sort,
+        #: spillable partitions) can acquire grants without threading an
+        #: extra argument through every algorithm signature.  ``None``
+        #: (the default for one-shot experiment runs) means unbudgeted.
+        self.budget = None
 
     # -- CPU accounting ---------------------------------------------------
 

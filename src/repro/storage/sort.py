@@ -29,9 +29,15 @@ import heapq
 import math
 from typing import Callable, List, Optional
 
-from repro.geom.rect import Rect
+from repro.geom.rect import RECT_BYTES, Rect
 from repro.storage.disk import Disk
 from repro.storage.stream import Stream
+
+#: Floor on budget-governed run-formation chunks: a sort that cannot
+#: hold even this many records would degenerate into per-record runs.
+#: Matches the floor :meth:`repro.sim.scale.ScaleConfig.memory_rects`
+#: applies to the scaled memory budget itself.
+MIN_SORT_RECTS = 64
 
 
 def _charge_nlogn(env, category: str, n: int) -> None:
@@ -49,7 +55,12 @@ def external_sort(
     """Sort ``source`` by ``key`` into a new closed stream.
 
     ``memory_rects`` bounds how many records are held in memory at once;
-    it defaults to the environment's scaled memory budget.
+    it defaults to the environment's scaled memory budget.  When the
+    environment carries a shared
+    :class:`~repro.engine.resources.ResourceBudget`, the sort acquires
+    a grant for its working set and shrinks ``memory_rects`` to what
+    was actually granted — under memory pressure the sort forms more,
+    smaller runs instead of silently exceeding the budget.
     """
     env = disk.env
     if memory_rects is None:
@@ -57,13 +68,26 @@ def external_sort(
     if memory_rects < 2:
         raise ValueError("memory budget too small to sort anything")
 
-    runs = _form_runs(source, disk, key, memory_rects, name)
-    if len(runs) == 1:
-        return runs[0]
-    out = _merge_runs(runs, disk, key, name)
-    for run in runs:
-        run.free()
-    return out
+    budget = getattr(env, "budget", None)
+    grant = None
+    if budget is not None:
+        grant = budget.acquire(
+            "sort", memory_rects * RECT_BYTES,
+            minimum=MIN_SORT_RECTS * RECT_BYTES,
+        )
+        memory_rects = max(MIN_SORT_RECTS, grant.bytes // RECT_BYTES)
+
+    try:
+        runs = _form_runs(source, disk, key, memory_rects, name)
+        if len(runs) == 1:
+            return runs[0]
+        out = _merge_runs(runs, disk, key, name)
+        for run in runs:
+            run.free()
+        return out
+    finally:
+        if grant is not None:
+            grant.release()
 
 
 def sort_stream_by_ylo(source: Stream, disk: Disk,

@@ -7,6 +7,7 @@ import pytest
 from repro.core.brute import brute_force_pairs
 from repro.data.generator import uniform_rects
 from repro.engine import (
+    AdmissionError,
     Query,
     ResultCache,
     SpatialQueryEngine,
@@ -79,9 +80,13 @@ class TestQueryValidation:
         with pytest.raises(ValueError, match="at least two"):
             Query(relations=("a",))
 
-    def test_self_join_rejected(self):
+    def test_pairwise_self_join_allowed(self):
+        q = Query(relations=("a", "a"))
+        assert q.is_self_join and not q.is_multiway
+
+    def test_multiway_self_join_rejected(self):
         with pytest.raises(ValueError, match="self-join"):
-            Query(relations=("a", "a"))
+            Query(relations=("a", "b", "a"))
 
     def test_windowed_count_only_rejected(self):
         with pytest.raises(ValueError, match="post-filter"):
@@ -303,6 +308,179 @@ class TestResultCache:
         second.result.pairs.clear()
         third = engine.execute(q)
         assert len(third.result.pairs) == n
+
+
+class TestMemoryGovernance:
+    def test_spill_path_matches_in_memory_results(self):
+        # A budget far below the tile footprint (420 rects x 20 B plus
+        # replication) forces partitioned tiles to spill; the answer
+        # must be identical to the roomy run and the spill counters
+        # must say it happened.
+        roomy = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, workers=2,
+            memory_bytes=1_000_000,
+        )
+        tight_budget = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, workers=2,
+            memory_bytes=3000,
+        )
+        a = uniform_rects(300, UNIT, 0.02, seed=1)
+        b = uniform_rects(120, UNIT, 0.03, seed=2, id_base=100_000)
+        for engine in (roomy, tight_budget):
+            engine.register("a", a, universe=UNIT)
+            engine.register("b", b, universe=UNIT)
+
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        ref = roomy.execute(q).result
+        out = tight_budget.execute(q).result
+        assert out.pair_set() == ref.pair_set()
+        assert out.detail["spilled_rects"] > 0
+        assert out.detail["spill_partitions"] > 0
+        assert tight_budget.metrics.spilled_rects == (
+            out.detail["spilled_rects"]
+        )
+        assert tight_budget.metrics.spill_queries == 1
+        # The roomy engine never spilled.
+        assert ref.detail["spilled_rects"] == 0
+
+    def test_admission_control_rejects_impossible_queries(self):
+        engine = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, memory_bytes=2000,
+        )
+        a = uniform_rects(100, UNIT, 0.02, seed=1)
+        b = uniform_rects(50, UNIT, 0.03, seed=2, id_base=100_000)
+        engine.register("a", a, universe=UNIT)
+        engine.register("b", b, universe=UNIT)
+        with pytest.raises(AdmissionError, match="minimum grant"):
+            engine.execute(Query(relations=("a", "b")))
+        assert engine.metrics.queries_rejected == 1
+        assert engine.metrics.queries_executed == 0
+
+    def test_budget_high_water_in_snapshot(self):
+        engine = make_engine(workers=2)
+        engine.execute(Query(relations=("a", "b"), force="pbsm-grid"))
+        snap = engine.metrics_snapshot()
+        assert snap["budget_total_bytes"] == engine.budget.total_bytes
+        assert 0 < snap["budget_high_water_bytes"]
+        assert "tiles" in snap["budget_high_water_by_category"]
+        assert snap["result_cache_bytes"] == engine.cache.bytes_used
+        assert snap["result_cache_bytes"] > 0  # the result was cached
+
+    def test_explain_shows_memory_verdict(self):
+        engine = make_engine(workers=2)
+        engine.prepare()
+        text = engine.explain(
+            Query(relations=("a", "b"), force="pbsm-grid")
+        )
+        assert "Memory" in text and "budget" in text
+
+    def test_cache_bytes_bound_enforced_end_to_end(self):
+        # A byte-capped cache admits the small windowed result but
+        # refuses to hold the big overlay.
+        engine = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, cache_bytes=4096,
+        )
+        a = uniform_rects(300, UNIT, 0.02, seed=1)
+        b = uniform_rects(120, UNIT, 0.03, seed=2, id_base=100_000)
+        engine.register("a", a, universe=UNIT)
+        engine.register("b", b, universe=UNIT)
+        small = Query(relations=("a", "b"),
+                      window=Rect(0.1, 0.25, 0.1, 0.25, 0))
+        big = Query(relations=("a", "b"))
+        engine.execute(big)
+        engine.execute(small)
+        assert engine.cache.oversized_rejections >= 1
+        assert engine.cache.bytes_used <= 4096
+        assert engine.execute(small).from_cache
+        assert not engine.execute(big).from_cache
+
+
+class TestSelfJoin:
+    def test_self_join_matches_brute_force(self):
+        engine = make_engine(workers=2)
+        a, _ = engine._test_rects
+        out = engine.execute(Query(relations=("a", "a")))
+        expected = {
+            (ra.rid, rb.rid)
+            for i, ra in enumerate(a)
+            for rb in a[i + 1:]
+            if ra.intersects(rb)
+        }
+        assert out.result.pair_set() == expected
+        assert out.result.detail["strategy"] == "pbsm-grid"
+        assert out.result.detail["self_join"] is True
+        # Each unordered pair appears exactly once, ordered rid_a < rid_b.
+        assert all(x < y for x, y in out.result.pairs)
+
+    def test_self_join_single_worker(self):
+        serial = make_engine(workers=1)
+        parallel = make_engine(workers=4)
+        q = Query(relations=("a", "a"))
+        assert (serial.execute(q).result.pair_set()
+                == parallel.execute(q).result.pair_set())
+
+    def test_windowed_self_join(self):
+        engine = make_engine(workers=2)
+        a, _ = engine._test_rects
+        window = Rect(0.2, 0.6, 0.2, 0.6, 0)
+        out = engine.execute(Query(relations=("a", "a"), window=window))
+        expected = set()
+        for i, ra in enumerate(a):
+            for rb in a[i + 1:]:
+                inter = intersection(ra, rb)
+                if inter is not None and inter.intersects(window):
+                    expected.add((min(ra.rid, rb.rid),
+                                  max(ra.rid, rb.rid)))
+        assert out.result.pair_set() == expected
+
+    def test_self_join_is_cacheable(self):
+        engine = make_engine(workers=2)
+        q = Query(relations=("a", "a"))
+        first = engine.execute(q)
+        second = engine.execute(q)
+        assert not first.from_cache and second.from_cache
+        assert second.result.n_pairs == first.result.n_pairs
+
+    def test_self_join_rejects_foreign_force(self):
+        engine = make_engine()
+        with pytest.raises(ValueError, match="pbsm-grid"):
+            engine.execute(Query(relations=("a", "a"), force="sssj"))
+
+
+class TestMultiwayPricing:
+    def test_cascaded_estimate_uses_histograms(self):
+        engine = make_engine()
+        c = uniform_rects(80, UNIT, 0.05, seed=3, id_base=200_000)
+        engine.register("c", c, universe=UNIT)
+        plan = engine.optimizer.compile(Query(relations=("a", "b", "c")))
+        assert plan.strategy == "pq-multiway"
+        assert "cascaded pairwise" in plan.estimate.detail
+        assert "histogram intermediates" in plan.estimate.detail
+        assert plan.estimate.io_seconds > 0
+
+    def test_larger_cascade_costs_more(self):
+        engine = make_engine()
+        c = uniform_rects(80, UNIT, 0.05, seed=3, id_base=200_000)
+        d = uniform_rects(60, UNIT, 0.05, seed=4, id_base=300_000)
+        engine.register("c", c, universe=UNIT)
+        engine.register("d", d, universe=UNIT)
+        three = engine.optimizer.compile(
+            Query(relations=("a", "b", "c"))
+        ).estimate.io_seconds
+        four = engine.optimizer.compile(
+            Query(relations=("a", "b", "c", "d"))
+        ).estimate.io_seconds
+        assert four > three
+
+    def test_mixed_universes_still_priced(self):
+        # Relations registered on different universes force fresh
+        # histograms on the union MBR.
+        engine = make_engine()
+        shifted = Rect(0.5, 1.5, 0.5, 1.5, 0)
+        c = uniform_rects(80, shifted, 0.05, seed=3, id_base=200_000)
+        engine.register("c", c, universe=shifted)
+        plan = engine.optimizer.compile(Query(relations=("a", "b", "c")))
+        assert plan.estimate.io_seconds > 0
 
 
 class TestMetricsAndWorkload:

@@ -1,0 +1,89 @@
+"""CI guard: fail when engine serving throughput regresses.
+
+Compares a fresh ``BENCH_engine_throughput.json`` (written by
+``bench_engine_throughput.py``) against a committed baseline
+(``benchmarks/baseline_engine_throughput.json``, recorded at quick
+scale — regenerate it with ``REPRO_BENCH_SCALE=quick`` after an
+intentional perf change).  Only the *simulated* queries/sec figures
+are compared: they are deterministic for a given code state, so a
+regression is a code change, not CI-machine noise.  The default
+tolerance still allows 30% drift so harmless cost-model adjustments
+don't block merges; real regressions (losing the artifact cache, a
+serialized pool) show up as multiples, not percentages.
+
+Usage::
+
+    python benchmarks/check_engine_regression.py \
+        [--bench BENCH_engine_throughput.json] \
+        [--baseline benchmarks/baseline_engine_throughput.json] \
+        [--tolerance 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def check(bench: dict, baseline: dict, tolerance: float) -> list:
+    """Return a list of human-readable failures (empty == pass)."""
+    failures = []
+    if bench.get("scale") != baseline.get("scale"):
+        failures.append(
+            f"scale mismatch: bench ran at {bench.get('scale')!r} but "
+            f"the baseline was recorded at {baseline.get('scale')!r}"
+        )
+        return failures
+    floor = 1.0 - tolerance
+    for key, base_cfg in baseline["configurations"].items():
+        cfg = bench["configurations"].get(key)
+        if cfg is None:
+            failures.append(f"configuration {key!r} missing from bench")
+            continue
+        base_qps = base_cfg["queries_per_sec_sim"]
+        qps = cfg["queries_per_sec_sim"]
+        if base_qps > 0 and qps < floor * base_qps:
+            failures.append(
+                f"{key}: {qps:.1f} sim q/s is "
+                f"{(1 - qps / base_qps):.0%} below the baseline "
+                f"{base_qps:.1f} (tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench", type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_engine_throughput.json",
+    )
+    parser.add_argument(
+        "--baseline", type=pathlib.Path,
+        default=REPO_ROOT / "benchmarks"
+        / "baseline_engine_throughput.json",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    args = parser.parse_args(argv)
+
+    bench = json.loads(args.bench.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    failures = check(bench, baseline, args.tolerance)
+    if failures:
+        for f in failures:
+            print(f"REGRESSION: {f}", file=sys.stderr)
+        return 1
+    qps = {
+        k: round(v["queries_per_sec_sim"], 1)
+        for k, v in bench["configurations"].items()
+    }
+    print(f"throughput ok (sim q/s within {args.tolerance:.0%} "
+          f"of baseline): {qps}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

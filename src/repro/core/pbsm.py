@@ -27,6 +27,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.core.columnar import ColumnarTile
 from repro.core.join_result import JoinResult
 from repro.core.sweep import forward_sweep_pairs
 from repro.geom.rect import RECT_BYTES, Rect
@@ -226,6 +227,21 @@ class SpillablePartition:
             return self.in_memory
         self._spill.close()
         return self.in_memory + list(self._spill.scan())
+
+    def materialize_columnar(self) -> "ColumnarTile":
+        """The partition as one flat columnar tile, in append order.
+
+        Same contents and same spill re-read accounting as
+        :meth:`materialize` (the scan hits the same simulated disk), but
+        packed as :class:`~repro.core.columnar.ColumnarTile` — the wire
+        format the engine's process workers and partition-artifact
+        cache consume, so spilled and resident tiles ship identically.
+        """
+        tile = ColumnarTile.from_rects(self.in_memory)
+        if self._spill is not None:
+            self._spill.close()
+            tile.extend(self._spill.scan())
+        return tile
 
     def free(self) -> None:
         """Drop the spill stream's disk payloads (temp-file deletion)."""

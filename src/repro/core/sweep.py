@@ -102,6 +102,37 @@ class ForwardSweep:
             self.size_items -= removed
         self.ops += ops
 
+    def probe_batch(self, r: Rect, sweep_y: float,
+                    out: List[Tuple[Rect, Rect]],
+                    probe_is_left: bool) -> None:
+        """Batched :meth:`probe`: append oriented pairs straight to ``out``.
+
+        The zero-callback twin of :meth:`probe` — no ``PairSink``
+        invocation per pair, just a C-level ``list.append`` — with
+        bit-identical comparison counting and lazy expiry.  Consumers
+        (the partitioned executor's workers) post-filter the batch in
+        one tight loop instead of paying a Python closure per pair.
+        """
+        items = self.items
+        write = 0
+        ops = 0
+        rxlo = r.xlo
+        rxhi = r.xhi
+        append = out.append
+        for cand in items:
+            ops += 1
+            if cand.yhi < sweep_y:
+                continue
+            items[write] = cand
+            write += 1
+            if cand.xlo <= rxhi and rxlo <= cand.xhi:
+                append((r, cand) if probe_is_left else (cand, r))
+        removed = len(items) - write
+        if removed:
+            del items[write:]
+            self.size_items -= removed
+        self.ops += ops
+
     def compact(self, sweep_y: float) -> None:
         """Evict every entry dead at ``sweep_y`` (pre-overflow GC)."""
         items = self.items
@@ -187,6 +218,40 @@ class StripedSweep:
                             emit(r, cand)
                         else:
                             emit(cand, r)
+            removed = len(strip) - write
+            if removed:
+                del strip[write:]
+                self.size_items -= removed
+        self.ops += ops
+
+    def probe_batch(self, r: Rect, sweep_y: float,
+                    out: List[Tuple[Rect, Rect]],
+                    probe_is_left: bool) -> None:
+        """Batched :meth:`probe` (see :meth:`ForwardSweep.probe_batch`).
+
+        The cross-strip dedup (emit only in the strip holding the left
+        edge of the x-overlap) is applied inline, so the batch carries
+        exactly the pairs the callback mode would have emitted.
+        """
+        lo = self._strip_of(r.xlo)
+        hi = self._strip_of(r.xhi)
+        ops = 0
+        rxlo = r.xlo
+        rxhi = r.xhi
+        append = out.append
+        for s in range(lo, hi + 1):
+            strip = self.strips[s]
+            write = 0
+            for cand in strip:
+                ops += 1
+                if cand.yhi < sweep_y:
+                    continue
+                strip[write] = cand
+                write += 1
+                if cand.xlo <= rxhi and rxlo <= cand.xhi:
+                    edge = rxlo if rxlo >= cand.xlo else cand.xlo
+                    if self._strip_of(edge) == s:
+                        append((r, cand) if probe_is_left else (cand, r))
             removed = len(strip) - write
             if removed:
                 del strip[write:]
@@ -322,6 +387,71 @@ def sweep_join(
     return stats
 
 
+def sweep_join_batched(
+    source_a: Iterator[Rect],
+    source_b: Iterator[Rect],
+    make_structure: SweepStructureFactory,
+    env,
+) -> Tuple[List[Tuple[Rect, Rect]], SweepStats]:
+    """Zero-callback :func:`sweep_join`: collect pairs, don't call sinks.
+
+    Identical merge loop, compaction schedule and accounting as
+    :func:`sweep_join` — comparisons are counted by the structures,
+    flushed to ``env`` in one ``charge`` call, and the live high-water
+    mark is sampled at the same points — but intersecting pairs are
+    appended to a local batch via :meth:`probe_batch` instead of
+    invoking a ``PairSink`` per pair.  Returns the oriented
+    ``(a-rect, b-rect)`` batch (in emit order) alongside the stats; the
+    caller applies any per-pair policy (reference-point ownership,
+    self-join dedup) in its own tight loop.
+    """
+    active_a = make_structure()
+    active_b = make_structure()
+    stats = SweepStats()
+    out: List[Tuple[Rect, Rect]] = []
+
+    head_a = next(source_a, None)
+    head_b = next(source_b, None)
+    last_y = float("-inf")
+    compact_at = 64
+    while head_a is not None or head_b is not None:
+        take_a = head_b is None or (
+            head_a is not None and head_a.ylo <= head_b.ylo
+        )
+        if take_a:
+            r = head_a
+            head_a = next(source_a, None)
+            if r.ylo < last_y:
+                raise ValueError("source A is not sorted by ylo")
+            last_y = r.ylo
+            active_b.probe_batch(r, r.ylo, out, probe_is_left=True)
+            active_a.insert(r)
+        else:
+            r = head_b
+            head_b = next(source_b, None)
+            if r.ylo < last_y:
+                raise ValueError("source B is not sorted by ylo")
+            last_y = r.ylo
+            active_a.probe_batch(r, r.ylo, out, probe_is_left=False)
+            active_b.insert(r)
+        total_items = active_a.size_items + active_b.size_items
+        if total_items > compact_at:
+            active_a.compact(last_y)
+            active_b.compact(last_y)
+            total_items = active_a.size_items + active_b.size_items
+            compact_at = max(64, 2 * total_items)
+            if total_items > stats.max_active_items:
+                stats.max_active_items = total_items
+        elif total_items <= 64 and total_items > stats.max_active_items:
+            stats.max_active_items = total_items
+
+    stats.pairs = len(out)
+    stats.cpu_ops = active_a.ops + active_b.ops
+    stats.max_active_bytes = stats.max_active_items * RECT_BYTES
+    env.charge("sweep", stats.cpu_ops)
+    return out, stats
+
+
 def sweep_join_iter(
     source_a: Iterator[Rect],
     source_b: Iterator[Rect],
@@ -373,6 +503,30 @@ def sweep_join_iter(
     env.charge("sweep", active_a.ops + active_b.ops)
 
 
+def _sorted_inputs_charged(
+    rects_a: Iterable[Rect],
+    rects_b: Iterable[Rect],
+    env,
+    presorted: bool,
+) -> Tuple[List[Rect], List[Rect]]:
+    """Copy-and-sort both inputs by ``(ylo, xlo)``, charging the sort.
+
+    Shared by the callback and batched forward sweeps so their op
+    accounting can never desynchronize: one formula, one place.
+    """
+    import math
+
+    list_a = list(rects_a)
+    list_b = list(rects_b)
+    if not presorted:
+        list_a.sort(key=_ylo_key)
+        list_b.sort(key=_ylo_key)
+        n = len(list_a) + len(list_b)
+        if n > 1:
+            env.charge("sweep", int(n * math.log2(n)))
+    return list_a, list_b
+
+
 def forward_sweep_pairs(
     rects_a: Iterable[Rect],
     rects_b: Iterable[Rect],
@@ -385,19 +539,30 @@ def forward_sweep_pairs(
     Sorting cost (when needed) is charged under ``sweep``; the paper's
     tree join sorts each node's surviving entries before sweeping.
     """
-    import math
-
-    list_a = list(rects_a)
-    list_b = list(rects_b)
-    if not presorted:
-        list_a.sort(key=_ylo_key)
-        list_b.sort(key=_ylo_key)
-        n = len(list_a) + len(list_b)
-        if n > 1:
-            env.charge("sweep", int(n * math.log2(n)))
+    list_a, list_b = _sorted_inputs_charged(rects_a, rects_b, env,
+                                            presorted)
     return sweep_join(
         iter(list_a), iter(list_b), ForwardSweep, env, on_pair=on_pair
     )
+
+
+def forward_sweep_pairs_batched(
+    rects_a: Iterable[Rect],
+    rects_b: Iterable[Rect],
+    env,
+    presorted: bool = False,
+) -> Tuple[List[Tuple[Rect, Rect]], SweepStats]:
+    """Batched :func:`forward_sweep_pairs`: same accounting, no sinks.
+
+    Sort cost (when sorting is needed) is charged under ``sweep`` via
+    the same shared preamble as the callback path, so op totals are
+    bit-identical between the two modes; only the pair-delivery
+    mechanism differs.
+    """
+    list_a, list_b = _sorted_inputs_charged(rects_a, rects_b, env,
+                                            presorted)
+    return sweep_join_batched(iter(list_a), iter(list_b), ForwardSweep,
+                              env)
 
 
 def _ylo_key(r: Rect) -> Tuple[float, float]:

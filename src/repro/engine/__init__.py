@@ -31,12 +31,13 @@ Quick start::
     print(out.result.n_pairs, engine.metrics_snapshot())
 """
 
-from repro.engine.cache import ResultCache
+from repro.engine.cache import PartitionArtifactCache, ResultCache
 from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.engine import EngineResult, SpatialQueryEngine
 from repro.engine.executor import Executor
 from repro.engine.metrics import EngineMetrics
 from repro.engine.optimizer import Optimizer, PhysicalPlan
+from repro.engine.pool import WorkerPool
 from repro.engine.query import Query
 from repro.engine.resources import (
     AdmissionError,
@@ -57,8 +58,10 @@ __all__ = [
     "EngineResult",
     "Executor",
     "Optimizer",
+    "PartitionArtifactCache",
     "PhysicalPlan",
     "Query",
+    "WorkerPool",
     "ResourceBudget",
     "ResourceGrant",
     "ResultCache",

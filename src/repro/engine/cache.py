@@ -1,4 +1,20 @@
-"""Size-aware LRU result cache keyed by query fingerprint + versions.
+"""Engine caches: query results and partition artifacts.
+
+Two caches live here.  :class:`ResultCache` is a size-aware LRU over
+*answers* — the second identical query costs a dictionary lookup.
+:class:`PartitionArtifactCache` is an LRU over *distributed tiles* —
+the columnar per-partition tiles the partitioned executor produced for
+a relation pair, so a warm repeated (or overlapping, e.g. the same
+relations under a different predicate or with the result cache
+disabled) query skips the whole distribute phase and goes straight to
+the sweeps.  Result-cache entries are governed by their own byte
+ledger; artifacts are charged to the engine's execution
+:class:`~repro.engine.resources.ResourceBudget` under the
+``"artifacts"`` category, but only ever occupy *free* budget bytes
+(``grant.try_extend``) and are evicted on demand — cached artifacts can
+never starve a query's tile grant into spilling.
+
+Size-aware LRU result cache keyed by query fingerprint + versions.
 
 A serving engine sees the same heavy joins again and again (dashboards,
 tile servers); the second identical query should cost a dictionary
@@ -26,6 +42,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.geom.rect import RECT_BYTES
 
 #: Approximate CPython cost of one cached id tuple: tuple header plus
 #: one pointer-and-int per component.  Deliberately rough — the cache
@@ -159,3 +177,211 @@ def _mentions(key: Hashable, name: str) -> bool:
         isinstance(v, tuple) and len(v) == 2 and v[0] == name
         for v in versions
     )
+
+
+# -- partition artifacts -----------------------------------------------------
+
+#: Fixed per-artifact overhead (key, entry object, task tuples).
+_ARTIFACT_ENTRY_BYTES = 512
+#: Per-partition overhead within an artifact (tuple + list slots).
+_ARTIFACT_TASK_BYTES = 96
+
+
+def grid_tiles(tiles_per_side: int, partitions: int) -> int:
+    """The executor's effective tile resolution for ``partitions``.
+
+    The grid doubles until it can feed every partition at least one
+    tile; optimizer and executor share this so artifact keys computed
+    at plan time match the ones the executor writes.
+    """
+    tiles = tiles_per_side
+    while tiles * tiles < partitions:
+        tiles *= 2
+    return tiles
+
+
+def artifact_key(versions, universe, tiles_per_side: int,
+                 partitions: int, window) -> Tuple:
+    """The identity of one distributed tile set.
+
+    ``versions`` is the catalog's ``((name, version), ...)`` tuple for
+    the distributed input(s) — a re-registered relation bumps its
+    version, so stale artifacts become unreachable; the grid
+    fingerprint (universe, resolution, partition count) and the query
+    window (the distribute phase filters by it) pin the exact
+    distribution geometry.
+    """
+    return (versions, tuple(universe[:4]),
+            grid_tiles(tiles_per_side, partitions), partitions, window)
+
+
+def artifact_bytes(tasks) -> int:
+    """Approximate resident bytes of one artifact's columnar tiles.
+
+    Each tile is charged its flat columns plus one decoded rectangle
+    set at the repo's ``RECT_BYTES`` convention — the coordinator memo
+    (:meth:`ColumnarTile.decode_sorted_cached`) keeps a boxed copy
+    alive for the artifact's lifetime.
+    """
+    total = _ARTIFACT_ENTRY_BYTES
+    for _part_id, tile_a, tile_b in tasks:
+        total += _ARTIFACT_TASK_BYTES
+        total += tile_a.nbytes + len(tile_a) * RECT_BYTES
+        if tile_b is not None:
+            total += tile_b.nbytes + len(tile_b) * RECT_BYTES
+    return total
+
+
+class PartitionArtifactCache:
+    """LRU cache of distributed columnar tiles, charged to the budget.
+
+    Values are the executor's ready-to-ship task lists:
+    ``[(part_id, tile_a, tile_b_or_None), ...]`` with tiles in
+    :class:`~repro.core.columnar.ColumnarTile` form (``tile_b is None``
+    marks a self-join, whose single side sweeps against itself).  A hit
+    replaces the scan + distribute + spill phases of partitioned
+    execution with decode-and-sweep.
+
+    Memory comes from the engine's execution budget under the
+    ``"artifacts"`` category, taken only while free
+    (:meth:`ResourceGrant.try_extend`) and returned on eviction;
+    :meth:`make_room` lets the executor reclaim artifact bytes before
+    acquiring a tile grant, so caching never causes spilling that an
+    empty cache would have avoided.  ``max_bytes`` adds an absolute
+    cap on top (``0`` disables the cache outright).
+    """
+
+    def __init__(self, budget=None,
+                 max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("artifact byte budget cannot be negative")
+        self.budget = budget
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self._sizes: Dict[Tuple, int] = {}
+        self._grant = None
+        self.bytes_used = 0
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.rejections = 0
+
+    # -- lookups ---------------------------------------------------------
+
+    def get(self, key: Tuple):
+        """The cached task list, refreshed to MRU; or ``None``."""
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def has(self, key: Tuple) -> bool:
+        """Presence probe for the optimizer; bumps no hit/miss counters."""
+        return key in self._entries
+
+    # -- writes ----------------------------------------------------------
+
+    def put(self, key: Tuple, tasks, nbytes: Optional[int] = None) -> bool:
+        """Retain one distribution; returns False when it cannot fit."""
+        if self.max_bytes == 0:
+            return False
+        if nbytes is None:
+            nbytes = artifact_bytes(tasks)
+        if self.max_bytes is not None and nbytes > self.max_bytes:
+            self.rejections += 1
+            return False
+        if key in self._entries:
+            self._forget(key)
+        if self.max_bytes is not None:
+            while (self._entries
+                   and self.bytes_used + nbytes > self.max_bytes):
+                self._evict_lru()
+        if not self._reserve(nbytes):
+            self.rejections += 1
+            return False
+        self._entries[key] = tasks
+        self._sizes[key] = nbytes
+        self.bytes_used += nbytes
+        self.puts += 1
+        return True
+
+    def invalidate_relation(self, name: str) -> int:
+        """Drop artifacts whose version tuple references ``name``."""
+        stale = [
+            k for k in self._entries
+            if any(v[0] == name for v in k[0])
+        ]
+        for k in stale:
+            self._forget(k)
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def make_room(self, nbytes: int) -> None:
+        """Evict LRU artifacts until the budget has ``nbytes`` free.
+
+        Called by the executor before acquiring a tile grant: execution
+        memory always outranks cached artifacts.
+        """
+        if self.budget is None:
+            return
+        while self._entries and self.budget.available_bytes < nbytes:
+            self._evict_lru()
+
+    def clear(self) -> None:
+        self.invalidations += len(self._entries)
+        for key in list(self._entries):
+            self._forget(key)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "entries": len(self._entries),
+            "bytes": self.bytes_used,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "rejections": self.rejections,
+        }
+
+    # -- internals -------------------------------------------------------
+
+    def _reserve(self, nbytes: int) -> bool:
+        """Charge ``nbytes`` to the budget, evicting LRU to make space."""
+        if self.budget is None:
+            return True
+        if self._grant is None:
+            self._grant = self.budget.acquire("artifacts", 0)
+        while not self._grant.try_extend(nbytes):
+            if not self._entries:
+                return False
+            self._evict_lru()
+        return True
+
+    def _evict_lru(self) -> None:
+        key, _ = self._entries.popitem(last=False)
+        self._release_size(key)
+        self.evictions += 1
+
+    def _forget(self, key: Tuple) -> None:
+        del self._entries[key]
+        self._release_size(key)
+
+    def _release_size(self, key: Tuple) -> None:
+        nbytes = self._sizes.pop(key, 0)
+        self.bytes_used -= nbytes
+        if self._grant is not None and nbytes > 0:
+            self._grant.release(nbytes)

@@ -36,11 +36,16 @@ from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
 from repro.core.join_result import JoinResult
-from repro.engine.cache import ResultCache
+from repro.engine.cache import PartitionArtifactCache, ResultCache
 from repro.engine.catalog import Catalog, GeometryMap
-from repro.engine.executor import Executor
+from repro.engine.executor import (
+    DEFAULT_MIN_SHIP_RECTS,
+    DEFAULT_TILES_PER_SIDE,
+    Executor,
+)
 from repro.engine.metrics import EngineMetrics
 from repro.engine.optimizer import Optimizer, PhysicalPlan
+from repro.engine.pool import WorkerPool
 from repro.engine.query import Query
 from repro.engine.resources import AdmissionError, ResourceBudget
 from repro.geom.rect import Rect
@@ -90,6 +95,9 @@ class SpatialQueryEngine:
         histogram_grid: int = 32,
         memory_bytes: Optional[int] = None,
         cache_bytes: Optional[int] = None,
+        pool_kind: str = "process",
+        min_ship_rects: int = DEFAULT_MIN_SHIP_RECTS,
+        artifact_cache_bytes: Optional[int] = None,
     ) -> None:
         self.scale = scale
         self.machine = machine
@@ -111,13 +119,27 @@ class SpatialQueryEngine:
         self.catalog = Catalog(
             self.disk, self.store, histogram_grid=histogram_grid
         )
+        # The persistent worker pool (process-based by default) and the
+        # partition-artifact cache are engine-lived: the pool is created
+        # lazily on the first shipped task and reused by every query;
+        # artifacts occupy only free budget bytes and are evicted
+        # before they could ever starve a tile grant.
+        # ``artifact_cache_bytes=0`` disables artifact reuse.
+        self.worker_pool = WorkerPool(self.workers, kind=pool_kind)
+        self.artifacts = PartitionArtifactCache(
+            budget=self.budget, max_bytes=artifact_cache_bytes,
+        )
         self.optimizer = Optimizer(
             self.catalog, machine, scale,
             workers=self.workers, auto_index=auto_index,
             budget=self.budget,
+            artifacts=self.artifacts,
+            tiles_per_side=DEFAULT_TILES_PER_SIDE,
         )
         self.executor = Executor(
-            self.disk, machine, pool=self.pool, budget=self.budget
+            self.disk, machine, pool=self.pool, budget=self.budget,
+            worker_pool=self.worker_pool, artifacts=self.artifacts,
+            min_ship_rects=min_ship_rects,
         )
         # The cache governs result memory with its own byte ledger
         # (``cache_bytes``); the execution budget above stays dedicated
@@ -141,10 +163,12 @@ class SpatialQueryEngine:
             name, rects, universe=universe, geometries=geometries
         )
         self.cache.invalidate_relation(name)
+        self.artifacts.invalidate_relation(name)
 
     def drop(self, name: str) -> None:
         self.catalog.drop(name)
         self.cache.invalidate_relation(name)
+        self.artifacts.invalidate_relation(name)
 
     def prepare(self, *names: str) -> None:
         """Force-build streams, indexes and histograms now.
@@ -161,16 +185,18 @@ class SpatialQueryEngine:
     # -- serving ---------------------------------------------------------
 
     def execute(self, query: Query) -> EngineResult:
+        t_start = time.perf_counter()
         key = (query.canonical(),
                self.catalog.versions_of(query.relations))
         cached = self.cache.get(key)
         if cached is not None:
-            self.metrics.record_hit(cached.n_pairs)
             result = _copy_result(cached)
             result.detail["cache_hit"] = True
+            hit_wall = time.perf_counter() - t_start
+            self.metrics.record_hit(cached.n_pairs, hit_wall)
             return EngineResult(
                 query=query, result=result, plan=None, from_cache=True,
-                wall_seconds=0.0, sim_wall_seconds=0.0,
+                wall_seconds=hit_wall, sim_wall_seconds=0.0,
             )
 
         # Snapshot counters before compiling: plan-time lazy builds
@@ -240,12 +266,41 @@ class SpatialQueryEngine:
         """
         return self.optimizer.compile(query).explain()
 
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down; the engine stays queryable.
+
+        The pool is recreated lazily if another partitioned query
+        arrives, so ``close`` is safe to call eagerly (tests, short
+        scripts); long-lived servers call it on drain.  Also usable as
+        a context manager.
+        """
+        self.worker_pool.shutdown()
+
+    def __enter__(self) -> "SpatialQueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # -- observability ---------------------------------------------------
 
     def metrics_snapshot(self) -> dict:
         """Engine + cache + buffer-pool + budget counters in one dict."""
         snap = self.metrics.snapshot()
         budget = self.budget.snapshot()
+        artifacts = self.artifacts.snapshot()
+        snap.update({
+            "worker_pool": self.worker_pool.snapshot(),
+            "artifact_cache_entries": artifacts["entries"],
+            "artifact_cache_bytes": artifacts["bytes"],
+            "artifact_cache_hits": artifacts["hits"],
+            "artifact_cache_misses": artifacts["misses"],
+            "artifact_cache_hit_rate": artifacts["hit_rate"],
+            "artifact_cache_evictions": artifacts["evictions"],
+            "artifact_cache_invalidations": artifacts["invalidations"],
+        })
         snap.update({
             "budget_total_bytes": budget["total_bytes"],
             "budget_in_use_bytes": budget["in_use_bytes"],

@@ -5,13 +5,40 @@ Direct plans delegate to the algorithms the repo already trusts
 The engine-only path is **partitioned execution**: both inputs are
 scanned once, cut into PBSM-style tiles (reusing PBSM's tile grid and
 reference-point arithmetic), and the per-partition sweeps are fanned
-out over a ``concurrent.futures`` thread pool.  Duplicate pairs — a
-pair is replicated into every partition its rectangles straddle — are
-eliminated exactly as in PBSM: a pair is reported only by the
-partition owning the tile of its reference point, so the merge is pure
+out over the engine's persistent :class:`~repro.engine.pool.WorkerPool`
+— process-based by default, so the sweeps run on separate interpreters
+instead of serializing on the GIL.  Duplicate pairs — a pair is
+replicated into every partition its rectangles straddle — are
+eliminated exactly as in PBSM: a pair is reported only by the partition
+owning the tile of its reference point, so the merge is pure
 concatenation.
 
-Worker tasks touch no shared simulation state: each sweeps in-memory
+The hot path is built around four cooperating mechanisms:
+
+* **Persistent pool** — the pool outlives queries; the plan's
+  ``workers`` count is a scheduling hint for the simulated critical
+  path, not a pool size.  Tasks smaller than ``min_ship_rects`` run
+  inline on the coordinator (shipping them would cost more than the
+  sweep), and a broken process pool degrades to threads without losing
+  a query.
+* **Columnar shipping** — tiles cross the process boundary as
+  :class:`~repro.core.columnar.ColumnarTile` flat arrays, not lists of
+  ``Rect`` NamedTuples; a worker decodes each tile once and sweeps over
+  locals.  Spilled partitions materialize into the same format
+  (:meth:`SpillablePartition.materialize_columnar`).
+* **Zero-callback sweep** — workers run
+  :func:`~repro.core.sweep.forward_sweep_pairs_batched`, which appends
+  intersecting pairs to a local batch instead of invoking a
+  ``PairSink`` per pair; reference-point ownership and self-join dedup
+  are applied in one tight loop over the batch.  Comparison counting is
+  bit-identical to the callback mode and flushed once per tile.
+* **Partition-artifact cache** — the distributed tiles of recent
+  relation pairs are retained (budget-charged, LRU by bytes) in the
+  engine's :class:`~repro.engine.cache.PartitionArtifactCache`; a warm
+  repeated query skips the scan + distribute + spill phases entirely
+  and goes straight to the sweeps.
+
+Worker tasks touch no shared simulation state: each sweeps local
 rectangle lists against a private op counter, and the merged op total
 is charged to the environment once.  Alongside the total the executor
 computes the *critical path* (the busiest worker's ops under a greedy
@@ -20,14 +47,18 @@ simulated parallel wall time.
 
 Partitioned execution runs under the engine's shared
 :class:`~repro.engine.resources.ResourceBudget`: the executor acquires
-a grant for its tiles (category ``"tiles"``) and splits it evenly over
-the partitions; a partition that outgrows its share overflows into a
-disk-backed :class:`~repro.core.pbsm.SpillablePartition` stream and is
-re-read before its sweep, with the spill traffic priced by the same
-simulated-disk ledger as every other I/O.  Self-joins ride the same
-path: the single input is distributed once, each partition is swept
-against itself, and the symmetric/identity pairs are deduplicated at
-the sink (only ``rid_a < rid_b`` survives).
+a grant for its tiles (category ``"tiles"``) — evicting cached
+artifacts first if the budget is short — and a partition that outgrows
+the shared allowance overflows into a disk-backed
+:class:`~repro.core.pbsm.SpillablePartition` stream, re-read before its
+sweep, with the spill traffic priced by the same simulated-disk ledger
+as every other I/O.  Coordinator-side materialization streams: each
+partition is handed to the pool the moment it materializes, so workers
+sweep early partitions while the coordinator re-reads later ones.
+Self-joins ride the same path: the single input is distributed once,
+each partition is swept against itself, and the symmetric/identity
+pairs are deduplicated in the batch filter (only ``rid_a < rid_b``
+survives).
 
 Window and refinement predicates are applied as post-filters on the
 collected pairs, using the catalog's id -> rectangle / geometry maps.
@@ -35,22 +66,28 @@ collected pairs, using the catalog's id -> rectangle / geometry maps.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import BrokenExecutor
+from typing import List, Optional, Tuple
 
+from repro.core.columnar import ColumnarTile
 from repro.core.join_result import JoinResult
 from repro.core.multiway import multiway_join
 from repro.core.pbsm import (
     SpillablePartition,
     TileAllowance,
     TileGrid,
-    ref_point,
 )
 from repro.core.planner import unified_spatial_join
 from repro.core.st_join import st_join
-from repro.core.sweep import forward_sweep_pairs
+from repro.core.sweep import forward_sweep_pairs_batched
+from repro.engine.cache import (
+    PartitionArtifactCache,
+    artifact_key,
+    grid_tiles,
+)
 from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.optimizer import PhysicalPlan
+from repro.engine.pool import WorkerPool
 from repro.engine.resources import ResourceBudget
 from repro.geom.rect import RECT_BYTES, Rect, intersection, union_mbr
 from repro.geom.refine import polylines_intersect
@@ -61,6 +98,11 @@ from repro.storage.disk import Disk
 #: Tile grid resolution for partitioned plans.  Coarser than PBSM's
 #: 128x128 because partitions here number workers x 4, not hundreds.
 DEFAULT_TILES_PER_SIDE = 32
+
+#: Tasks below this many rectangles (both sides) sweep inline on the
+#: coordinator: pickling a tile across the process boundary costs more
+#: than a small sweep saves.  Tests force shipping with 0.
+DEFAULT_MIN_SHIP_RECTS = 2048
 
 
 class Executor:
@@ -73,12 +115,20 @@ class Executor:
         pool: Optional[BufferPool] = None,
         tiles_per_side: int = DEFAULT_TILES_PER_SIDE,
         budget: Optional[ResourceBudget] = None,
+        worker_pool: Optional[WorkerPool] = None,
+        artifacts: Optional[PartitionArtifactCache] = None,
+        min_ship_rects: int = DEFAULT_MIN_SHIP_RECTS,
     ) -> None:
         self.disk = disk
         self.machine = machine
         self.pool = pool
         self.tiles_per_side = tiles_per_side
         self.budget = budget
+        # A private serial pool keeps direct (engine-less) construction
+        # working; the engine passes its long-lived shared pool.
+        self.worker_pool = worker_pool or WorkerPool(1, kind="serial")
+        self.artifacts = artifacts
+        self.min_ship_rects = max(0, min_ship_rects)
 
     # -- public ----------------------------------------------------------
 
@@ -153,116 +203,78 @@ class Executor:
         self_join = query.is_self_join
         universe = union_mbr(plan.regions[0], plan.regions[1])
         n_parts = max(1, plan.partitions)
-        tiles = self.tiles_per_side
-        while tiles * tiles < n_parts:
-            tiles *= 2
-        grid = TileGrid(universe, tiles, n_parts)
+        grid = TileGrid(universe, grid_tiles(self.tiles_per_side, n_parts),
+                        n_parts)
+        grid_spec = (universe.xlo, universe.xhi, universe.ylo,
+                     universe.yhi, grid.t, n_parts)
+        collect = query.collect_pairs
 
-        # One grant for all in-memory tiles, drawn down first come
-        # first served by every partition (a per-partition split would
-        # spill hot partitions while cold ones waste their share).
-        # Requested at the scan size and extended on demand while the
-        # budget has free bytes (boundary replication makes the true
-        # footprint unknowable up front), so tiles spill only when the
-        # budget is genuinely exhausted.  The minimum keeps at least
-        # one resident rectangle per partition — admission control has
-        # already refused anything that could not run even at that
-        # floor.
-        grant = allowance = None
-        if self.budget is not None:
-            want = sum(
-                e.stream.data_bytes
-                for e in (entries[:1] if self_join else entries)
-            )
-            grant = self.budget.acquire(
-                "tiles", want, minimum=n_parts * RECT_BYTES
-            )
-            allowance = TileAllowance(grant.bytes, grant=grant)
-
-        parts_a = [
-            SpillablePartition(self.disk, f"tiles.a{i}",
-                               allowance=allowance)
-            for i in range(n_parts)
-        ]
-        parts_b = parts_a
-        try:
-            ops = _distribute(entries[0].stream, parts_a, grid,
-                              query.window)
-            if not self_join:
-                parts_b = [
-                    SpillablePartition(self.disk, f"tiles.b{i}",
-                                       allowance=allowance)
-                    for i in range(n_parts)
-                ]
-                ops += _distribute(entries[1].stream, parts_b, grid,
-                                   query.window)
-            env.charge("partition", ops)
-
-            all_parts = (
-                parts_a if self_join else parts_a + parts_b
-            )
-            spilled_rects = sum(p.spilled_rects for p in all_parts)
-            spill_partitions = sum(1 for p in all_parts if p.spilled)
-            # The write side of the spill, one op per record; the
-            # streams charged the block I/O as they flushed.
-            env.charge("spill", spilled_rects)
-
-            # Materialize on this thread (spill re-reads hit the shared
-            # simulated disk, whose counters are not thread-safe);
-            # workers then sweep private in-memory lists.  A self-join
-            # partition is materialized once and swept against itself —
-            # re-reading its spill stream twice would double-charge the
-            # one-write-one-reread model the optimizer priced.  Only
-            # partitions that actually join are re-read, and their
-            # spilled bytes are charged back to the grant: the sweep
-            # phase holds them resident again, and the high-water mark
-            # must say so rather than pretend the spill kept it flat.
-            tasks = []
-            reread_rects = 0
-            for i in range(n_parts):
-                if not (len(parts_a[i]) and len(parts_b[i])):
-                    continue
-                active = (
-                    (parts_a[i],) if self_join
-                    else (parts_a[i], parts_b[i])
+        versions = tuple(
+            (e.name, e.version)
+            for e in (entries[:1] if self_join else entries)
+        )
+        akey = artifact_key(versions, universe, self.tiles_per_side,
+                            n_parts, query.window)
+        cached = None
+        task_window: Optional[Rect] = None
+        if self.artifacts is not None:
+            hit_key = akey if self.artifacts.has(akey) else None
+            if hit_key is None and query.window is not None:
+                # Overlapping-query reuse: a windowed query can sweep
+                # the cached *full* distribution of the same relations.
+                # The distribute-phase window filter is only a pruning
+                # step — window semantics are enforced by the pair
+                # post-filter (``_filter_window``), which windowed
+                # queries always run (they must collect pairs) — so
+                # the final pair set is identical; the full sweep
+                # trades some extra worker CPU for skipping the whole
+                # scan + distribute phase.
+                full_universe = union_mbr(
+                    entries[0].universe, entries[-1].universe
                 )
-                reread_rects += sum(p.spilled_rects for p in active)
-                side_a = parts_a[i].materialize()
-                side_b = (
-                    side_a if self_join else parts_b[i].materialize()
-                )
-                tasks.append((i, side_a, side_b))
-            env.charge("spill", reread_rects)
-            if grant is not None:
-                grant.charge(reread_rects * RECT_BYTES)
-
-            if plan.workers > 1 and len(tasks) > 1:
-                with ThreadPoolExecutor(max_workers=plan.workers) as tp:
-                    outcomes = list(
-                        tp.map(
-                            lambda t: _join_partition(
-                                grid, *t, self_join=self_join
-                            ),
-                            tasks,
-                        )
+                fkey = artifact_key(versions, full_universe,
+                                    self.tiles_per_side, n_parts, None)
+                if self.artifacts.has(fkey):
+                    hit_key = fkey
+                    universe = full_universe
+                    grid = TileGrid(
+                        universe,
+                        grid_tiles(self.tiles_per_side, n_parts),
+                        n_parts,
                     )
-            else:
-                outcomes = [
-                    _join_partition(grid, *t, self_join=self_join)
-                    for t in tasks
-                ]
+                    grid_spec = (universe.xlo, universe.xhi,
+                                 universe.ylo, universe.yhi,
+                                 grid.t, n_parts)
+                    # Workers prune the full tiles to the window before
+                    # sweeping — the same filter distribute would have
+                    # applied, so the sweep stays window-sized.
+                    task_window = query.window
+            # Exactly one hit/miss event per query: the probes above
+            # use has(), which bumps no counters.
+            cached = self.artifacts.get(hit_key if hit_key else akey)
+
+        if cached is not None:
+            submitted, grant = self._submit_cached(
+                cached, grid_spec, self_join, collect, n_parts,
+                task_window,
+            )
+            spilled_rects = spill_partitions = 0
+            parts_to_free: List[SpillablePartition] = []
+        else:
+            (submitted, grant, spilled_rects, spill_partitions,
+             parts_to_free) = self._distribute_and_submit(
+                plan, entries, grid, grid_spec, self_join, collect,
+                n_parts, akey,
+            )
+        try:
+            outcomes = self._gather(submitted)
         finally:
-            for p in parts_a:
+            for p in parts_to_free:
                 p.free()
-            if not self_join:
-                for p in parts_b:
-                    p.free()
             if grant is not None:
                 grant.release()
 
-        pairs: Optional[List[Tuple[int, int]]] = (
-            [] if query.collect_pairs else None
-        )
+        pairs: Optional[List[Tuple[int, int]]] = [] if collect else None
         n_pairs = 0
         total_ops = 0
         duplicates = 0
@@ -280,21 +292,21 @@ class Executor:
         saved_seconds = (
             (total_ops - critical) * self.machine.cpu.seconds_per_op
         )
+        task_sizes = [size for _, _, size in submitted]
         return JoinResult(
             algorithm="PBSM-grid",
             n_pairs=n_pairs,
             pairs=pairs,
             max_memory_bytes=max(
-                ((len(a) + len(b)) * RECT_BYTES for _, a, b in tasks),
-                default=0,
+                (s * RECT_BYTES for s in task_sizes), default=0
             ),
             detail={
                 "strategy": "pbsm-grid",
                 "estimated_io_seconds": plan.estimate.io_seconds,
                 "workers": plan.workers,
                 "partitions": n_parts,
-                "active_partitions": len(tasks),
-                "tiles_per_side": tiles,
+                "active_partitions": len(task_sizes),
+                "tiles_per_side": grid.t,
                 "sweep_ops_total": total_ops,
                 "sweep_ops_critical": critical,
                 "parallel_cpu_seconds_saved": saved_seconds,
@@ -304,8 +316,221 @@ class Executor:
                 "spilled_rects": spilled_rects,
                 "spilled_bytes": spilled_rects * RECT_BYTES,
                 "spill_partitions": spill_partitions,
+                "artifact_hit": cached is not None,
+                "pool_kind": self.worker_pool.kind,
+                "tasks_shipped": sum(
+                    1 for _, shipped, _ in submitted if shipped
+                ),
             },
         )
+
+    # -- partitioned internals -------------------------------------------
+
+    def _submit(self, payload: tuple, size: int) -> tuple:
+        """Hand one tile task to the pool (or sweep inline if small).
+
+        Returns ``(future, shipped, size)``; the payload rides along on
+        the future object for :meth:`_gather`'s broken-pool recovery.
+        """
+        pool = self.worker_pool
+        if pool.kind == "serial" or size < self.min_ship_rects:
+            return (pool.run_inline(sweep_tile_task, payload), False, size)
+        fut = pool.submit(sweep_tile_task, payload)
+        fut._repro_payload = payload
+        return (fut, True, size)
+
+    def _gather(self, submitted: List[tuple]) -> List[tuple]:
+        outcomes = []
+        for fut, shipped, _size in submitted:
+            if not shipped:
+                outcomes.append(fut.result())
+                continue
+            try:
+                outcomes.append(fut.result())
+            except BrokenExecutor:
+                # The pool died under this task (sandboxed fork,
+                # killed worker).  Recompute inline and demote the
+                # pool so the remaining queries keep flowing.  Task-body
+                # exceptions are not caught: they propagate with their
+                # real origin.
+                outcomes.append(
+                    self.worker_pool.recover(
+                        sweep_tile_task, fut._repro_payload
+                    )
+                )
+        return outcomes
+
+    def _submit_cached(
+        self, cached: List[tuple], grid_spec: tuple,
+        self_join: bool, collect: bool, n_parts: int,
+        window: Optional[Rect],
+    ) -> Tuple[List[tuple], Optional[object]]:
+        """Warm path: the distribute phase is skipped entirely.
+
+        Cached columnar tiles go straight to the pool; the only budget
+        interaction is a ``"tiles"`` grant for the decoded working set
+        the sweeps hold resident (the encoded artifact stays charged
+        under ``"artifacts"``).  ``window`` is set when a windowed
+        query reuses the full distribution: workers prune each tile to
+        the window before sweeping.
+        """
+        grant = None
+        if self.budget is not None:
+            decoded = sum(
+                (len(a) + len(a if b is None else b)) * RECT_BYTES
+                for _, a, b in cached
+            )
+            grant = self.budget.acquire(
+                "tiles", decoded, minimum=n_parts * RECT_BYTES
+            )
+        submitted = []
+        for part_id, tile_a, tile_b in cached:
+            size = len(tile_a) + len(tile_a if tile_b is None else tile_b)
+            payload = (part_id, grid_spec, tile_a, tile_b, self_join,
+                       collect, window)
+            submitted.append(self._submit(payload, size))
+        return submitted, grant
+
+    def _distribute_and_submit(
+        self, plan: PhysicalPlan, entries: List[CatalogEntry],
+        grid: TileGrid, grid_spec: tuple, self_join: bool,
+        collect: bool, n_parts: int, akey: tuple,
+    ):
+        """Cold path: scan, distribute, then stream tasks to the pool.
+
+        Partitions are materialized on this thread (spill re-reads hit
+        the shared simulated disk, whose counters are not thread-safe)
+        and each task is submitted the moment its tiles are ready, so
+        worker sweeps overlap the materialization of later partitions.
+        Spill-charge accounting is identical to the pre-streaming
+        executor: distribute ops, spill writes and spill re-reads are
+        each charged once, at the same aggregation points.
+        """
+        env = self.disk.env
+        query = plan.query
+
+        # One grant for all in-memory tiles, drawn down first come
+        # first served by every partition (a per-partition split would
+        # spill hot partitions while cold ones waste their share).
+        # Requested at the scan size and extended on demand while the
+        # budget has free bytes (boundary replication makes the true
+        # footprint unknowable up front), so tiles spill only when the
+        # budget is genuinely exhausted — and cached artifacts are
+        # evicted first: execution memory outranks cached artifacts.
+        grant = allowance = None
+        if self.budget is not None:
+            want = sum(
+                e.stream.data_bytes
+                for e in (entries[:1] if self_join else entries)
+            )
+            if self.artifacts is not None:
+                self.artifacts.make_room(want)
+            grant = self.budget.acquire(
+                "tiles", want, minimum=n_parts * RECT_BYTES
+            )
+            allowance = TileAllowance(grant.bytes, grant=grant)
+
+        parts_a = [
+            SpillablePartition(self.disk, f"tiles.a{i}",
+                               allowance=allowance)
+            for i in range(n_parts)
+        ]
+        parts_b = parts_a
+        parts_to_free = list(parts_a)
+        submitted: List[tuple] = []
+        try:
+            ops = _distribute(entries[0].stream, parts_a, grid,
+                              query.window)
+            if not self_join:
+                parts_b = [
+                    SpillablePartition(self.disk, f"tiles.b{i}",
+                                       allowance=allowance)
+                    for i in range(n_parts)
+                ]
+                parts_to_free.extend(parts_b)
+                ops += _distribute(entries[1].stream, parts_b, grid,
+                                   query.window)
+            env.charge("partition", ops)
+
+            all_parts = (
+                parts_a if self_join else parts_a + parts_b
+            )
+            spilled_rects = sum(p.spilled_rects for p in all_parts)
+            spill_partitions = sum(1 for p in all_parts if p.spilled)
+            # The write side of the spill, one op per record; the
+            # streams charged the block I/O as they flushed.
+            env.charge("spill", spilled_rects)
+
+            # Only partitions that actually join are re-read, and their
+            # spilled bytes are charged back to the grant: the sweep
+            # phase holds them resident again, and the high-water mark
+            # must say so rather than pretend the spill kept it flat.
+            # A self-join partition is materialized once and swept
+            # against itself — re-reading its spill stream twice would
+            # double-charge the one-write-one-reread model the
+            # optimizer priced.
+            ship = self.worker_pool.kind == "process"
+            will_cache = (
+                self.artifacts is not None
+                and self.artifacts.max_bytes != 0
+            )
+            cache_tasks: List[tuple] = []
+            reread_rects = 0
+            for i in range(n_parts):
+                if not (len(parts_a[i]) and len(parts_b[i])):
+                    continue
+                active = (
+                    (parts_a[i],) if self_join
+                    else (parts_a[i], parts_b[i])
+                )
+                reread_rects += sum(p.spilled_rects for p in active)
+                size = len(parts_a[i]) + len(parts_b[i])
+                if ship and size >= self.min_ship_rects:
+                    # Columnar from the start: the same flat tiles
+                    # serve the pickle boundary and the artifact cache.
+                    side_a = parts_a[i].materialize_columnar()
+                    side_b = (
+                        None if self_join
+                        else parts_b[i].materialize_columnar()
+                    )
+                else:
+                    side_a = parts_a[i].materialize()
+                    side_b = None if self_join else parts_b[i].materialize()
+                # Cold tiles are already window-filtered by distribute,
+                # so the task carries no window of its own.
+                payload = (i, grid_spec, side_a, side_b, self_join,
+                           collect, None)
+                submitted.append(self._submit(payload, size))
+                if will_cache:
+                    cache_tasks.append((i, side_a, side_b))
+            env.charge("spill", reread_rects)
+            if grant is not None:
+                grant.charge(reread_rects * RECT_BYTES)
+        except BaseException:
+            for p in parts_to_free:
+                p.free()
+            if grant is not None:
+                grant.release()
+            raise
+
+        # Retain the distribution for warm repeats — memory-resident
+        # runs only (a spilled distribution exists precisely because
+        # the budget could not hold it).  Encodes any list-form tiles
+        # to columnar; put() takes bytes from the budget's free pool
+        # and evicts LRU artifacts, never live grants.
+        if will_cache and spilled_rects == 0 and cache_tasks:
+            self.artifacts.put(akey, [
+                (
+                    i,
+                    a if isinstance(a, ColumnarTile)
+                    else ColumnarTile.from_rects(a),
+                    b if b is None or isinstance(b, ColumnarTile)
+                    else ColumnarTile.from_rects(b),
+                )
+                for i, a, b in cache_tasks
+            ])
+        return (submitted, grant, spilled_rects, spill_partitions,
+                parts_to_free)
 
 
 # -- helpers -----------------------------------------------------------------
@@ -320,6 +545,66 @@ class _OpCounter:
     def charge(self, category: str, ops: int) -> None:
         if ops > 0:
             self.cpu_ops += ops
+
+
+def sweep_tile_task(payload: tuple) -> Tuple[int, Optional[List[Tuple[int, int]]], int, int]:
+    """Sweep one partition tile; runs on a pool worker or inline.
+
+    The payload is self-contained and picklable: tiles arrive either as
+    :class:`ColumnarTile` columns (decoded here, once) or as ready
+    ``Rect`` lists (inline/thread dispatch); ``side_b is None`` marks a
+    self-join, whose single side sweeps against itself.  The sweep is
+    the zero-callback batched kernel; reference-point ownership and
+    self-join dedup run in one tight loop over the batch, so no Python
+    callback fires per candidate pair.  For self-joins the sweep emits
+    every pair in both orientations plus each rectangle against itself,
+    and the filter keeps exactly the ``rid_a < rid_b`` representative.
+
+    Returns ``(owned pair count, owned pairs or None, cpu ops,
+    duplicates suppressed by the reference-point test and self-join
+    dedup)`` — op counts bit-identical to the per-pair-callback path.
+    """
+    part_id, grid_spec, side_a, side_b, self_join, collect, window = (
+        payload
+    )
+    if isinstance(side_a, ColumnarTile):
+        side_a = side_a.decode_sorted_cached()
+    if side_b is None:
+        side_b = side_a
+    elif isinstance(side_b, ColumnarTile):
+        side_b = side_b.decode_sorted_cached()
+    if window is not None:
+        # Windowed reuse of a full distribution: prune to the window
+        # exactly as the distribute phase would have (the filter keeps
+        # sort order, so the presorted fast path stays intact).
+        side_a = [r for r in side_a if r.intersects(window)]
+        side_b = (
+            side_a if self_join
+            else [r for r in side_b if r.intersects(window)]
+        )
+
+    local = _OpCounter()
+    batch, _stats = forward_sweep_pairs_batched(side_a, side_b, local)
+
+    grid = TileGrid(
+        Rect(grid_spec[0], grid_spec[1], grid_spec[2], grid_spec[3], 0),
+        grid_spec[4], grid_spec[5],
+    )
+    part_of = grid.partition_of_point
+    owned: List[Tuple[int, int]] = []
+    append = owned.append
+    dups = 0
+    for ra, rb in batch:
+        if self_join and not ra.rid < rb.rid:
+            dups += 1
+            continue
+        x = ra.xlo if ra.xlo >= rb.xlo else rb.xlo
+        y = ra.ylo if ra.ylo >= rb.ylo else rb.ylo
+        if part_of(x, y) == part_id:
+            append((ra.rid, rb.rid))
+        else:
+            dups += 1
+    return (len(owned), owned if collect else None, local.cpu_ops, dups)
 
 
 def _distribute(stream, parts: List[SpillablePartition], grid: TileGrid,
@@ -341,37 +626,6 @@ def _distribute(stream, parts: List[SpillablePartition], grid: TileGrid,
         for t in targets:
             parts[t].append(r)
     return ops
-
-
-def _join_partition(
-    grid: TileGrid, part_id: int,
-    side_a: Sequence[Rect], side_b: Sequence[Rect],
-    self_join: bool = False,
-) -> Tuple[int, List[Tuple[int, int]], int, int]:
-    """Sweep one partition; runs on a worker thread, no shared state.
-
-    For self-joins both sides are the same list; the sweep then emits
-    every pair in both orientations plus each rectangle against itself,
-    and the sink keeps exactly the ``rid_a < rid_b`` representative.
-    Returns (owned pair count, owned pairs, cpu ops, duplicates
-    suppressed by the reference-point test and self-join dedup).
-    """
-    local = _OpCounter()
-    owned: List[Tuple[int, int]] = []
-    dups = 0
-
-    def sink(ra: Rect, rb: Rect) -> None:
-        nonlocal dups
-        if self_join and not ra.rid < rb.rid:
-            dups += 1
-            return
-        if grid.partition_of_point(*ref_point(ra, rb)) == part_id:
-            owned.append((ra.rid, rb.rid))
-        else:
-            dups += 1
-
-    forward_sweep_pairs(side_a, side_b, local, on_pair=sink)
-    return len(owned), owned, local.cpu_ops, dups
 
 
 def _critical_path_ops(part_ops: List[int], workers: int) -> int:

@@ -15,10 +15,16 @@ statistics so one call tells the whole serving story.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 from repro.geom.rect import RECT_BYTES
+
+#: Bound on the per-query latency reservoir: enough samples for stable
+#: p50/p95 estimates, small enough that a long-lived engine's metrics
+#: stay O(1) in memory.
+LATENCY_RESERVOIR = 512
 
 
 @dataclass
@@ -54,12 +60,51 @@ class EngineMetrics:
     pairs_returned: int = 0
     per_strategy: Dict[str, int] = field(default_factory=dict)
 
+    #: Per-query wall-clock latency: running aggregates plus a bounded
+    #: reservoir sample for tail percentiles (p50/p95).  Cache hits
+    #: count too — a served query is a served query, and hit latency is
+    #: exactly what the tail of a warm engine looks like.
+    latency_count: int = 0
+    latency_total_seconds: float = 0.0
+    latency_max_seconds: float = 0.0
+    _latency_reservoir: List[float] = field(
+        default_factory=list, repr=False
+    )
+    _latency_rng: random.Random = field(
+        default_factory=lambda: random.Random(0x51AB), repr=False
+    )
+
     # -- recording -------------------------------------------------------
 
-    def record_hit(self, n_pairs: int) -> None:
+    def record_latency(self, seconds: float) -> None:
+        """Fold one served query's wall latency into the aggregates."""
+        self.latency_count += 1
+        self.latency_total_seconds += seconds
+        if seconds > self.latency_max_seconds:
+            self.latency_max_seconds = seconds
+        # Classic reservoir sampling keeps each served query equally
+        # likely to be represented, however long the engine lives.
+        if len(self._latency_reservoir) < LATENCY_RESERVOIR:
+            self._latency_reservoir.append(seconds)
+        else:
+            j = self._latency_rng.randrange(self.latency_count)
+            if j < LATENCY_RESERVOIR:
+                self._latency_reservoir[j] = seconds
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) over the latency reservoir."""
+        if not self._latency_reservoir:
+            return 0.0
+        ordered = sorted(self._latency_reservoir)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+    def record_hit(self, n_pairs: int,
+                   wall_seconds: float = 0.0) -> None:
         self.queries_served += 1
         self.cache_hits += 1
         self.pairs_returned += n_pairs
+        self.record_latency(wall_seconds)
 
     def record_rejection(self) -> None:
         """A query refused by admission control (never executed)."""
@@ -97,6 +142,7 @@ class EngineMetrics:
         self.sim_wall_seconds += sim_wall_seconds
         self.wall_seconds += wall_seconds
         self.per_strategy[strategy] = self.per_strategy.get(strategy, 0) + 1
+        self.record_latency(wall_seconds)
 
     # -- reading ---------------------------------------------------------
 
@@ -129,4 +175,9 @@ class EngineMetrics:
             "wall_seconds": self.wall_seconds,
             "pairs_returned": self.pairs_returned,
             "per_strategy": dict(self.per_strategy),
+            "latency_count": self.latency_count,
+            "latency_total_seconds": self.latency_total_seconds,
+            "latency_max_seconds": self.latency_max_seconds,
+            "latency_p50_seconds": self.latency_percentile(0.50),
+            "latency_p95_seconds": self.latency_percentile(0.95),
         }

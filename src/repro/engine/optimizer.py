@@ -40,6 +40,7 @@ from typing import List, Optional, Tuple
 from repro.core.cost_model import WRITE_FACTOR, CostModel, JoinCostEstimate
 from repro.core.histogram import SpatialHistogram
 from repro.core.planner import Relation, candidate_estimates
+from repro.engine.cache import PartitionArtifactCache, artifact_key
 from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.query import Query
 from repro.engine.resources import ResourceBudget
@@ -148,6 +149,8 @@ class Optimizer:
         workers: int = 1,
         auto_index: bool = True,
         budget: Optional[ResourceBudget] = None,
+        artifacts: Optional[PartitionArtifactCache] = None,
+        tiles_per_side: int = 32,
     ) -> None:
         self.catalog = catalog
         self.machine = machine
@@ -155,6 +158,15 @@ class Optimizer:
         self.workers = max(1, workers)
         self.auto_index = auto_index
         self.budget = budget
+        # The executor's partition-artifact cache and tile resolution:
+        # the cost model probes whether a pbsm-grid plan's distribute
+        # phase is already cached (the warm pool then starts sweeping
+        # immediately), pricing repeats of partitioned joins at the
+        # spill-free sweep cost instead of a fresh partition pass.
+        # ``tiles_per_side`` must match the executor's
+        # (DEFAULT_TILES_PER_SIDE) for probe keys to align.
+        self.artifacts = artifacts
+        self.tiles_per_side = tiles_per_side
         #: (name, version, universe) -> histogram rebuilt on a common
         #: universe for multiway pricing (see
         #: :meth:`_histograms_on_common_universe`).
@@ -184,8 +196,43 @@ class Optimizer:
     def _budget_total(self) -> int:
         return self.budget.total_bytes if self.budget is not None else 0
 
+    def _artifact_cached(self, entries: List[CatalogEntry],
+                         regions: List[Optional[Rect]],
+                         query: Query) -> bool:
+        """True when the executor holds this plan's distributed tiles.
+
+        Mirrors the executor's probe order: the exact (windowed) key
+        first, then — for windowed queries — the full distribution of
+        the same relations, which the executor can sweep and post-filter
+        with identical results.
+        """
+        if self.artifacts is None:
+            return False
+        self_join = query.is_self_join
+        versions = tuple(
+            (e.name, e.version)
+            for e in (entries[:1] if self_join else entries)
+        )
+        universe = union_mbr(regions[0], regions[1])
+        partitions = self.workers * PARTITIONS_PER_WORKER
+        if self.artifacts.has(artifact_key(
+            versions, universe, self.tiles_per_side, partitions,
+            query.window,
+        )):
+            return True
+        if query.window is None:
+            return False
+        full_universe = union_mbr(
+            entries[0].universe, entries[-1].universe
+        )
+        return self.artifacts.has(artifact_key(
+            versions, full_universe, self.tiles_per_side, partitions,
+            None,
+        ))
+
     def _pbsm_estimate(
         self, model: CostModel, scan_bytes: int, label: str,
+        artifact_hit: bool = False,
     ) -> Tuple[JoinCostEstimate, int]:
         """Price the partitioned path, including any spill overflow.
 
@@ -194,7 +241,18 @@ class Optimizer:
         bytes the budget cannot grant are priced as one spill write at
         the paper's 1.5x write factor plus one re-read.  Returns the
         estimate and the expected spilled bytes.
+
+        With ``artifact_hit`` the whole scan + distribute + spill phase
+        is replaced by a lookup in the partition-artifact cache: the
+        plan pays no I/O at all, and the persistent pool starts
+        sweeping cached tiles immediately.
         """
+        if artifact_hit:
+            return JoinCostEstimate(
+                "pbsm-grid", 0.0,
+                f"{label}, distributed tiles cached "
+                f"(partition-artifact cache)",
+            ), 0
         secs = model.sequential_read_seconds(scan_bytes)
         spill = 0
         if self.budget is not None:
@@ -244,16 +302,24 @@ class Optimizer:
             ))
         tile_bytes = rel_a.data_bytes + rel_b.data_bytes
         spill_bytes = 0
+        artifact_hit = self._artifact_cached(entries, regions, query)
         if self.workers > 1:
             est, spill_bytes = self._pbsm_estimate(
                 model, tile_bytes,
                 f"1 partition pass over {tile_bytes} bytes "
                 f"x{self.workers} workers",
+                artifact_hit=artifact_hit,
             )
             candidates.append(("pbsm-grid", est))
             notes.append(
-                f"partitioned execution available ({self.workers} workers)"
+                f"partitioned execution available "
+                f"({self.workers}-worker pool stays warm across queries)"
             )
+            if artifact_hit:
+                notes.append(
+                    "distributed tiles cached by a previous run — the "
+                    "partition pass is free"
+                )
 
         fractions = [
             rel_a.fraction_in(regions[1]),
@@ -279,6 +345,7 @@ class Optimizer:
                     est, spill_bytes = self._pbsm_estimate(
                         model, tile_bytes,
                         f"1 partition pass over {tile_bytes} bytes",
+                        artifact_hit=artifact_hit,
                     )
                     priced["pbsm-grid"] = est
             estimate = priced.get(
@@ -337,6 +404,7 @@ class Optimizer:
         estimate, spill_bytes = self._pbsm_estimate(
             model, tile_bytes,
             f"self-join: 1 partition pass over {tile_bytes} bytes",
+            artifact_hit=self._artifact_cached(entries, regions, query),
         )
         return PhysicalPlan(
             query=query,

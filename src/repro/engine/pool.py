@@ -1,0 +1,179 @@
+"""The engine's persistent worker pool.
+
+Before this module the partitioned executor constructed a fresh
+``ThreadPoolExecutor`` inside every query and tore it down afterwards —
+pool startup on the hot path, and thread workers that serialize on the
+GIL while running a pure-Python sweep.  :class:`WorkerPool` inverts
+both decisions:
+
+* **one pool per engine**, created lazily on the first task that needs
+  it and reused by every subsequent query (the plan's ``workers`` count
+  is a scheduling hint for the simulated critical path, not a pool
+  size);
+* **process-based by default** (``kind="process"``), so partition
+  sweeps run on separate interpreters and genuinely use the cores;
+  ``kind="thread"`` keeps the shared-memory fallback and
+  ``kind="serial"`` executes inline on the coordinator.
+
+Tasks must therefore be shipped, not shared: the executor encodes tiles
+as :class:`~repro.core.columnar.ColumnarTile` columns and workers
+return plain ``(rid_a, rid_b)`` lists (see
+:func:`repro.engine.executor.sweep_tile_task`).  Shipping has a real
+cost — pickle both ways plus scheduling — so the pool degrades
+gracefully: single-worker pools run inline, a broken process pool
+(sandboxes without working semaphores, forks that die) falls back to
+threads once and re-runs the lost task inline, and callers are expected
+to keep tiny tasks on the coordinator (the executor's
+``min_ship_rects`` threshold).
+
+Submission is streaming: :meth:`submit` hands one task to the pool the
+moment its partition is materialized, so coordinator-side
+materialization of later partitions overlaps with worker sweeps of
+earlier ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import weakref
+from concurrent.futures import Executor as _FuturesExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Dict, Optional
+
+POOL_KINDS = ("process", "thread", "serial")
+
+
+class _InlineFuture:
+    """A completed-at-submit future for inline (serial) execution."""
+
+    __slots__ = ("_value", "_error")
+
+    def __init__(self, fn: Callable[[Any], Any], payload: Any) -> None:
+        self._value = None
+        self._error: Optional[BaseException] = None
+        try:
+            self._value = fn(payload)
+        except BaseException as exc:  # re-raised at result() like a Future
+            self._error = exc
+
+    def result(self) -> Any:
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class WorkerPool:
+    """A long-lived process/thread pool shared by one engine's queries."""
+
+    def __init__(self, workers: int = 1, kind: str = "process") -> None:
+        if kind not in POOL_KINDS:
+            raise ValueError(
+                f"pool kind must be one of {POOL_KINDS}, got {kind!r}"
+            )
+        self.workers = max(1, workers)
+        #: The requested kind; single-worker pools execute inline
+        #: regardless (a pool of one only adds shipping overhead).
+        self.kind = kind if self.workers > 1 else "serial"
+        self._executor: Optional[_FuturesExecutor] = None
+        self._finalizer: Optional[weakref.finalize] = None
+        # -- stats (surfaced via snapshot / engine metrics) -------------
+        self.tasks_dispatched = 0
+        self.tasks_inline = 0
+        self.pools_created = 0
+        self.fallbacks = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _ensure_executor(self) -> Optional[_FuturesExecutor]:
+        if self._executor is not None or self.kind == "serial":
+            return self._executor
+        if self.kind == "process":
+            try:
+                # Fork keeps startup off the hot path on POSIX; workers
+                # inherit the imported modules instead of re-importing.
+                methods = multiprocessing.get_all_start_methods()
+                ctx = (
+                    multiprocessing.get_context("fork")
+                    if "fork" in methods else None
+                )
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=ctx
+                )
+            except (OSError, PermissionError, ValueError):
+                # No working process support here (restricted sandbox):
+                # degrade to threads for the life of the pool.
+                self.kind = "thread"
+                self.fallbacks += 1
+        if self._executor is None and self.kind == "thread":
+            self._executor = ThreadPoolExecutor(max_workers=self.workers)
+        if self._executor is not None:
+            self.pools_created += 1
+            self._finalizer = weakref.finalize(
+                self, _shutdown_executor, self._executor
+            )
+        return self._executor
+
+    def shutdown(self) -> None:
+        """Stop the pool (idempotent); the next submit recreates it."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, fn: Callable[[Any], Any], payload: Any):
+        """Schedule ``fn(payload)``; returns a future-like object.
+
+        Serial pools compute inline at submit time.  ``fn`` must be a
+        module-level callable and ``payload`` picklable when the pool
+        is process-based.
+        """
+        executor = self._ensure_executor()
+        if executor is None:
+            self.tasks_inline += 1
+            return _InlineFuture(fn, payload)
+        self.tasks_dispatched += 1
+        return executor.submit(fn, payload)
+
+    def run_inline(self, fn: Callable[[Any], Any], payload: Any):
+        """Execute on the coordinator, counted separately from dispatch."""
+        self.tasks_inline += 1
+        return _InlineFuture(fn, payload)
+
+    def recover(self, fn: Callable[[Any], Any], payload: Any) -> Any:
+        """Re-run a task whose pool died; future queries use threads.
+
+        ``BrokenProcessPool`` poisons the whole executor, so the pool is
+        torn down, the kind demoted to ``thread``, and the lost task
+        recomputed inline — correctness over parallelism.
+        """
+        self.fallbacks += 1
+        if self.kind == "process":
+            self.kind = "thread"
+        self.shutdown()
+        return fn(payload)
+
+    # -- observability ---------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._executor is not None
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "workers": self.workers,
+            "started": self.started,
+            "tasks_dispatched": self.tasks_dispatched,
+            "tasks_inline": self.tasks_inline,
+            "pools_created": self.pools_created,
+            "fallbacks": self.fallbacks,
+        }
+
+
+def _shutdown_executor(executor: _FuturesExecutor) -> None:
+    # Module-level so the finalizer holds no reference to the pool.
+    executor.shutdown(wait=False)

@@ -37,18 +37,29 @@ def engine_for_dataset(
     cache_capacity: int = 64,
     memory_bytes: Optional[int] = None,
     cache_bytes: Optional[int] = None,
+    pool_kind: str = "process",
+    min_ship_rects: Optional[int] = None,
+    artifact_cache_bytes: Optional[int] = None,
 ) -> SpatialQueryEngine:
     """An engine with one Table 2 dataset registered as two relations.
 
     ``memory_bytes`` overrides the engine's memory budget (default:
     the scaled paper budget); ``cache_bytes`` bounds the result cache
-    in bytes.
+    in bytes.  ``pool_kind``/``min_ship_rects`` configure the
+    persistent worker pool and ``artifact_cache_bytes`` caps (or with
+    0 disables) the partition-artifact cache.
     """
     ds = build_dataset(dataset, scale)
+    extra = {}
+    if min_ship_rects is not None:
+        extra["min_ship_rects"] = min_ship_rects
     engine = SpatialQueryEngine(
         scale=scale, machine=machine, workers=workers,
         cache_capacity=cache_capacity,
         memory_bytes=memory_bytes, cache_bytes=cache_bytes,
+        pool_kind=pool_kind,
+        artifact_cache_bytes=artifact_cache_bytes,
+        **extra,
     )
     engine.register("roads", ds.roads, universe=ds.universe)
     engine.register("hydro", ds.hydro, universe=ds.universe)
@@ -85,24 +96,51 @@ def make_workload(universe: Rect, n_queries: int,
     return queries
 
 
+def _quantile(ordered: List[float], q: float) -> float:
+    if not ordered:
+        return 0.0
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
 def run_workload(engine: SpatialQueryEngine,
                  queries: List[Query]) -> Dict[str, object]:
     """Serve ``queries`` and summarize the engine's behaviour.
 
     The report contains real wall seconds, simulated engine seconds
     (the machine-trio-faithful cost of serving), throughput against
-    both clocks, and the full metrics snapshot.
+    both clocks, per-query latency percentiles, pool and
+    artifact-cache activity, and the full metrics snapshot.  Every
+    per-run figure — clocks, spills, latencies, pool/artifact
+    counters — is a delta over *this* workload, not the engine's
+    lifetime (the engine may have served earlier traffic); only
+    gauges (pool kind/size, artifact entries/bytes, the snapshot) and
+    the budget snapshot reflect current engine state.
     """
     sim_before = engine.metrics.sim_wall_seconds
     spilled_before = engine.metrics.spilled_rects
+    pool_before = engine.worker_pool.snapshot()
+    art_before = engine.artifacts.snapshot()
+    latencies: List[float] = []
     t0 = time.perf_counter()
     total_pairs = 0
     for q in queries:
-        total_pairs += engine.execute(q).result.n_pairs
+        out = engine.execute(q)
+        total_pairs += out.result.n_pairs
+        latencies.append(out.wall_seconds)
     wall = time.perf_counter() - t0
     snap = engine.metrics_snapshot()
-    # Delta, not lifetime: the engine may have served earlier traffic.
     sim_wall = engine.metrics.sim_wall_seconds - sim_before
+    pool = engine.worker_pool.snapshot()
+    for key in ("tasks_dispatched", "tasks_inline", "pools_created",
+                "fallbacks"):
+        pool[key] -= pool_before[key]
+    artifacts = engine.artifacts.snapshot()
+    for key in ("hits", "misses", "puts", "evictions", "invalidations",
+                "rejections"):
+        artifacts[key] -= art_before[key]
+    probes = artifacts["hits"] + artifacts["misses"]
+    artifacts["hit_rate"] = artifacts["hits"] / probes if probes else 0.0
+    latencies.sort()
     return {
         "queries": len(queries),
         "pairs_returned": total_pairs,
@@ -114,5 +152,10 @@ def run_workload(engine: SpatialQueryEngine,
         ),
         "spilled_rects": engine.metrics.spilled_rects - spilled_before,
         "budget": engine.budget.snapshot(),
+        "pool": pool,
+        "artifacts": artifacts,
+        "latency_p50_seconds": _quantile(latencies, 0.50),
+        "latency_p95_seconds": _quantile(latencies, 0.95),
+        "latency_max_seconds": latencies[-1] if latencies else 0.0,
         "metrics": snap,
     }

@@ -103,6 +103,25 @@ def _parse_serve_args(argv: List[str]) -> argparse.Namespace:
         ),
     )
     parser.add_argument(
+        "--pool-kind", choices=("process", "thread", "serial"),
+        default="process",
+        help=(
+            "worker pool flavour for partitioned plans (default: "
+            "process — a persistent process pool shared by all queries)"
+        ),
+    )
+    parser.add_argument(
+        "--min-ship-rects", type=int, default=None,
+        help=(
+            "smallest tile (rects) worth shipping to a pool worker; "
+            "smaller tiles sweep inline on the coordinator"
+        ),
+    )
+    parser.add_argument(
+        "--no-artifact-cache", action="store_true",
+        help="disable partition-artifact reuse across queries",
+    )
+    parser.add_argument(
         "--spill-report", action="store_true",
         help="append budget/spill/cache-bytes rows to the report table",
     )
@@ -189,11 +208,15 @@ def serve_bench(args: argparse.Namespace) -> int:
     engine = engine_for_dataset(
         args.dataset, scale, workers=max(1, args.workers),
         memory_bytes=args.memory_bytes,
+        pool_kind=args.pool_kind,
+        min_ship_rects=args.min_ship_rects,
+        artifact_cache_bytes=0 if args.no_artifact_cache else None,
     )
     queries = make_workload(
         engine.catalog.get("roads").universe, args.queries, seed=args.seed,
     )
     report = run_workload(engine, queries)
+    engine.close()
     if args.json:
         print(json.dumps(report, default=str, sort_keys=True))
         return 0
@@ -208,6 +231,20 @@ def serve_bench(args: argparse.Namespace) -> int:
         ["simulated seconds", fmt_seconds(report["sim_wall_seconds"])],
         ["queries/s (wall)", f"{report['queries_per_sec_wall']:.1f}"],
         ["queries/s (simulated)", f"{report['queries_per_sec_sim']:.1f}"],
+        ["latency p50 / p95", (
+            f"{fmt_seconds(report['latency_p50_seconds'])} / "
+            f"{fmt_seconds(report['latency_p95_seconds'])}"
+        )],
+        ["worker pool", (
+            f"{report['pool']['kind']} x{report['pool']['workers']}, "
+            f"{report['pool']['tasks_dispatched']} shipped / "
+            f"{report['pool']['tasks_inline']} inline"
+        )],
+        ["artifact cache", (
+            f"{report['artifacts']['hits']} hits, "
+            f"{report['artifacts']['entries']} entries, "
+            f"{report['artifacts']['bytes']} B"
+        )],
         ["strategies", ", ".join(
             f"{k}x{v}" for k, v in sorted(m["per_strategy"].items())
         )],

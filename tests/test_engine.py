@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.brute import brute_force_pairs
+from repro.core.columnar import ColumnarTile
 from repro.data.generator import uniform_rects
 from repro.engine import (
     AdmissionError,
@@ -527,3 +528,270 @@ class TestMetricsAndWorkload:
         assert first["sim_wall_seconds"] + second["sim_wall_seconds"] == (
             pytest.approx(engine.metrics.sim_wall_seconds)
         )
+
+
+class TestParallelPool:
+    """Persistent worker pool: equality, shipping, fallback, accounting."""
+
+    def _engines(self, **kw):
+        serial = make_engine(workers=3, cache_capacity=0)
+        other = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, workers=3,
+            cache_capacity=0, min_ship_rects=0, **kw,
+        )
+        a, b = serial._test_rects
+        other.register("a", a, universe=UNIT)
+        other.register("b", b, universe=UNIT)
+        return serial, other
+
+    def test_process_pool_matches_serial_random_workloads(self):
+        rng_seeds = [(31, 32), (41, 42)]
+        for sa, sb in rng_seeds:
+            a = uniform_rects(350, UNIT, 0.02, seed=sa)
+            b = uniform_rects(150, UNIT, 0.035, seed=sb, id_base=100_000)
+            serial = SpatialQueryEngine(
+                scale=TEST_SCALE, machine=MACHINE_3, workers=3,
+                cache_capacity=0, pool_kind="serial",
+            )
+            proc = SpatialQueryEngine(
+                scale=TEST_SCALE, machine=MACHINE_3, workers=3,
+                cache_capacity=0, pool_kind="process", min_ship_rects=0,
+            )
+            for e in (serial, proc):
+                e.register("a", a, universe=UNIT)
+                e.register("b", b, universe=UNIT)
+            q = Query(relations=("a", "b"), force="pbsm-grid")
+            rs = serial.execute(q).result
+            rp = proc.execute(q).result
+            assert rp.detail["pool_kind"] == "process"
+            assert rp.detail["tasks_shipped"] > 0
+            assert rp.pair_set() == rs.pair_set()
+            # Op/byte accounting must not depend on where sweeps ran.
+            assert (rp.detail["sweep_ops_total"]
+                    == rs.detail["sweep_ops_total"])
+            assert proc.env.cpu_ops == serial.env.cpu_ops
+            assert proc.env.bytes_read == serial.env.bytes_read
+            proc.close()
+
+    def test_process_pool_self_join_matches_serial(self):
+        a = uniform_rects(300, UNIT, 0.025, seed=51)
+        serial = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, workers=2,
+            cache_capacity=0, pool_kind="serial",
+        )
+        proc = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, workers=2,
+            cache_capacity=0, pool_kind="process", min_ship_rects=0,
+        )
+        for e in (serial, proc):
+            e.register("a", a, universe=UNIT)
+        q = Query(relations=("a", "a"))
+        rs = serial.execute(q).result
+        rp = proc.execute(q).result
+        assert rp.pair_set() == rs.pair_set()
+        assert all(x < y for x, y in rp.pairs)
+        assert rp.detail["tasks_shipped"] > 0
+        proc.close()
+
+    def test_thread_pool_matches_serial(self):
+        serial, threaded = self._engines(pool_kind="thread")
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        rs = serial.execute(q).result
+        rt = threaded.execute(q).result
+        assert rt.pair_set() == rs.pair_set()
+        assert threaded.worker_pool.kind == "thread"
+        threaded.close()
+
+    def test_small_tasks_stay_inline(self):
+        engine = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, workers=3,
+            cache_capacity=0, pool_kind="process",
+            min_ship_rects=10**9,
+        )
+        a, b = make_engine()._test_rects
+        engine.register("a", a, universe=UNIT)
+        engine.register("b", b, universe=UNIT)
+        out = engine.execute(Query(relations=("a", "b"),
+                                   force="pbsm-grid")).result
+        assert out.detail["tasks_shipped"] == 0
+        assert not engine.worker_pool.started  # never even created
+        engine.close()
+
+    def test_pool_is_persistent_across_queries(self):
+        engine = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, workers=2,
+            cache_capacity=0, pool_kind="thread", min_ship_rects=0,
+        )
+        a, b = make_engine()._test_rects
+        engine.register("a", a, universe=UNIT)
+        engine.register("b", b, universe=UNIT)
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        engine.execute(q)
+        engine.execute(Query(relations=("a", "a")))
+        assert engine.worker_pool.pools_created == 1
+        assert engine.worker_pool.tasks_dispatched > 0
+        assert engine.metrics_snapshot()["worker_pool"]["kind"] == "thread"
+        engine.close()
+
+    def test_close_is_idempotent_and_context_manager(self):
+        with SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, workers=2,
+        ) as engine:
+            engine.register("a", make_engine()._test_rects[0],
+                            universe=UNIT)
+        engine.close()  # second close is a no-op
+
+
+class TestPartitionArtifacts:
+    """The distribute phase runs once per distinct plan, not per query."""
+
+    def _engine(self, **kw):
+        kw.setdefault("memory_bytes", 10_000_000)
+        engine = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, workers=2,
+            cache_capacity=0, **kw,
+        )
+        a = uniform_rects(300, UNIT, 0.02, seed=1)
+        b = uniform_rects(120, UNIT, 0.03, seed=2, id_base=100_000)
+        engine.register("a", a, universe=UNIT)
+        engine.register("b", b, universe=UNIT)
+        engine._test_rects = (a, b)
+        return engine
+
+    def test_repeat_hits_artifact_and_skips_distribute(self):
+        engine = self._engine()
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        first = engine.execute(q).result
+        assert first.detail["artifact_hit"] is False
+        bytes_before = engine.env.bytes_read
+        second = engine.execute(q).result
+        assert second.detail["artifact_hit"] is True
+        assert second.pair_set() == first.pair_set()
+        # No scan, no distribute: the warm run reads nothing at all.
+        assert engine.env.bytes_read == bytes_before
+        assert engine.artifacts.hits == 1
+        # The warm run charges the same sweep ops as the cold run.
+        assert (second.detail["sweep_ops_total"]
+                == first.detail["sweep_ops_total"])
+
+    def test_windowed_query_reuses_full_distribution(self):
+        engine = self._engine()
+        overlay = Query(relations=("a", "b"), force="pbsm-grid")
+        engine.execute(overlay)
+        window = Rect(0.2, 0.5, 0.1, 0.6, 0)
+        wq = Query(relations=("a", "b"), window=window)
+        warm = engine.execute(wq).result
+        assert warm.detail["strategy"] == "pbsm-grid"
+        assert warm.detail["artifact_hit"] is True
+        # Reference: a fresh engine, same window, any strategy.
+        fresh = self._engine()
+        cold = fresh.execute(Query(relations=("a", "b"),
+                                   window=window)).result
+        assert warm.pair_set() == cold.pair_set()
+
+    def test_self_join_artifacts_are_reused(self):
+        engine = self._engine()
+        q = Query(relations=("a", "a"))
+        first = engine.execute(q).result
+        second = engine.execute(q).result
+        assert second.detail["artifact_hit"] is True
+        assert second.pair_set() == first.pair_set()
+
+    def test_reregistration_invalidates_artifacts(self):
+        engine = self._engine()
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        engine.execute(q)
+        assert len(engine.artifacts) == 1
+        engine.register("a", engine._test_rects[0], universe=UNIT)
+        assert len(engine.artifacts) == 0
+        assert engine.artifacts.invalidations == 1
+        out = engine.execute(q).result
+        assert out.detail["artifact_hit"] is False
+
+    def test_spilled_distributions_are_not_cached(self):
+        engine = self._engine(memory_bytes=3000)
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        out = engine.execute(q).result
+        assert out.detail["spilled_rects"] > 0
+        assert len(engine.artifacts) == 0
+        repeat = engine.execute(q).result
+        assert repeat.detail["artifact_hit"] is False
+        assert repeat.pair_set() == out.pair_set()
+
+    def test_artifact_cache_disabled_by_zero_bytes(self):
+        engine = self._engine(artifact_cache_bytes=0)
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        engine.execute(q)
+        assert len(engine.artifacts) == 0
+        assert engine.execute(q).result.detail["artifact_hit"] is False
+
+    def test_budget_eviction_of_artifacts(self):
+        from repro.engine.cache import PartitionArtifactCache
+        from repro.engine.resources import ResourceBudget
+
+        budget = ResourceBudget(10_000)
+        cache = PartitionArtifactCache(budget=budget)
+        tiles = [
+            ColumnarTile.from_rects(
+                uniform_rects(40, UNIT, 0.02, seed=s)
+            )
+            for s in range(6)
+        ]
+        for s, tile in enumerate(tiles):
+            cache.put(((("r", s),), (0, 1, 0, 1), 32, 8, None),
+                      [(0, tile, None)])
+        # 40 rects cost ~2.9 KB each once the decode memo is counted:
+        # a 10 KB budget holds only a few, so LRU eviction must run
+        # and the ledger must stay within the budget.
+        assert cache.evictions > 0
+        assert cache.bytes_used <= budget.total_bytes
+        assert budget.used_by("artifacts") == cache.bytes_used
+        # make_room reclaims artifact bytes for execution grants.
+        cache.make_room(budget.total_bytes)
+        assert len(cache) == 0
+        assert budget.used_by("artifacts") == 0
+
+    def test_snapshot_surfaces_artifact_and_pool_stats(self):
+        engine = self._engine()
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        engine.execute(q)
+        engine.execute(q)
+        snap = engine.metrics_snapshot()
+        assert snap["artifact_cache_entries"] == 1
+        assert snap["artifact_cache_hits"] == 1
+        assert snap["artifact_cache_bytes"] > 0
+        assert snap["worker_pool"]["workers"] == 2
+
+
+class TestLatencyMetrics:
+    def test_latency_recorded_for_executions_and_hits(self):
+        engine = make_engine(cache_capacity=16)
+        q = Query(relations=("a", "b"))
+        engine.execute(q)
+        engine.execute(q)  # cache hit
+        snap = engine.metrics_snapshot()
+        assert snap["latency_count"] == 2
+        assert snap["latency_total_seconds"] > 0
+        assert (snap["latency_max_seconds"]
+                >= snap["latency_p95_seconds"]
+                >= snap["latency_p50_seconds"] >= 0.0)
+
+    def test_reservoir_stays_bounded(self):
+        from repro.engine.metrics import LATENCY_RESERVOIR, EngineMetrics
+
+        m = EngineMetrics()
+        for i in range(3 * LATENCY_RESERVOIR):
+            m.record_latency(float(i))
+        assert m.latency_count == 3 * LATENCY_RESERVOIR
+        assert len(m._latency_reservoir) == LATENCY_RESERVOIR
+        assert m.latency_max_seconds == float(3 * LATENCY_RESERVOIR - 1)
+        assert m.latency_percentile(0.5) > 0.0
+
+    def test_workload_report_includes_latency_and_pool(self):
+        engine = make_engine(workers=2, cache_capacity=16)
+        engine.register("roads", engine._test_rects[0], universe=UNIT)
+        engine.register("hydro", engine._test_rects[1], universe=UNIT)
+        report = run_workload(engine, make_workload(UNIT, 8, seed=5))
+        assert report["latency_p95_seconds"] >= report["latency_p50_seconds"]
+        assert report["pool"]["workers"] == 2
+        assert "hits" in report["artifacts"]

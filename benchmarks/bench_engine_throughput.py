@@ -1,23 +1,33 @@
 """Engine serving throughput: cold vs. warm caches, 1 vs. K workers,
-roomy vs. tight memory budgets.
+roomy vs. tight memory budgets, restart warm-up and skewed batching.
 
 The serving-layer claim, measured: the same mixed workload (dense
 overlays, localized window joins, ~40% verbatim repeats) is replayed
-against fresh engines in four configurations —
+against fresh engines in seven configurations —
 
 * **cold, 1 worker** with the result cache disabled: every query
   re-plans and re-executes, the one-shot baseline;
 * **cold, K workers**, result cache still disabled: partitioned
   execution on the persistent worker pool shortens the heavy overlays,
-  and repeats of partitioned plans hit the partition-artifact cache
-  (the distribute phase runs once per distinct plan, not per query);
+  and repeats of partitioned plans hit the artifact cache (the
+  distribute phase runs once per distinct plan, not per query);
 * **warm, 1 worker**: the LRU result cache serves the repeats;
 * **tight budget, K workers**: the memory budget is squeezed below the
   tile footprint, so partitioned tiles spill to disk — correctness is
   unchanged (identical pair totals) and the spill traffic shows up in
-  the metrics.
+  the metrics;
+* **restart warm, K workers**: a first engine runs the workload with an
+  ``--artifact-dir`` sidecar and shuts down; a *fresh* engine pointed
+  at the same directory serves the same workload, restoring persisted
+  distributions and sorted runs instead of recomputing them — the
+  cold-restart warm-up the artifact layer exists to kill;
+* **skewed, per-tile vs. batched**: a deliberately skewed grid (one
+  dense cluster plus a thin spread — many tiny tiles, one huge one)
+  served with tile batching disabled (every small tile sweeps serially
+  on the coordinator, the PR-3 cutoff) and enabled (small tiles ship
+  to the pool in multi-tile batches).
 
-The first three configurations run under a budget large enough to hold
+The non-tight configurations run under a budget large enough to hold
 the partitioned tiles in memory, isolating the parallelism/caching
 comparison from spill effects.  Throughput is reported against the
 simulated clock (machine-trio faithful) with real wall seconds and
@@ -25,29 +35,43 @@ tail latency (p95 over the metrics reservoir) alongside.
 
 Besides the txt table the bench emits ``BENCH_engine_throughput.json``
 at the repo root — configuration, per-run wall/simulated clocks,
-queries/sec, spill, pool and artifact-cache stats — and compares the
-multi-worker configuration against the recorded pre-parallel-rework
-baseline (commit 3d530e0): the rework's acceptance bar is >= 2x
-queries/sec there, asserted at the default scale where the simulated
-numbers are deterministic.
+queries/sec, spill, pool, artifact-cache and restore stats — and
+compares the multi-worker configuration against the recorded
+pre-parallel-rework baseline (commit 3d530e0): the rework's acceptance
+bar is >= 2x queries/sec there, asserted at the default scale where
+the simulated numbers are deterministic.
 """
 
 from __future__ import annotations
 
+import random
+import shutil
+import tempfile
+
 from repro.data.datasets import build_dataset
+from repro.engine.engine import SpatialQueryEngine
 from repro.engine.workload import (
     engine_for_dataset,
     make_workload,
     run_workload,
 )
 from repro.experiments.report import fmt_seconds, format_table
-from repro.geom.rect import RECT_BYTES
+from repro.geom.rect import RECT_BYTES, Rect
+from repro.sim.machines import MACHINE_3
 
 from common import bench_scale, emit, emit_json
 
 DATASET = "NJ"
 N_QUERIES = 30
 WORKERS = 4
+
+#: Skewed synthetic grid: one dense corner cluster (a huge tile) plus
+#: a thin uniform spread (many tiny tiles).  The spread dominates the
+#: sweep work, so keeping it on the coordinator (the per-tile inline
+#: cutoff) serializes most of the query — exactly the regime batching
+#: fixes.
+SKEW_CLUSTER = 500
+SKEW_SPREAD = 8000
 
 #: Pre-rework numbers for the same bench on this machine (commit
 #: 3d530e0: per-query ThreadPoolExecutor, per-pair callback sweeps, no
@@ -63,16 +87,58 @@ PRE_PR_BASELINE = {
 }
 
 
-def _serve(workers: int, cache_capacity: int, memory_bytes: int) -> dict:
+def _serve(workers: int, cache_capacity: int, memory_bytes: int,
+           artifact_dir=None) -> dict:
     scale = bench_scale()
     engine = engine_for_dataset(
         DATASET, scale, workers=workers, cache_capacity=cache_capacity,
-        memory_bytes=memory_bytes,
+        memory_bytes=memory_bytes, artifact_dir=artifact_dir,
     )
     queries = make_workload(
         engine.catalog.get("roads").universe, N_QUERIES, seed=7,
     )
     report = run_workload(engine, queries)
+    engine.close()
+    return report
+
+
+def _skewed_relations():
+    """A deterministic skewed pair: dense cluster + thin spread."""
+    rng = random.Random(41)
+    unit = Rect(0.0, 1.0, 0.0, 1.0, 0)
+    roads = []
+    rid = 0
+    for _ in range(SKEW_CLUSTER):
+        x = rng.uniform(0.0, 0.05)
+        y = rng.uniform(0.0, 0.05)
+        roads.append(Rect(x, x + 0.008, y, y + 0.008, rid))
+        rid += 1
+    for _ in range(SKEW_SPREAD):
+        x = rng.uniform(0.0, 0.99)
+        y = rng.uniform(0.0, 0.99)
+        roads.append(Rect(x, x + 0.002, y, y + 0.002, rid))
+        rid += 1
+    hydro = [
+        Rect(r.xlo, r.xhi, r.ylo, r.yhi, 1_000_000 + r.rid)
+        for r in roads[::2]
+    ]
+    return roads, hydro, unit
+
+
+def _serve_skewed(tile_batch_bytes, memory_bytes: int) -> dict:
+    scale = bench_scale()
+    roads, hydro, unit = _skewed_relations()
+    kwargs = {}
+    if tile_batch_bytes is not None:
+        kwargs["tile_batch_bytes"] = tile_batch_bytes
+    engine = SpatialQueryEngine(
+        scale=scale, machine=MACHINE_3, workers=WORKERS,
+        cache_capacity=0, memory_bytes=memory_bytes, **kwargs,
+    )
+    engine.register("roads", roads, universe=unit)
+    engine.register("hydro", hydro, universe=unit)
+    engine.prepare()
+    report = run_workload(engine, make_workload(unit, N_QUERIES, seed=7))
     engine.close()
     return report
 
@@ -90,6 +156,10 @@ def _json_row(rep: dict) -> dict:
         "artifact_hits": rep["artifacts"]["hits"],
         "artifact_entries": rep["artifacts"]["entries"],
         "artifact_bytes": rep["artifacts"]["bytes"],
+        "artifact_disk_restores": rep["artifacts"]["disk_restores"],
+        "artifact_disk_restore_bytes":
+            rep["artifacts"]["disk_restore_bytes"],
+        "artifact_kinds": rep["artifacts"]["kinds"],
         "pages_read": m["pages_read"],
         "spilled_rects": m["spilled_rects"],
         "budget_high_water_bytes": m["budget_high_water_bytes"],
@@ -115,19 +185,45 @@ def test_engine_throughput():
     warm_1 = _serve(workers=1, cache_capacity=64, memory_bytes=roomy)
     tight_k = _serve(workers=WORKERS, cache_capacity=0, memory_bytes=tight)
 
+    # Restart warm-up: populate a sidecar, shut down, serve again from
+    # a fresh engine on the same directory.
+    artifact_dir = tempfile.mkdtemp(prefix="repro-artifacts-")
+    try:
+        _serve(workers=WORKERS, cache_capacity=0, memory_bytes=roomy,
+               artifact_dir=artifact_dir)
+        restart_warm = _serve(
+            workers=WORKERS, cache_capacity=0, memory_bytes=roomy,
+            artifact_dir=artifact_dir,
+        )
+    finally:
+        shutil.rmtree(artifact_dir, ignore_errors=True)
+
+    # Skewed grid: per-tile (batching off — small tiles sweep serially
+    # on the coordinator) vs. batched shipping.
+    skew_budget = 8 * (SKEW_CLUSTER + SKEW_SPREAD) * 2 * RECT_BYTES
+    skewed_per_tile = _serve_skewed(0, skew_budget)
+    skewed_batched = _serve_skewed(None, skew_budget)  # default target
+
     reports = {
         "cold_1": cold_1, "cold_k": cold_k,
         "warm_1": warm_1, "tight_k": tight_k,
+        "restart_warm": restart_warm,
+        "skewed_per_tile": skewed_per_tile,
+        "skewed_batched": skewed_batched,
     }
     labels = {
         "cold_1": "cold cache, 1 worker",
         "cold_k": f"cold cache, {WORKERS} workers",
         "warm_1": "warm cache, 1 worker",
         "tight_k": f"tight budget, {WORKERS} workers",
+        "restart_warm": f"restart warm, {WORKERS} workers",
+        "skewed_per_tile": f"skewed grid, per-tile, {WORKERS} workers",
+        "skewed_batched": f"skewed grid, batched, {WORKERS} workers",
     }
 
     rows = []
-    for key in ("cold_1", "cold_k", "warm_1", "tight_k"):
+    for key in ("cold_1", "cold_k", "warm_1", "tight_k",
+                "restart_warm", "skewed_per_tile", "skewed_batched"):
         rep = reports[key]
         m = rep["metrics"]
         rows.append([
@@ -135,6 +231,7 @@ def test_engine_throughput():
             rep["queries"],
             m["cache_hits"],
             rep["artifacts"]["hits"],
+            rep["artifacts"]["disk_restores"],
             m["pages_read"],
             m["spilled_rects"],
             m["budget_high_water_bytes"],
@@ -147,8 +244,8 @@ def test_engine_throughput():
         "engine_throughput",
         format_table(
             ["Configuration", "Queries", "Cache hits", "Tile hits",
-             "Pages read", "Spilled", "Budget HW B", "Sim s", "Sim q/s",
-             "Wall s", "p95"],
+             "Restores", "Pages read", "Spilled", "Budget HW B",
+             "Sim s", "Sim q/s", "Wall s", "p95"],
             rows,
             title=(
                 f"Engine serving throughput — {DATASET} "
@@ -211,7 +308,26 @@ def test_engine_throughput():
     assert tight_k["metrics"]["budget_high_water_bytes"] > 0
     # Identical workload => identical answers in every configuration.
     assert (cold_1["pairs_returned"] == cold_k["pairs_returned"]
-            == warm_1["pairs_returned"] == tight_k["pairs_returned"])
+            == warm_1["pairs_returned"] == tight_k["pairs_returned"]
+            == restart_warm["pairs_returned"])
+    # The restart-warm engine rebuilt its state from the sidecar, not
+    # from scratch.
+    assert restart_warm["artifacts"]["disk_restores"] > 0, (
+        "a restarted engine must restore persisted artifacts"
+    )
+    # Batching must beat the per-tile (inline-cutoff) baseline on the
+    # skewed grid: small tiles reach the pool instead of sweeping
+    # serially on the coordinator.
+    assert (skewed_per_tile["pairs_returned"]
+            == skewed_batched["pairs_returned"])
+    assert skewed_batched["pool"]["tiles_dispatched"] > (
+        skewed_batched["pool"]["tasks_dispatched"]
+    ), "skewed batched config must ship multi-tile tasks"
+    assert (skewed_batched["queries_per_sec_sim"]
+            > skewed_per_tile["queries_per_sec_sim"]), (
+        "batched tile shipping must improve simulated q/s on a "
+        "skewed grid"
+    )
     if speedup is not None:
         # The parallel-rework acceptance bar, on deterministic
         # simulated numbers at the scale the baseline was recorded.

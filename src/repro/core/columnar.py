@@ -26,14 +26,66 @@ would, and re-shipping it to a process worker needs no re-encode.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from array import array
-from typing import Iterable, List
+from collections import OrderedDict
+from typing import Iterable, Iterator, List
 
-from repro.geom.rect import Rect
+from repro.geom.rect import RECT_BYTES, Rect
 
 #: Per-rectangle payload of the columnar format: four float64 corner
 #: coordinates plus one int64 identifier.
 COLUMN_BYTES_PER_RECT = 4 * 8 + 8
+
+#: Bound on how many tiles may hold a decoded ``decode_sorted_cached``
+#: list at once, per process.  The memo used to be unbounded: a
+#: long-lived worker (or a coordinator holding a large artifact cache)
+#: would accumulate one boxed ``List[Rect]`` per tile it ever decoded.
+#: The registry below evicts the *decoded list* of the
+#: least-recently-used tile — the flat columns are untouched, so an
+#: evicted tile just decodes again on its next sweep.
+DECODE_CACHE_TILES = 128
+
+#: LRU registry of tiles currently holding a decoded list.  Values are
+#: weak references: the registry must never keep a dead tile (and its
+#: decoded rectangles) alive — it only bounds memos of *live* tiles.
+#: Thread pools decode tiles concurrently, so all registry mutation
+#: (and the cross-object memo eviction it performs) happens under one
+#: lock; readers of ``_sorted_cache`` hold a local reference, so an
+#: eviction landing mid-call can never turn their result into None.
+_decode_lru: "OrderedDict[int, weakref.ref]" = OrderedDict()
+#: Reentrant: dropping a strong reference inside the locked eviction
+#: loop can fire a tile's death callback on the same thread, which
+#: itself takes the lock.
+_decode_lock = threading.RLock()
+
+
+def _register_decode(tile: "ColumnarTile") -> None:
+    """Note that ``tile`` holds a decoded list; evict the LRU beyond cap."""
+    key = id(tile)
+
+    def on_death(ref) -> None:
+        # Purge the dead tile's entry — but only if the slot still
+        # holds *this* ref (the id may have been reused as a key by a
+        # newer tile's registration before the callback ran).
+        with _decode_lock:
+            if _decode_lru.get(key) is ref:
+                del _decode_lru[key]
+
+    with _decode_lock:
+        _decode_lru.pop(key, None)  # re-registration refreshes recency
+        _decode_lru[key] = weakref.ref(tile, on_death)
+        while len(_decode_lru) > DECODE_CACHE_TILES:
+            _, ref = _decode_lru.popitem(last=False)
+            victim = ref()
+            if victim is not None:
+                victim._sorted_cache = None
+
+
+def _unregister_decode(tile: "ColumnarTile") -> None:
+    with _decode_lock:
+        _decode_lru.pop(id(tile), None)
 
 
 class ColumnarTile:
@@ -45,7 +97,8 @@ class ColumnarTile:
     is one contiguous buffer.
     """
 
-    __slots__ = ("xlo", "xhi", "ylo", "yhi", "rid", "_sorted_cache")
+    __slots__ = ("xlo", "xhi", "ylo", "yhi", "rid", "_sorted_cache",
+                 "__weakref__")
 
     def __init__(self) -> None:
         self.xlo = array("d")
@@ -62,7 +115,9 @@ class ColumnarTile:
         return tile
 
     def append(self, r: Rect) -> None:
-        self._sorted_cache = None
+        if self._sorted_cache is not None:
+            self._sorted_cache = None
+            _unregister_decode(self)
         self.xlo.append(r.xlo)
         self.xhi.append(r.xhi)
         self.ylo.append(r.ylo)
@@ -73,7 +128,9 @@ class ColumnarTile:
         # Column-at-a-time bulk append beats per-rect append for the
         # common encode-a-whole-list case, but needs a second pass per
         # column; a materialized sequence makes those passes cheap.
-        self._sorted_cache = None
+        if self._sorted_cache is not None:
+            self._sorted_cache = None
+            _unregister_decode(self)
         rects = rects if isinstance(rects, (list, tuple)) else list(rects)
         self.xlo.extend(r.xlo for r in rects)
         self.xhi.extend(r.xhi for r in rects)
@@ -97,12 +154,21 @@ class ColumnarTile:
         it never crosses the pickle boundary (``__reduce__`` ships the
         raw columns only), so process workers are unaffected.  Callers
         must not mutate the returned list.
+
+        The memo is bounded per process: at most
+        :data:`DECODE_CACHE_TILES` tiles hold a decoded list at once
+        (LRU over tiles, tracked by a module-level weak registry).
+        Beyond the bound the oldest tile's decoded list is dropped —
+        its columns are untouched, so it simply decodes again next
+        time it is swept.
         """
-        if self._sorted_cache is None:
+        decoded = self._sorted_cache
+        if decoded is None:
             decoded = self.decode()
             decoded.sort(key=lambda r: (r.ylo, r.xlo))
             self._sorted_cache = decoded
-        return self._sorted_cache
+        _register_decode(self)
+        return decoded
 
     def __len__(self) -> int:
         return len(self.rid)
@@ -134,3 +200,39 @@ def _rebuild_tile(xlo, xhi, ylo, yhi, rid) -> ColumnarTile:
     tile.rid = rid
     tile._sorted_cache = None
     return tile
+
+
+class SortedRunView:
+    """A memory-resident sorted relation behind a stream-like ``scan()``.
+
+    The engine's artifact layer retains the *output* of an external
+    sort (a relation in ``(ylo, xlo, ...)`` order) as one columnar
+    tile; this view makes that tile consumable by everything that
+    expects a :class:`~repro.storage.stream.Stream` — the SSSJ sweep,
+    its slab fallback — without touching the simulated disk at all.
+    ``scan()`` decodes through the bounded memo
+    (:meth:`ColumnarTile.decode_sorted_cached`; stable re-sort of an
+    already-sorted run is the identity), so repeated sweeps of a warm
+    run decode once, and ``free()`` is a no-op: the artifact cache owns
+    the tile's lifetime.
+    """
+
+    __slots__ = ("tile", "name")
+
+    def __init__(self, tile: ColumnarTile, name: str = "") -> None:
+        self.tile = tile
+        self.name = name
+
+    def scan(self) -> Iterator[Rect]:
+        return iter(self.tile.decode_sorted_cached())
+
+    def free(self) -> None:
+        """Nothing to release — the backing tile is cache-owned."""
+
+    def __len__(self) -> int:
+        return len(self.tile)
+
+    @property
+    def data_bytes(self) -> int:
+        """Logical payload at the repo's 20-byte record convention."""
+        return len(self.tile) * RECT_BYTES

@@ -31,7 +31,12 @@ Quick start::
     print(out.result.n_pairs, engine.metrics_snapshot())
 """
 
-from repro.engine.cache import PartitionArtifactCache, ResultCache
+from repro.engine.artifacts import ArtifactStore
+from repro.engine.cache import (
+    ArtifactCache,
+    PartitionArtifactCache,
+    ResultCache,
+)
 from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.engine import EngineResult, SpatialQueryEngine
 from repro.engine.executor import Executor
@@ -52,6 +57,8 @@ from repro.engine.workload import (
 
 __all__ = [
     "AdmissionError",
+    "ArtifactCache",
+    "ArtifactStore",
     "Catalog",
     "CatalogEntry",
     "EngineMetrics",

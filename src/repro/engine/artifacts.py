@@ -1,0 +1,347 @@
+"""Disk persistence for execution artifacts (the spill-directory sidecar).
+
+The in-memory :class:`~repro.engine.cache.ArtifactCache` dies with the
+engine process, even though the catalog already persists its R-trees
+(:mod:`repro.rtree.persist`).  :class:`ArtifactStore` closes that gap:
+partition distributions and sorted runs serialize through the existing
+columnar codec into real files under a caller-chosen directory, with a
+JSON manifest recording what each file holds (kind, relation names,
+logical bytes, checksum).  A restarted engine pointed at the same
+directory repopulates its cache *lazily*: the first query that misses
+in memory probes the manifest, restores the payload, verifies its
+checksum, and re-inserts it under the budget — counted as a
+``disk_restore``, and priced on the simulated disk as one sequential
+read of the artifact's logical bytes (the load replaces the scan or
+sort pass the query would otherwise have paid; see the executor).
+Saves, like R-tree persistence, are uncharged — persistence is not
+part of any measured experiment.
+
+Artifacts are **content-addressed**: tokens are derived from relation
+*fingerprints* (a CRC over the registered rectangles, see
+:attr:`~repro.engine.catalog.CatalogEntry.fingerprint`) rather than
+catalog versions, which are process-local counters.  Re-registering the
+same data after a restart therefore reuses the persisted artifacts,
+while changed data produces a different token and simply never matches
+— stale files are unreachable by construction and are only reclaimed by
+:meth:`ArtifactStore.clear` (or deleting the directory).
+
+File layout (one artifact per file, ``<token>.art``)::
+
+    header:  one UTF-8 JSON line — {"kind", "byteorder",
+             "entries": [{"part": id|null, "a": n_rects,
+                          "b": n_rects|null}, ...]}
+    body:    per entry, tile A's five columns then (when present)
+             tile B's, each as the raw bytes of the corresponding
+             array ('d' x4, then 'q')
+
+The body's CRC32 lives in the manifest, not the file, so a truncated
+or bit-flipped artifact is detected before any of it is decoded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import zlib
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.columnar import ColumnarTile
+from repro.engine.cache import PARTITION_KIND, SORTED_RUN_KIND
+from repro.geom.rect import RECT_BYTES
+
+_MANIFEST = "manifest.json"
+_COLUMNS = ("xlo", "xhi", "ylo", "yhi", "rid")
+
+
+def canonical_token(kind: str, fingerprints: Sequence[Tuple[str, int]],
+                    *extra) -> str:
+    """A stable, filename-safe identity for one persistable artifact.
+
+    ``fingerprints`` is the content identity of the artifact's input
+    relations — ``(name, fingerprint)`` pairs.  ``extra`` pins the
+    derivation parameters (grid geometry and window for partition
+    artifacts, the sort axis for sorted runs); floats are rendered via
+    ``repr`` so the token is exact, and the whole string is hashed to
+    keep filenames uniform.
+    """
+    parts: List[str] = [kind]
+    for name, fp in fingerprints:
+        parts.append(f"{name}={fp}")
+    parts.extend(_canon(x) for x in extra)
+    raw = "|".join(parts)
+    return hashlib.sha1(raw.encode("utf-8")).hexdigest()
+
+
+def _canon(obj) -> str:
+    if obj is None:
+        return "~"
+    if isinstance(obj, float):
+        return repr(obj)
+    if isinstance(obj, (list, tuple)):
+        return "(" + ",".join(_canon(x) for x in obj) + ")"
+    return str(obj)
+
+
+def partition_token(fingerprints: Sequence[Tuple[str, int]], universe,
+                    tiles: int, partitions: int, window) -> str:
+    """Sidecar token of one distribution.
+
+    One definition shared by the executor (save/restore) and the
+    optimizer (pricing probes) — the two must derive byte-identical
+    tokens or warm plans get priced that the executor then runs cold.
+    ``universe``/``window`` are rectangles (window may be None);
+    ``tiles`` is the *effective* grid resolution
+    (:func:`~repro.engine.cache.grid_tiles`).
+    """
+    return canonical_token(
+        PARTITION_KIND, fingerprints,
+        (universe.xlo, universe.xhi, universe.ylo, universe.yhi),
+        tiles, partitions,
+        None if window is None else tuple(window[:4]),
+    )
+
+
+def sorted_run_token(name: str, fingerprint: int,
+                     axis: str = "ylo") -> str:
+    """Sidecar token of one relation's sorted run (shared, see above)."""
+    return canonical_token(SORTED_RUN_KIND, ((name, fingerprint),), axis)
+
+
+class ArtifactStore:
+    """A directory of persisted artifacts plus its manifest.
+
+    The store is deliberately dumb: it maps tokens to checksummed
+    payload files and knows nothing about budgets, versions or plan
+    keys — the executor owns key/token translation and restore
+    pricing, the cache owns memory.  All counters are cumulative for
+    the store object's lifetime.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._manifest: Dict[str, dict] = {}
+        self.saves = 0
+        self.save_bytes = 0
+        self.restores = 0
+        self.restore_bytes = 0
+        self.corrupt_drops = 0
+        self._load_manifest()
+
+    # -- queries ---------------------------------------------------------
+
+    def has(self, token: str) -> bool:
+        return token in self._manifest
+
+    def peek(self, token: str) -> Optional[dict]:
+        """The manifest entry (no payload I/O); the optimizer prices
+        restorable plans from ``logical_bytes`` here."""
+        return self._manifest.get(token)
+
+    def __len__(self) -> int:
+        return len(self._manifest)
+
+    # -- writes ----------------------------------------------------------
+
+    def save(self, token: str, kind: str, value,
+             relations: Sequence[str]) -> bool:
+        """Persist one artifact; idempotent per token.
+
+        ``value`` is the cache's representation: a task list for
+        ``"partition"`` artifacts, a single tile for ``"sorted-run"``.
+        Returns False when the payload contains non-columnar tiles
+        (nothing to serialize) — the caller encodes first.
+        """
+        if token in self._manifest:
+            return True
+        entries, blobs, n_rects = _encode(kind, value)
+        if entries is None:
+            return False
+        header = json.dumps({
+            "kind": kind,
+            "byteorder": sys.byteorder,
+            "entries": entries,
+        }, sort_keys=True).encode("utf-8") + b"\n"
+        body = b"".join(blobs)
+        path = os.path.join(self.root, f"{token}.art")
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(header)
+            fh.write(body)
+        os.replace(tmp, path)
+        self._manifest[token] = {
+            "kind": kind,
+            "file": os.path.basename(path),
+            "relations": list(relations),
+            "logical_bytes": n_rects * RECT_BYTES,
+            "file_bytes": len(header) + len(body),
+            "crc32": zlib.crc32(body),
+        }
+        self._write_manifest()
+        self.saves += 1
+        self.save_bytes += len(body)
+        return True
+
+    def clear(self) -> None:
+        """Drop every artifact and its file (manual housekeeping)."""
+        for token in list(self._manifest):
+            self._drop(token)
+        self._write_manifest()
+
+    # -- reads -----------------------------------------------------------
+
+    def load(self, token: str):
+        """Restore one artifact: ``(kind, value, logical_bytes)`` or None.
+
+        A missing file, checksum mismatch, foreign byte order or
+        malformed header drops the manifest entry (counted under
+        ``corrupt_drops``) and reports a miss — a damaged sidecar must
+        degrade to a cold run, never a wrong answer.
+        """
+        meta = self._manifest.get(token)
+        if meta is None:
+            return None
+        path = os.path.join(self.root, meta["file"])
+        try:
+            with open(path, "rb") as fh:
+                header = json.loads(fh.readline().decode("utf-8"))
+                body = fh.read()
+            if (zlib.crc32(body) != meta["crc32"]
+                    or header.get("byteorder") != sys.byteorder
+                    or header.get("kind") != meta["kind"]):
+                raise ValueError("artifact payload failed verification")
+            value = _decode(header["kind"], header["entries"], body)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            self._drop(token)
+            self._write_manifest()
+            self.corrupt_drops += 1
+            return None
+        self.restores += 1
+        self.restore_bytes += meta["logical_bytes"]
+        return (meta["kind"], value, meta["logical_bytes"])
+
+    # -- internals -------------------------------------------------------
+
+    def _drop(self, token: str) -> None:
+        meta = self._manifest.pop(token, None)
+        if meta is None:
+            return
+        try:
+            os.remove(os.path.join(self.root, meta["file"]))
+        except OSError:
+            pass
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.root, _MANIFEST)
+
+    def _load_manifest(self) -> None:
+        try:
+            with open(self._manifest_path(), "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            self._manifest = dict(data.get("artifacts", {}))
+        except (OSError, ValueError):
+            self._manifest = {}
+
+    def _write_manifest(self) -> None:
+        tmp = self._manifest_path() + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump({"version": 1, "artifacts": self._manifest}, fh,
+                      sort_keys=True, indent=1)
+        os.replace(tmp, self._manifest_path())
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "entries": len(self._manifest),
+            "saves": self.saves,
+            "save_bytes": self.save_bytes,
+            "restores": self.restores,
+            "restore_bytes": self.restore_bytes,
+            "corrupt_drops": self.corrupt_drops,
+        }
+
+
+def charge_restore(disk, logical_bytes: int) -> None:
+    """Price one artifact restore on the simulated disk.
+
+    A restore replaces the scan or sort pass the query would otherwise
+    have paid, so it must not be free: it is charged as one sequential
+    read of the artifact's *logical* bytes (records x ``RECT_BYTES`` —
+    the simulated disk stores 20-byte records; the sidecar file's own
+    byte count is a codec detail).  The read lands on a fresh extent so
+    the machine observers see it as sequential, like any other stream
+    pass.
+    """
+    if logical_bytes <= 0:
+        return
+    offset = disk.allocate(logical_bytes)
+    disk.env.io_read(offset, logical_bytes)
+
+
+# -- codec -------------------------------------------------------------------
+
+
+def _encode(kind: str, value):
+    """Flatten a cache value into (header entries, column blobs, rects)."""
+    entries: List[dict] = []
+    blobs: List[bytes] = []
+    n_rects = 0
+    if kind == SORTED_RUN_KIND:
+        tiles = [(None, value, None)]
+    elif kind == PARTITION_KIND:
+        tiles = value
+    else:
+        return None, None, 0
+    for part_id, tile_a, tile_b in tiles:
+        if not isinstance(tile_a, ColumnarTile) or not (
+            tile_b is None or isinstance(tile_b, ColumnarTile)
+        ):
+            return None, None, 0
+        entries.append({
+            "part": part_id,
+            "a": len(tile_a),
+            "b": None if tile_b is None else len(tile_b),
+        })
+        blobs.extend(_tile_blobs(tile_a))
+        n_rects += len(tile_a)
+        if tile_b is not None:
+            blobs.extend(_tile_blobs(tile_b))
+            n_rects += len(tile_b)
+    return entries, blobs, n_rects
+
+
+def _tile_blobs(tile: ColumnarTile) -> List[bytes]:
+    return [getattr(tile, col).tobytes() for col in _COLUMNS]
+
+
+def _decode(kind: str, entries: List[dict], body: bytes):
+    offset = 0
+    tasks = []
+    for entry in entries:
+        tile_a, offset = _read_tile(body, offset, int(entry["a"]))
+        tile_b = None
+        if entry["b"] is not None:
+            tile_b, offset = _read_tile(body, offset, int(entry["b"]))
+        tasks.append((entry["part"], tile_a, tile_b))
+    if offset != len(body):
+        raise ValueError("trailing bytes in artifact payload")
+    if kind == SORTED_RUN_KIND:
+        if len(tasks) != 1:
+            raise ValueError("sorted-run artifact must hold one tile")
+        return tasks[0][1]
+    return tasks
+
+
+def _read_tile(body: bytes, offset: int, n: int):
+    tile = ColumnarTile()
+    for col, typecode in zip(_COLUMNS, "ddddq"):
+        arr = array(typecode)
+        nbytes = n * arr.itemsize
+        if offset + nbytes > len(body):
+            raise ValueError("truncated artifact payload")
+        arr.frombytes(body[offset:offset + nbytes])
+        offset += nbytes
+        setattr(tile, col, arr)
+    return tile, offset

@@ -1,18 +1,29 @@
-"""Engine caches: query results and partition artifacts.
+"""Engine caches: query results and execution artifacts.
 
 Two caches live here.  :class:`ResultCache` is a size-aware LRU over
 *answers* — the second identical query costs a dictionary lookup.
-:class:`PartitionArtifactCache` is an LRU over *distributed tiles* —
-the columnar per-partition tiles the partitioned executor produced for
-a relation pair, so a warm repeated (or overlapping, e.g. the same
-relations under a different predicate or with the result cache
-disabled) query skips the whole distribute phase and goes straight to
-the sweeps.  Result-cache entries are governed by their own byte
-ledger; artifacts are charged to the engine's execution
+:class:`ArtifactCache` is an LRU over *reusable execution
+intermediates*, in several kinds:
+
+* ``"partition"`` — the columnar per-partition tiles the partitioned
+  executor produced for a relation pair, so a warm repeated (or
+  overlapping, e.g. the same relations under a different predicate or
+  with the result cache disabled) query skips the whole distribute
+  phase and goes straight to the sweeps;
+* ``"sorted-run"`` — the output of an external sort (one relation in
+  sweep order, as a single columnar tile), so a warm sort-based plan
+  (``sssj``) skips both external sorts and sweeps straight out of
+  memory.
+
+Result-cache entries are governed by their own byte ledger; artifacts
+of every kind share one LRU and are charged to the engine's execution
 :class:`~repro.engine.resources.ResourceBudget` under the
 ``"artifacts"`` category, but only ever occupy *free* budget bytes
 (``grant.try_extend``) and are evicted on demand — cached artifacts can
-never starve a query's tile grant into spilling.
+never starve a query's tile grant into spilling.  When the engine has
+an :class:`~repro.engine.artifacts.ArtifactStore` attached, evicted or
+restart-lost artifacts can come back from the spill directory; the
+cache counts those ``disk_restores`` separately from memory hits.
 
 Size-aware LRU result cache keyed by query fingerprint + versions.
 
@@ -179,7 +190,12 @@ def _mentions(key: Hashable, name: str) -> bool:
     )
 
 
-# -- partition artifacts -----------------------------------------------------
+# -- execution artifacts -----------------------------------------------------
+
+#: The artifact kinds the engine currently retains.
+PARTITION_KIND = "partition"
+SORTED_RUN_KIND = "sorted-run"
+ARTIFACT_KINDS = (PARTITION_KIND, SORTED_RUN_KIND)
 
 #: Fixed per-artifact overhead (key, entry object, task tuples).
 _ARTIFACT_ENTRY_BYTES = 512
@@ -216,12 +232,13 @@ def artifact_key(versions, universe, tiles_per_side: int,
 
 
 def artifact_bytes(tasks) -> int:
-    """Approximate resident bytes of one artifact's columnar tiles.
+    """Approximate resident bytes of one partition artifact's tiles.
 
     Each tile is charged its flat columns plus one decoded rectangle
     set at the repo's ``RECT_BYTES`` convention — the coordinator memo
-    (:meth:`ColumnarTile.decode_sorted_cached`) keeps a boxed copy
-    alive for the artifact's lifetime.
+    (:meth:`ColumnarTile.decode_sorted_cached`) may keep a boxed copy
+    alive for the artifact's lifetime (the memo itself is bounded, so
+    this is the conservative upper bound).
     """
     total = _ARTIFACT_ENTRY_BYTES
     for _part_id, tile_a, tile_b in tasks:
@@ -232,15 +249,44 @@ def artifact_bytes(tasks) -> int:
     return total
 
 
-class PartitionArtifactCache:
-    """LRU cache of distributed columnar tiles, charged to the budget.
+def sorted_run_key(name: str, version: int, axis: str = "ylo") -> Tuple:
+    """The identity of one sorted relation view.
 
-    Values are the executor's ready-to-ship task lists:
-    ``[(part_id, tile_a, tile_b_or_None), ...]`` with tiles in
-    :class:`~repro.core.columnar.ColumnarTile` form (``tile_b is None``
-    marks a self-join, whose single side sweeps against itself).  A hit
-    replaces the scan + distribute + spill phases of partitioned
-    execution with decode-and-sweep.
+    Sorted runs are window-independent (the sort consumes the whole
+    base stream; windows are applied downstream), so the key is just
+    the relation's identity plus the sort axis.  The leading
+    ``((name, version),)`` tuple matches the partition-artifact key
+    shape, which is what lets :meth:`ArtifactCache.invalidate_relation`
+    treat every kind uniformly.
+    """
+    return (((name, version),), axis)
+
+
+def sorted_run_bytes(tile) -> int:
+    """Approximate resident bytes of one cached sorted run."""
+    return _ARTIFACT_ENTRY_BYTES + tile.nbytes + len(tile) * RECT_BYTES
+
+
+def _artifact_nbytes(kind: str, value) -> int:
+    if kind == SORTED_RUN_KIND:
+        return sorted_run_bytes(value)
+    return artifact_bytes(value)
+
+
+class ArtifactCache:
+    """One LRU over every artifact kind, charged to the budget.
+
+    ``"partition"`` values are the executor's ready-to-ship task
+    lists: ``[(part_id, tile_a, tile_b_or_None), ...]`` with tiles in
+    :class:`~repro.core.columnar.ColumnarTile` form (``tile_b is
+    None`` marks a self-join, whose single side sweeps against
+    itself).  A hit replaces the scan + distribute + spill phases of
+    partitioned execution with decode-and-sweep.  ``"sorted-run"``
+    values are single columnar tiles holding one relation in sweep
+    order; a hit replaces an external sort with an in-memory scan.
+    Kinds share one LRU chain and one byte ledger — a burst of sorted
+    runs can evict stale distributions and vice versa — with per-kind
+    counters kept for observability.
 
     Memory comes from the engine's execution budget under the
     ``"artifacts"`` category, taken only while free
@@ -249,6 +295,10 @@ class PartitionArtifactCache:
     acquiring a tile grant, so caching never causes spilling that an
     empty cache would have avoided.  ``max_bytes`` adds an absolute
     cap on top (``0`` disables the cache outright).
+
+    For backward compatibility every lookup/write method defaults to
+    the ``"partition"`` kind (the only kind that existed before the
+    artifact layer was generalized).
     """
 
     def __init__(self, budget=None,
@@ -267,35 +317,45 @@ class PartitionArtifactCache:
         self.evictions = 0
         self.invalidations = 0
         self.rejections = 0
+        self.disk_restores = 0
+        self.disk_restore_bytes = 0
+        self.kind_stats: Dict[str, Dict[str, int]] = {}
 
     # -- lookups ---------------------------------------------------------
 
-    def get(self, key: Tuple):
-        """The cached task list, refreshed to MRU; or ``None``."""
-        if key in self._entries:
+    def get(self, key: Tuple, kind: str = PARTITION_KIND):
+        """The cached value, refreshed to MRU; or ``None``."""
+        full = (kind, key)
+        stats = self._kind(kind)
+        if full in self._entries:
             self.hits += 1
-            self._entries.move_to_end(key)
-            return self._entries[key]
+            stats["hits"] += 1
+            self._entries.move_to_end(full)
+            return self._entries[full]
         self.misses += 1
+        stats["misses"] += 1
         return None
 
-    def has(self, key: Tuple) -> bool:
+    def has(self, key: Tuple, kind: str = PARTITION_KIND) -> bool:
         """Presence probe for the optimizer; bumps no hit/miss counters."""
-        return key in self._entries
+        return (kind, key) in self._entries
 
     # -- writes ----------------------------------------------------------
 
-    def put(self, key: Tuple, tasks, nbytes: Optional[int] = None) -> bool:
-        """Retain one distribution; returns False when it cannot fit."""
+    def put(self, key: Tuple, value, nbytes: Optional[int] = None,
+            kind: str = PARTITION_KIND) -> bool:
+        """Retain one artifact; returns False when it cannot fit."""
         if self.max_bytes == 0:
             return False
         if nbytes is None:
-            nbytes = artifact_bytes(tasks)
+            nbytes = _artifact_nbytes(kind, value)
+        stats = self._kind(kind)
         if self.max_bytes is not None and nbytes > self.max_bytes:
             self.rejections += 1
             return False
-        if key in self._entries:
-            self._forget(key)
+        full = (kind, key)
+        if full in self._entries:
+            self._forget(full)
         if self.max_bytes is not None:
             while (self._entries
                    and self.bytes_used + nbytes > self.max_bytes):
@@ -303,17 +363,29 @@ class PartitionArtifactCache:
         if not self._reserve(nbytes):
             self.rejections += 1
             return False
-        self._entries[key] = tasks
-        self._sizes[key] = nbytes
+        self._entries[full] = value
+        self._sizes[full] = nbytes
         self.bytes_used += nbytes
         self.puts += 1
+        stats["puts"] += 1
+        stats["bytes"] += nbytes
+        stats["entries"] += 1
         return True
 
+    def note_restore(self, nbytes: int) -> None:
+        """Count one artifact restored from the disk sidecar."""
+        self.disk_restores += 1
+        self.disk_restore_bytes += nbytes
+
     def invalidate_relation(self, name: str) -> int:
-        """Drop artifacts whose version tuple references ``name``."""
+        """Drop artifacts whose version tuple references ``name``.
+
+        Every kind keys on a leading ``((name, version), ...)`` tuple,
+        so one scan covers distributions and sorted runs alike.
+        """
         stale = [
             k for k in self._entries
-            if any(v[0] == name for v in k[0])
+            if any(v[0] == name for v in k[1][0])
         ]
         for k in stale:
             self._forget(k)
@@ -355,9 +427,21 @@ class PartitionArtifactCache:
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "rejections": self.rejections,
+            "disk_restores": self.disk_restores,
+            "disk_restore_bytes": self.disk_restore_bytes,
+            "kinds": {k: dict(v) for k, v in self.kind_stats.items()},
         }
 
     # -- internals -------------------------------------------------------
+
+    def _kind(self, kind: str) -> Dict[str, int]:
+        stats = self.kind_stats.get(kind)
+        if stats is None:
+            stats = self.kind_stats[kind] = {
+                "hits": 0, "misses": 0, "puts": 0, "evictions": 0,
+                "bytes": 0, "entries": 0,
+            }
+        return stats
 
     def _reserve(self, nbytes: int) -> bool:
         """Charge ``nbytes`` to the budget, evicting LRU to make space."""
@@ -372,16 +456,24 @@ class PartitionArtifactCache:
         return True
 
     def _evict_lru(self) -> None:
-        key, _ = self._entries.popitem(last=False)
-        self._release_size(key)
+        full, _ = self._entries.popitem(last=False)
+        self._release_size(full)
         self.evictions += 1
+        self._kind(full[0])["evictions"] += 1
 
-    def _forget(self, key: Tuple) -> None:
-        del self._entries[key]
-        self._release_size(key)
+    def _forget(self, full: Tuple) -> None:
+        del self._entries[full]
+        self._release_size(full)
 
-    def _release_size(self, key: Tuple) -> None:
-        nbytes = self._sizes.pop(key, 0)
+    def _release_size(self, full: Tuple) -> None:
+        nbytes = self._sizes.pop(full, 0)
         self.bytes_used -= nbytes
+        stats = self._kind(full[0])
+        stats["bytes"] -= nbytes
+        stats["entries"] -= 1
         if self._grant is not None and nbytes > 0:
             self._grant.release(nbytes)
+
+
+#: The pre-generalization name; PR 3 call sites and tests use it.
+PartitionArtifactCache = ArtifactCache

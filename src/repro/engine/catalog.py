@@ -19,6 +19,8 @@ results (the result cache folds entry versions into its keys).
 
 from __future__ import annotations
 
+import zlib
+from array import array
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.histogram import DEFAULT_GRID, SpatialHistogram
@@ -57,6 +59,7 @@ class CatalogEntry:
         self._stream: Optional[Stream] = None
         self._tree: Optional[RTree] = None
         self._histogram: Optional[SpatialHistogram] = None
+        self._fingerprint: Optional[int] = None
 
     # -- lazy representations -------------------------------------------
 
@@ -90,6 +93,28 @@ class CatalogEntry:
     @property
     def has_tree(self) -> bool:
         return self._tree is not None
+
+    @property
+    def fingerprint(self) -> int:
+        """Content identity of the registered rectangles (CRC32 + size).
+
+        Catalog *versions* are process-local counters — they identify
+        an entry within one engine's lifetime but mean nothing after a
+        restart.  The fingerprint is derived from the data itself
+        (coordinates and ids, in registration order), so a restarted
+        engine that registers the same relation computes the same
+        value; the disk artifact store keys on it.  Computed lazily —
+        only persistence needs it — and cached for the entry's life
+        (entries are immutable; re-registration makes a new entry).
+        """
+        if self._fingerprint is None:
+            buf = array("d")
+            for r in self.rects:
+                buf.extend((r.xlo, r.xhi, r.ylo, r.yhi, float(r.rid)))
+            self._fingerprint = (
+                zlib.crc32(buf.tobytes()) << 20
+            ) | (len(self.rects) & 0xFFFFF)
+        return self._fingerprint
 
     def relation(self, universe: Optional[Rect] = None,
                  with_tree: bool = True) -> Relation:

@@ -36,10 +36,12 @@ from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
 from repro.core.join_result import JoinResult
-from repro.engine.cache import PartitionArtifactCache, ResultCache
+from repro.engine.artifacts import ArtifactStore
+from repro.engine.cache import ArtifactCache, ResultCache
 from repro.engine.catalog import Catalog, GeometryMap
 from repro.engine.executor import (
     DEFAULT_MIN_SHIP_RECTS,
+    DEFAULT_TILE_BATCH_BYTES,
     DEFAULT_TILES_PER_SIDE,
     Executor,
 )
@@ -98,6 +100,8 @@ class SpatialQueryEngine:
         pool_kind: str = "process",
         min_ship_rects: int = DEFAULT_MIN_SHIP_RECTS,
         artifact_cache_bytes: Optional[int] = None,
+        artifact_dir: Optional[str] = None,
+        tile_batch_bytes: int = DEFAULT_TILE_BATCH_BYTES,
     ) -> None:
         self.scale = scale
         self.machine = machine
@@ -120,14 +124,21 @@ class SpatialQueryEngine:
             self.disk, self.store, histogram_grid=histogram_grid
         )
         # The persistent worker pool (process-based by default) and the
-        # partition-artifact cache are engine-lived: the pool is created
-        # lazily on the first shipped task and reused by every query;
-        # artifacts occupy only free budget bytes and are evicted
-        # before they could ever starve a tile grant.
-        # ``artifact_cache_bytes=0`` disables artifact reuse.
+        # artifact cache are engine-lived: the pool is created lazily
+        # on the first shipped task and reused by every query;
+        # artifacts (distributed tiles and sorted runs) occupy only
+        # free budget bytes and are evicted before they could ever
+        # starve a tile grant.  ``artifact_cache_bytes=0`` disables
+        # artifact reuse; ``artifact_dir`` additionally persists
+        # artifacts to a content-keyed sidecar there, so a restarted
+        # engine pointed at the same directory restores its warm state
+        # lazily on first touch.
         self.worker_pool = WorkerPool(self.workers, kind=pool_kind)
-        self.artifacts = PartitionArtifactCache(
+        self.artifacts = ArtifactCache(
             budget=self.budget, max_bytes=artifact_cache_bytes,
+        )
+        self.artifact_store = (
+            ArtifactStore(artifact_dir) if artifact_dir else None
         )
         self.optimizer = Optimizer(
             self.catalog, machine, scale,
@@ -135,11 +146,14 @@ class SpatialQueryEngine:
             budget=self.budget,
             artifacts=self.artifacts,
             tiles_per_side=DEFAULT_TILES_PER_SIDE,
+            store=self.artifact_store,
         )
         self.executor = Executor(
             self.disk, machine, pool=self.pool, budget=self.budget,
             worker_pool=self.worker_pool, artifacts=self.artifacts,
             min_ship_rects=min_ship_rects,
+            tile_batch_bytes=tile_batch_bytes,
+            store=self.artifact_store,
         )
         # The cache governs result memory with its own byte ledger
         # (``cache_bytes``); the execution budget above stays dedicated
@@ -244,6 +258,12 @@ class SpatialQueryEngine:
             sim_io_seconds=d_io, sim_cpu_seconds=d_cpu,
             sim_wall_seconds=sim_wall, wall_seconds=wall,
             spilled_rects=int(result.detail.get("spilled_rects", 0)),
+            artifact_restores=int(
+                result.detail.get("artifact_restores", 0)
+            ),
+            artifact_restore_bytes=int(
+                result.detail.get("artifact_restore_bytes", 0)
+            ),
         )
         if result.pairs is None or len(result.pairs) <= MAX_CACHED_PAIRS:
             # Cache a private copy: the caller owns the returned object
@@ -300,6 +320,14 @@ class SpatialQueryEngine:
             "artifact_cache_hit_rate": artifacts["hit_rate"],
             "artifact_cache_evictions": artifacts["evictions"],
             "artifact_cache_invalidations": artifacts["invalidations"],
+            "artifact_kinds": artifacts["kinds"],
+            "artifact_disk_restores": artifacts["disk_restores"],
+            "artifact_disk_restore_bytes":
+                artifacts["disk_restore_bytes"],
+            "artifact_store": (
+                self.artifact_store.snapshot()
+                if self.artifact_store is not None else None
+            ),
         })
         snap.update({
             "budget_total_bytes": budget["total_bytes"],

@@ -32,11 +32,27 @@ The hot path is built around four cooperating mechanisms:
   ``PairSink`` per pair; reference-point ownership and self-join dedup
   are applied in one tight loop over the batch.  Comparison counting is
   bit-identical to the callback mode and flushed once per tile.
-* **Partition-artifact cache** — the distributed tiles of recent
-  relation pairs are retained (budget-charged, LRU by bytes) in the
-  engine's :class:`~repro.engine.cache.PartitionArtifactCache`; a warm
-  repeated query skips the scan + distribute + spill phases entirely
-  and goes straight to the sweeps.
+* **Artifact layer** — reusable execution intermediates are retained
+  (budget-charged, LRU by bytes) in the engine's
+  :class:`~repro.engine.cache.ArtifactCache`: distributed tile sets
+  (a warm repeated query skips the scan + distribute + spill phases
+  entirely) and *sorted runs* (a warm ``sssj`` plan skips both
+  external sorts and sweeps straight out of memory).  With an
+  :class:`~repro.engine.artifacts.ArtifactStore` attached, both kinds
+  also persist to a spill-directory sidecar keyed by relation content
+  fingerprints, so a restarted engine restores its warm state lazily
+  on first touch — the restore is priced as one sequential read of
+  the artifact's logical bytes on the simulated disk.
+* **Batched tile shipping** — tiles big enough to be worth a pool
+  round-trip on their own (``min_ship_rects``) ship individually;
+  smaller tiles coalesce into multi-tile batch tasks under a byte
+  target (``tile_batch_bytes``), so a skewed grid with thousands of
+  tiny tiles costs a handful of pool round-trips instead of thousands
+  (or, before batching, a serial inline sweep of everything small on
+  the coordinator).  A worker decodes each batch once and returns the
+  merged pair set; op accounting is bit-identical to per-tile
+  execution, and a batch is one scheduling unit on the simulated
+  critical path — as it is on the real pool.
 
 Worker tasks touch no shared simulation state: each sweeps local
 rectangle lists against a private op counter, and the merged op total
@@ -69,7 +85,7 @@ from __future__ import annotations
 from concurrent.futures import BrokenExecutor
 from typing import List, Optional, Tuple
 
-from repro.core.columnar import ColumnarTile
+from repro.core.columnar import ColumnarTile, SortedRunView
 from repro.core.join_result import JoinResult
 from repro.core.multiway import multiway_join
 from repro.core.pbsm import (
@@ -78,12 +94,22 @@ from repro.core.pbsm import (
     TileGrid,
 )
 from repro.core.planner import unified_spatial_join
+from repro.core.sssj import sssj_join
 from repro.core.st_join import st_join
 from repro.core.sweep import forward_sweep_pairs_batched
+from repro.engine.artifacts import (
+    ArtifactStore,
+    charge_restore,
+    partition_token,
+    sorted_run_token,
+)
 from repro.engine.cache import (
-    PartitionArtifactCache,
+    PARTITION_KIND,
+    SORTED_RUN_KIND,
+    ArtifactCache,
     artifact_key,
     grid_tiles,
+    sorted_run_key,
 )
 from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.optimizer import PhysicalPlan
@@ -94,15 +120,26 @@ from repro.geom.refine import polylines_intersect
 from repro.sim.machines import MachineSpec
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.disk import Disk
+from repro.storage.sort import sort_stream_by_ylo
 
 #: Tile grid resolution for partitioned plans.  Coarser than PBSM's
 #: 128x128 because partitions here number workers x 4, not hundreds.
 DEFAULT_TILES_PER_SIDE = 32
 
-#: Tasks below this many rectangles (both sides) sweep inline on the
-#: coordinator: pickling a tile across the process boundary costs more
-#: than a small sweep saves.  Tests force shipping with 0.
+#: Tasks below this many rectangles (both sides) are too small to be
+#: worth a pool round-trip *on their own*: pickling a tile across the
+#: process boundary costs more than a small sweep saves.  Small tasks
+#: coalesce into batches (below); tests force solo shipping with 0.
 DEFAULT_MIN_SHIP_RECTS = 2048
+
+#: Target logical payload of one multi-tile batch task, in bytes
+#: (records x ``RECT_BYTES``).  Small tiles accumulate until the batch
+#: reaches this target, then ship as one pool task — one round-trip
+#: for many tiles, the IPC-amortization answer to skewed grids.  A
+#: trailing batch smaller than ``min_ship_rects`` still sweeps inline
+#: (shipping it would cost more than it saves); ``0`` disables
+#: batching and restores the blunt inline cutoff.
+DEFAULT_TILE_BATCH_BYTES = 64 * 1024
 
 
 class Executor:
@@ -116,8 +153,10 @@ class Executor:
         tiles_per_side: int = DEFAULT_TILES_PER_SIDE,
         budget: Optional[ResourceBudget] = None,
         worker_pool: Optional[WorkerPool] = None,
-        artifacts: Optional[PartitionArtifactCache] = None,
+        artifacts: Optional[ArtifactCache] = None,
         min_ship_rects: int = DEFAULT_MIN_SHIP_RECTS,
+        tile_batch_bytes: int = DEFAULT_TILE_BATCH_BYTES,
+        store: Optional[ArtifactStore] = None,
     ) -> None:
         self.disk = disk
         self.machine = machine
@@ -129,6 +168,8 @@ class Executor:
         self.worker_pool = worker_pool or WorkerPool(1, kind="serial")
         self.artifacts = artifacts
         self.min_ship_rects = max(0, min_ship_rects)
+        self.tile_batch_bytes = max(0, tile_batch_bytes)
+        self.store = store
 
     # -- public ----------------------------------------------------------
 
@@ -160,6 +201,8 @@ class Executor:
     def _execute_pairwise(self, plan: PhysicalPlan,
                           entries: List[CatalogEntry]) -> JoinResult:
         query = plan.query
+        if plan.strategy == "sssj" and self._artifacts_enabled():
+            return self._execute_sssj(plan, entries)
         if plan.strategy == "st":
             result = st_join(
                 entries[0].tree, entries[1].tree,
@@ -183,6 +226,107 @@ class Executor:
             rel_a, rel_b, self.disk, self.machine,
             collect_pairs=query.collect_pairs, force=plan.strategy,
         )
+
+    # -- sorted-run artifact path ----------------------------------------
+
+    def _artifacts_enabled(self) -> bool:
+        return self.artifacts is not None and self.artifacts.max_bytes != 0
+
+    def _execute_sssj(self, plan: PhysicalPlan,
+                      entries: List[CatalogEntry]) -> JoinResult:
+        """SSSJ with sorted-run artifact reuse.
+
+        Each side's sorted view is resolved independently: a memory
+        hit sweeps straight out of the cached columnar run (no sort,
+        no I/O at all for that side), a disk hit restores the run from
+        the artifact sidecar (priced as one sequential read of its
+        logical bytes), and a miss runs the external sort as usual —
+        capturing the sorted output as it passes through memory and
+        retaining it as a fresh artifact for the next query.
+        """
+        query = plan.query
+        rel_a = entries[0].relation(universe=plan.regions[0],
+                                    with_tree=False)
+        rel_b = entries[1].relation(universe=plan.regions[1],
+                                    with_tree=False)
+        universe = union_mbr(rel_a.universe, rel_b.universe)
+
+        runs = []
+        owned = []
+        hits = restores = restore_bytes = 0
+        for idx, entry in enumerate(entries):
+            view, source = self._sorted_run_for(entry)
+            if view is not None:
+                if source == "memory":
+                    hits += 1
+                else:
+                    restores += 1
+                    restore_bytes += view.data_bytes
+                runs.append(view)
+                continue
+            captured: List[Rect] = []
+            sorted_stream = sort_stream_by_ylo(
+                entry.stream, self.disk, name=f"sssj.{'ab'[idx]}",
+                on_record=captured.append,
+            )
+            self._retain_sorted_run(entry, captured)
+            runs.append(sorted_stream)
+            owned.append(sorted_stream)
+        try:
+            result = sssj_join(
+                entries[0].stream, entries[1].stream, self.disk,
+                universe=universe, collect_pairs=query.collect_pairs,
+                sorted_a=runs[0], sorted_b=runs[1],
+            )
+        finally:
+            for s in owned:
+                s.free()
+        result.detail["strategy"] = "sssj"
+        result.detail["estimated_io_seconds"] = plan.estimate.io_seconds
+        result.detail["machine"] = self.machine.name
+        result.detail["sorted_run_hits"] = hits
+        result.detail["artifact_restores"] = restores
+        result.detail["artifact_restore_bytes"] = restore_bytes
+        return result
+
+    def _sorted_run_for(self, entry: CatalogEntry):
+        """Resolve one relation's warm sorted view.
+
+        Returns ``(view, "memory" | "disk")`` or ``(None, None)``.
+        Exactly one cache hit/miss event fires per side; a disk
+        restore counts as a miss plus a ``disk_restore``.
+        """
+        key = sorted_run_key(entry.name, entry.version)
+        tile = self.artifacts.get(key, kind=SORTED_RUN_KIND)
+        if tile is not None:
+            return SortedRunView(tile, name=f"{entry.name}.sorted"), "memory"
+        if self.store is None:
+            return None, None
+        loaded = self.store.load(self._sorted_run_token(entry))
+        if loaded is None:
+            return None, None
+        _kind, tile, logical = loaded
+        charge_restore(self.disk, logical)
+        self.artifacts.note_restore(logical)
+        # Best effort: a full budget serves the restored run to this
+        # query without retaining it.
+        self.artifacts.put(key, tile, kind=SORTED_RUN_KIND)
+        return SortedRunView(tile, name=f"{entry.name}.sorted"), "disk"
+
+    def _retain_sorted_run(self, entry: CatalogEntry,
+                           captured: List[Rect]) -> None:
+        """Cache (and persist) one freshly sorted relation."""
+        if not captured:
+            return
+        tile = ColumnarTile.from_rects(captured)
+        self.artifacts.put(sorted_run_key(entry.name, entry.version),
+                           tile, kind=SORTED_RUN_KIND)
+        if self.store is not None:
+            self.store.save(self._sorted_run_token(entry),
+                            SORTED_RUN_KIND, tile, [entry.name])
+
+    def _sorted_run_token(self, entry: CatalogEntry) -> str:
+        return sorted_run_token(entry.name, entry.fingerprint)
 
     def _execute_multiway(self, plan: PhysicalPlan,
                           entries: List[CatalogEntry]) -> JoinResult:
@@ -217,26 +361,57 @@ class Executor:
                             n_parts, query.window)
         cached = None
         task_window: Optional[Rect] = None
+        restore_bytes = 0
         if self.artifacts is not None:
-            hit_key = akey if self.artifacts.has(akey) else None
-            if hit_key is None and query.window is not None:
-                # Overlapping-query reuse: a windowed query can sweep
-                # the cached *full* distribution of the same relations.
-                # The distribute-phase window filter is only a pruning
-                # step — window semantics are enforced by the pair
-                # post-filter (``_filter_window``), which windowed
-                # queries always run (they must collect pairs) — so
-                # the final pair set is identical; the full sweep
-                # trades some extra worker CPU for skipping the whole
-                # scan + distribute phase.
+            # Candidate keys, best first: the exact (possibly windowed)
+            # distribution, then — for windowed queries — the *full*
+            # distribution of the same relations, which can be swept
+            # whole and post-filtered with identical results (the
+            # distribute-phase window filter is only a pruning step;
+            # window semantics are enforced by ``_filter_window``,
+            # which windowed queries always run).  Each candidate is
+            # probed in memory first, then in the artifact sidecar.
+            candidates = [(akey, universe, None)]
+            if query.window is not None:
                 full_universe = union_mbr(
                     entries[0].universe, entries[-1].universe
                 )
-                fkey = artifact_key(versions, full_universe,
-                                    self.tiles_per_side, n_parts, None)
-                if self.artifacts.has(fkey):
-                    hit_key = fkey
-                    universe = full_universe
+                candidates.append((
+                    artifact_key(versions, full_universe,
+                                 self.tiles_per_side, n_parts, None),
+                    full_universe, query.window,
+                ))
+            hit = None
+            for key_try, uni, win in candidates:
+                if self.artifacts.has(key_try):
+                    # Exactly one hit/miss event per query: the probes
+                    # use has(), which bumps no counters.
+                    hit = (self.artifacts.get(key_try), uni, win)
+                    break
+            if hit is None:
+                # Count the miss, then try the disk sidecar lazily.
+                self.artifacts.get(akey)
+                if self.store is not None and self._artifacts_enabled():
+                    for key_try, uni, win in candidates:
+                        token = self._partition_token(
+                            entries, self_join, uni, n_parts, key_try[-1]
+                        )
+                        loaded = self.store.load(token)
+                        if loaded is None:
+                            continue
+                        _kind, tasks, logical = loaded
+                        charge_restore(self.disk, logical)
+                        self.artifacts.note_restore(logical)
+                        restore_bytes = logical
+                        self.artifacts.put(key_try, tasks)
+                        hit = (tasks, uni, win)
+                        break
+            if hit is not None:
+                cached, hit_universe, task_window = hit
+                if hit_universe is not universe:
+                    # Full-distribution reuse: sweep the full grid and
+                    # let workers prune each tile to the window first.
+                    universe = hit_universe
                     grid = TileGrid(
                         universe,
                         grid_tiles(self.tiles_per_side, n_parts),
@@ -245,27 +420,22 @@ class Executor:
                     grid_spec = (universe.xlo, universe.xhi,
                                  universe.ylo, universe.yhi,
                                  grid.t, n_parts)
-                    # Workers prune the full tiles to the window before
-                    # sweeping — the same filter distribute would have
-                    # applied, so the sweep stays window-sized.
-                    task_window = query.window
-            # Exactly one hit/miss event per query: the probes above
-            # use has(), which bumps no counters.
-            cached = self.artifacts.get(hit_key if hit_key else akey)
 
+        shipper = _TaskShipper(self)
         if cached is not None:
-            submitted, grant = self._submit_cached(
+            grant = self._submit_cached(
                 cached, grid_spec, self_join, collect, n_parts,
-                task_window,
+                task_window, shipper,
             )
             spilled_rects = spill_partitions = 0
             parts_to_free: List[SpillablePartition] = []
         else:
-            (submitted, grant, spilled_rects, spill_partitions,
+            (grant, spilled_rects, spill_partitions,
              parts_to_free) = self._distribute_and_submit(
                 plan, entries, grid, grid_spec, self_join, collect,
-                n_parts, akey,
+                n_parts, akey, shipper,
             )
+        submitted = shipper.submitted
         try:
             outcomes = self._gather(submitted)
         finally:
@@ -278,21 +448,36 @@ class Executor:
         n_pairs = 0
         total_ops = 0
         duplicates = 0
-        part_ops: List[int] = []
-        for count, part_pairs, task_ops, dups in outcomes:
+        inline_ops = 0
+        shipped_ops: List[int] = []
+        for (fut, shipped, _size, _tiles), outcome in zip(
+            submitted, outcomes
+        ):
+            count, part_pairs, task_ops, dups = outcome
             n_pairs += count
             total_ops += task_ops
             duplicates += dups
-            part_ops.append(task_ops)
+            if shipped:
+                shipped_ops.append(task_ops)
+            else:
+                inline_ops += task_ops
             if pairs is not None:
                 pairs.extend(part_pairs)
         env.charge("sweep", total_ops)
 
-        critical = _critical_path_ops(part_ops, plan.workers)
+        # The simulated critical path: shipped tasks (solo tiles and
+        # whole batches — a batch is one scheduling unit, as on the
+        # real pool) spread over the plan's workers via greedy LPT;
+        # inline tasks are serial on the coordinator, which sweeps
+        # them while the workers run — the slower of the two lanes
+        # bounds the parallel phase.
+        critical = max(
+            inline_ops, _critical_path_ops(shipped_ops, plan.workers)
+        )
         saved_seconds = (
             (total_ops - critical) * self.machine.cpu.seconds_per_op
         )
-        task_sizes = [size for _, _, size in submitted]
+        task_sizes = [size for _, _, size, _ in submitted]
         return JoinResult(
             algorithm="PBSM-grid",
             n_pairs=n_pairs,
@@ -305,7 +490,9 @@ class Executor:
                 "estimated_io_seconds": plan.estimate.io_seconds,
                 "workers": plan.workers,
                 "partitions": n_parts,
-                "active_partitions": len(task_sizes),
+                "active_partitions": sum(
+                    tiles for _, _, _, tiles in submitted
+                ),
                 "tiles_per_side": grid.t,
                 "sweep_ops_total": total_ops,
                 "sweep_ops_critical": critical,
@@ -317,31 +504,35 @@ class Executor:
                 "spilled_bytes": spilled_rects * RECT_BYTES,
                 "spill_partitions": spill_partitions,
                 "artifact_hit": cached is not None,
+                "artifact_restores": 1 if restore_bytes else 0,
+                "artifact_restore_bytes": restore_bytes,
                 "pool_kind": self.worker_pool.kind,
                 "tasks_shipped": sum(
-                    1 for _, shipped, _ in submitted if shipped
+                    1 for _, shipped, _, _ in submitted if shipped
                 ),
+                "tile_batches": shipper.batches,
+                "batched_tiles": shipper.batched_tiles,
             },
         )
 
     # -- partitioned internals -------------------------------------------
 
-    def _submit(self, payload: tuple, size: int) -> tuple:
-        """Hand one tile task to the pool (or sweep inline if small).
-
-        Returns ``(future, shipped, size)``; the payload rides along on
-        the future object for :meth:`_gather`'s broken-pool recovery.
-        """
-        pool = self.worker_pool
-        if pool.kind == "serial" or size < self.min_ship_rects:
-            return (pool.run_inline(sweep_tile_task, payload), False, size)
-        fut = pool.submit(sweep_tile_task, payload)
-        fut._repro_payload = payload
-        return (fut, True, size)
+    def _partition_token(self, entries: List[CatalogEntry],
+                         self_join: bool, universe: Rect,
+                         n_parts: int, window: Optional[Rect]) -> str:
+        """The sidecar identity of one distribution (content-keyed)."""
+        fps = tuple(
+            (e.name, e.fingerprint)
+            for e in (entries[:1] if self_join else entries)
+        )
+        return partition_token(
+            fps, universe, grid_tiles(self.tiles_per_side, n_parts),
+            n_parts, window,
+        )
 
     def _gather(self, submitted: List[tuple]) -> List[tuple]:
         outcomes = []
-        for fut, shipped, _size in submitted:
+        for fut, shipped, _size, _tiles in submitted:
             if not shipped:
                 outcomes.append(fut.result())
                 continue
@@ -355,7 +546,7 @@ class Executor:
                 # real origin.
                 outcomes.append(
                     self.worker_pool.recover(
-                        sweep_tile_task, fut._repro_payload
+                        fut._repro_fn, fut._repro_payload
                     )
                 )
         return outcomes
@@ -363,8 +554,8 @@ class Executor:
     def _submit_cached(
         self, cached: List[tuple], grid_spec: tuple,
         self_join: bool, collect: bool, n_parts: int,
-        window: Optional[Rect],
-    ) -> Tuple[List[tuple], Optional[object]]:
+        window: Optional[Rect], shipper: "_TaskShipper",
+    ) -> Optional[object]:
         """Warm path: the distribute phase is skipped entirely.
 
         Cached columnar tiles go straight to the pool; the only budget
@@ -383,18 +574,19 @@ class Executor:
             grant = self.budget.acquire(
                 "tiles", decoded, minimum=n_parts * RECT_BYTES
             )
-        submitted = []
         for part_id, tile_a, tile_b in cached:
             size = len(tile_a) + len(tile_a if tile_b is None else tile_b)
             payload = (part_id, grid_spec, tile_a, tile_b, self_join,
                        collect, window)
-            submitted.append(self._submit(payload, size))
-        return submitted, grant
+            shipper.add(payload, size)
+        shipper.flush()
+        return grant
 
     def _distribute_and_submit(
         self, plan: PhysicalPlan, entries: List[CatalogEntry],
         grid: TileGrid, grid_spec: tuple, self_join: bool,
         collect: bool, n_parts: int, akey: tuple,
+        shipper: "_TaskShipper",
     ):
         """Cold path: scan, distribute, then stream tasks to the pool.
 
@@ -437,7 +629,6 @@ class Executor:
         ]
         parts_b = parts_a
         parts_to_free = list(parts_a)
-        submitted: List[tuple] = []
         try:
             ops = _distribute(entries[0].stream, parts_a, grid,
                               query.window)
@@ -470,10 +661,8 @@ class Executor:
             # double-charge the one-write-one-reread model the
             # optimizer priced.
             ship = self.worker_pool.kind == "process"
-            will_cache = (
-                self.artifacts is not None
-                and self.artifacts.max_bytes != 0
-            )
+            batching = self.tile_batch_bytes > 0
+            will_cache = self._artifacts_enabled()
             cache_tasks: List[tuple] = []
             reread_rects = 0
             for i in range(n_parts):
@@ -485,9 +674,12 @@ class Executor:
                 )
                 reread_rects += sum(p.spilled_rects for p in active)
                 size = len(parts_a[i]) + len(parts_b[i])
-                if ship and size >= self.min_ship_rects:
+                if ship and (batching or size >= self.min_ship_rects):
                     # Columnar from the start: the same flat tiles
-                    # serve the pickle boundary and the artifact cache.
+                    # serve the pickle boundary, the batch queue and
+                    # the artifact cache.  (With batching on, a small
+                    # tile may cross the process boundary as part of a
+                    # batch, so it is encoded too.)
                     side_a = parts_a[i].materialize_columnar()
                     side_b = (
                         None if self_join
@@ -500,9 +692,10 @@ class Executor:
                 # so the task carries no window of its own.
                 payload = (i, grid_spec, side_a, side_b, self_join,
                            collect, None)
-                submitted.append(self._submit(payload, size))
+                shipper.add(payload, size)
                 if will_cache:
                     cache_tasks.append((i, side_a, side_b))
+            shipper.flush()
             env.charge("spill", reread_rects)
             if grant is not None:
                 grant.charge(reread_rects * RECT_BYTES)
@@ -517,9 +710,11 @@ class Executor:
         # runs only (a spilled distribution exists precisely because
         # the budget could not hold it).  Encodes any list-form tiles
         # to columnar; put() takes bytes from the budget's free pool
-        # and evicts LRU artifacts, never live grants.
+        # and evicts LRU artifacts, never live grants.  With a sidecar
+        # store attached, the same columnar tasks persist to disk —
+        # content-keyed, so a restarted engine can restore them.
         if will_cache and spilled_rects == 0 and cache_tasks:
-            self.artifacts.put(akey, [
+            encoded = [
                 (
                     i,
                     a if isinstance(a, ColumnarTile)
@@ -528,12 +723,108 @@ class Executor:
                     else ColumnarTile.from_rects(b),
                 )
                 for i, a, b in cache_tasks
-            ])
-        return (submitted, grant, spilled_rects, spill_partitions,
-                parts_to_free)
+            ]
+            self.artifacts.put(akey, encoded)
+            if self.store is not None:
+                query = plan.query
+                self.store.save(
+                    self._partition_token(
+                        entries, self_join,
+                        Rect(grid_spec[0], grid_spec[1], grid_spec[2],
+                             grid_spec[3], 0),
+                        n_parts, query.window,
+                    ),
+                    PARTITION_KIND, encoded,
+                    [e.name for e in
+                     (entries[:1] if self_join else entries)],
+                )
+        return (grant, spilled_rects, spill_partitions, parts_to_free)
 
 
 # -- helpers -----------------------------------------------------------------
+
+
+class _TaskShipper:
+    """Routes tile tasks to the pool: solo ship, batch, or inline.
+
+    One shipper lives for one partitioned query.  Tiles at or above
+    ``min_ship_rects`` ship individually the moment they arrive
+    (streaming submission is preserved — workers sweep early tiles
+    while the coordinator materializes later ones).  Smaller tiles
+    accumulate into a pending batch; when the batch's logical payload
+    reaches ``tile_batch_bytes`` it ships as **one** pool task
+    (:func:`sweep_tile_batch_task`).  The trailing batch ships only if
+    it is collectively worth a round-trip (``>= min_ship_rects``
+    rectangles); otherwise its tiles sweep inline, exactly like the
+    pre-batching cutoff.  ``tile_batch_bytes == 0`` disables batching
+    outright: small tiles sweep inline, the PR-3 behaviour.
+
+    ``submitted`` collects ``(future, shipped, size, tiles)`` in
+    submission order; payloads and task functions ride along on the
+    future for broken-pool recovery.
+    """
+
+    def __init__(self, executor: "Executor") -> None:
+        self.ex = executor
+        self.pool = executor.worker_pool
+        self.submitted: List[tuple] = []
+        self._pending: List[Tuple[tuple, int]] = []
+        self._pending_size = 0
+        self.batches = 0
+        self.batched_tiles = 0
+
+    def add(self, payload: tuple, size: int) -> None:
+        if self.pool.kind == "serial":
+            self._inline(payload, size)
+            return
+        if size >= self.ex.min_ship_rects:
+            self._ship(sweep_tile_task, payload, size, 1)
+            return
+        if self.ex.tile_batch_bytes <= 0:
+            self._inline(payload, size)
+            return
+        self._pending.append((payload, size))
+        self._pending_size += size
+        if self._pending_size * RECT_BYTES >= self.ex.tile_batch_bytes:
+            self._flush_pending(ship=True)
+
+    def flush(self) -> None:
+        """Dispatch the trailing batch (ship it only if it pays)."""
+        self._flush_pending(
+            ship=self._pending_size >= self.ex.min_ship_rects
+        )
+
+    # -- internals -------------------------------------------------------
+
+    def _flush_pending(self, ship: bool) -> None:
+        if not self._pending:
+            return
+        if ship and len(self._pending) > 1:
+            payloads = tuple(p for p, _ in self._pending)
+            self.batches += 1
+            self.batched_tiles += len(payloads)
+            self._ship(sweep_tile_batch_task, payloads,
+                       self._pending_size, len(payloads))
+        elif ship:
+            payload, size = self._pending[0]
+            self._ship(sweep_tile_task, payload, size, 1)
+        else:
+            for payload, size in self._pending:
+                self._inline(payload, size)
+        self._pending = []
+        self._pending_size = 0
+
+    def _ship(self, fn, payload, size: int, tiles: int) -> None:
+        fut = self.pool.submit(fn, payload, units=tiles)
+        fut._repro_payload = payload
+        fut._repro_fn = fn
+        self.submitted.append((fut, True, size, tiles))
+
+    def _inline(self, payload: tuple, size: int) -> None:
+        self.submitted.append(
+            (self.pool.run_inline(sweep_tile_task, payload), False,
+             size, 1)
+        )
 
 
 class _OpCounter:
@@ -605,6 +896,34 @@ def sweep_tile_task(payload: tuple) -> Tuple[int, Optional[List[Tuple[int, int]]
         else:
             dups += 1
     return (len(owned), owned if collect else None, local.cpu_ops, dups)
+
+
+def sweep_tile_batch_task(payloads: tuple) -> Tuple[int, Optional[List[Tuple[int, int]]], int, int]:
+    """Sweep a batch of small tiles in one pool task.
+
+    The batch crosses the process boundary once (one pickle, one
+    scheduling round-trip); the worker decodes each tile once, sweeps
+    them back to back, and returns the *merged* outcome in the same
+    ``(count, pairs, ops, dups)`` shape a single-tile task produces.
+    Per-tile results are simply concatenated — each tile is an
+    independent partition, so merging commutes with sweeping and the
+    pair set and op accounting are bit-identical to per-tile dispatch.
+    """
+    count = 0
+    ops = 0
+    dups = 0
+    # payload[5] is the collect flag; all tiles of one query share it.
+    merged: Optional[List[Tuple[int, int]]] = (
+        [] if payloads and payloads[0][5] else None
+    )
+    for payload in payloads:
+        c, pairs, o, d = sweep_tile_task(payload)
+        count += c
+        ops += o
+        dups += d
+        if pairs is not None:
+            merged.extend(pairs)
+    return (count, merged, ops, dups)
 
 
 def _distribute(stream, parts: List[SpillablePartition], grid: TileGrid,

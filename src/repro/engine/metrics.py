@@ -43,6 +43,14 @@ class EngineMetrics:
     #: Executed queries that spilled at least one tile.
     spill_queries: int = 0
 
+    #: Artifact-layer disk activity: artifacts (distributions, sorted
+    #: runs) restored from the spill-directory sidecar, and the logical
+    #: bytes those restores read on the simulated disk.  Per-kind
+    #: hit/miss/byte counters live on the cache and are merged into the
+    #: engine snapshot alongside these.
+    artifact_restores: int = 0
+    artifact_restore_bytes: int = 0
+
     pages_read: int = 0
     pages_written: int = 0
     bytes_read: int = 0
@@ -124,6 +132,8 @@ class EngineMetrics:
         sim_wall_seconds: float,
         wall_seconds: float,
         spilled_rects: int = 0,
+        artifact_restores: int = 0,
+        artifact_restore_bytes: int = 0,
     ) -> None:
         self.queries_served += 1
         self.queries_executed += 1
@@ -132,6 +142,8 @@ class EngineMetrics:
             self.spilled_rects += spilled_rects
             self.spilled_bytes += spilled_rects * RECT_BYTES
             self.spill_queries += 1
+        self.artifact_restores += artifact_restores
+        self.artifact_restore_bytes += artifact_restore_bytes
         self.pages_read += pages_read
         self.pages_written += pages_written
         self.bytes_read += bytes_read
@@ -164,6 +176,8 @@ class EngineMetrics:
             "spilled_rects": self.spilled_rects,
             "spilled_bytes": self.spilled_bytes,
             "spill_queries": self.spill_queries,
+            "artifact_restores": self.artifact_restores,
+            "artifact_restore_bytes": self.artifact_restore_bytes,
             "pages_read": self.pages_read,
             "pages_written": self.pages_written,
             "bytes_read": self.bytes_read,

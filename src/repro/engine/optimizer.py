@@ -40,7 +40,18 @@ from typing import List, Optional, Tuple
 from repro.core.cost_model import WRITE_FACTOR, CostModel, JoinCostEstimate
 from repro.core.histogram import SpatialHistogram
 from repro.core.planner import Relation, candidate_estimates
-from repro.engine.cache import PartitionArtifactCache, artifact_key
+from repro.engine.artifacts import (
+    ArtifactStore,
+    partition_token,
+    sorted_run_token,
+)
+from repro.engine.cache import (
+    SORTED_RUN_KIND,
+    ArtifactCache,
+    artifact_key,
+    grid_tiles,
+    sorted_run_key,
+)
 from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.query import Query
 from repro.engine.resources import ResourceBudget
@@ -149,8 +160,9 @@ class Optimizer:
         workers: int = 1,
         auto_index: bool = True,
         budget: Optional[ResourceBudget] = None,
-        artifacts: Optional[PartitionArtifactCache] = None,
+        artifacts: Optional[ArtifactCache] = None,
         tiles_per_side: int = 32,
+        store: Optional[ArtifactStore] = None,
     ) -> None:
         self.catalog = catalog
         self.machine = machine
@@ -158,15 +170,18 @@ class Optimizer:
         self.workers = max(1, workers)
         self.auto_index = auto_index
         self.budget = budget
-        # The executor's partition-artifact cache and tile resolution:
-        # the cost model probes whether a pbsm-grid plan's distribute
-        # phase is already cached (the warm pool then starts sweeping
-        # immediately), pricing repeats of partitioned joins at the
-        # spill-free sweep cost instead of a fresh partition pass.
-        # ``tiles_per_side`` must match the executor's
-        # (DEFAULT_TILES_PER_SIDE) for probe keys to align.
+        # The executor's artifact cache/store and tile resolution: the
+        # cost model probes whether a pbsm-grid plan's distribute phase
+        # or an sssj plan's sorted runs are already warm — in memory
+        # (priced free: the warm pool starts sweeping immediately) or
+        # in the disk sidecar (priced as one sequential restore read).
+        # Plan choice can therefore flip between the partitioned and
+        # sort paths based on what is warm.  ``tiles_per_side`` must
+        # match the executor's (DEFAULT_TILES_PER_SIDE) for probe keys
+        # to align.
         self.artifacts = artifacts
         self.tiles_per_side = tiles_per_side
+        self.store = store
         #: (name, version, universe) -> histogram rebuilt on a common
         #: universe for multiway pricing (see
         #: :meth:`_histograms_on_common_universe`).
@@ -196,43 +211,73 @@ class Optimizer:
     def _budget_total(self) -> int:
         return self.budget.total_bytes if self.budget is not None else 0
 
-    def _artifact_cached(self, entries: List[CatalogEntry],
-                         regions: List[Optional[Rect]],
-                         query: Query) -> bool:
-        """True when the executor holds this plan's distributed tiles.
+    def _artifacts_enabled(self) -> bool:
+        return (self.artifacts is not None
+                and self.artifacts.max_bytes != 0)
 
-        Mirrors the executor's probe order: the exact (windowed) key
-        first, then — for windowed queries — the full distribution of
-        the same relations, which the executor can sweep and post-filter
-        with identical results.
+    def _partition_artifact_state(
+        self, entries: List[CatalogEntry],
+        regions: List[Optional[Rect]], query: Query,
+    ) -> Tuple[Optional[str], int]:
+        """Where this plan's distributed tiles are warm, if anywhere.
+
+        Returns ``("memory", 0)``, ``("disk", logical_bytes)`` or
+        ``(None, 0)``.  Mirrors the executor's probe order: the exact
+        (windowed) key first, then — for windowed queries — the full
+        distribution of the same relations, which the executor can
+        sweep and post-filter with identical results; memory outranks
+        the sidecar.
         """
-        if self.artifacts is None:
-            return False
+        if not self._artifacts_enabled():
+            return None, 0
         self_join = query.is_self_join
-        versions = tuple(
-            (e.name, e.version)
-            for e in (entries[:1] if self_join else entries)
-        )
-        universe = union_mbr(regions[0], regions[1])
+        chosen = entries[:1] if self_join else entries
+        versions = tuple((e.name, e.version) for e in chosen)
         partitions = self.workers * PARTITIONS_PER_WORKER
-        if self.artifacts.has(artifact_key(
-            versions, universe, self.tiles_per_side, partitions,
-            query.window,
-        )):
-            return True
-        if query.window is None:
-            return False
-        full_universe = union_mbr(
-            entries[0].universe, entries[-1].universe
-        )
-        return self.artifacts.has(artifact_key(
-            versions, full_universe, self.tiles_per_side, partitions,
-            None,
-        ))
+        candidates = [(union_mbr(regions[0], regions[1]), query.window)]
+        if query.window is not None:
+            candidates.append((
+                union_mbr(entries[0].universe, entries[-1].universe),
+                None,
+            ))
+        for universe, window in candidates:
+            if self.artifacts.has(artifact_key(
+                versions, universe, self.tiles_per_side, partitions,
+                window,
+            )):
+                return "memory", 0
+        if self.store is not None:
+            fps = tuple((e.name, e.fingerprint) for e in chosen)
+            for universe, window in candidates:
+                meta = self.store.peek(partition_token(
+                    fps, universe,
+                    grid_tiles(self.tiles_per_side, partitions),
+                    partitions, window,
+                ))
+                if meta is not None:
+                    return "disk", int(meta["logical_bytes"])
+        return None, 0
+
+    def _sorted_run_state(
+        self, entry: CatalogEntry,
+    ) -> Tuple[Optional[str], int]:
+        """Where one relation's sorted run is warm, if anywhere."""
+        if not self._artifacts_enabled():
+            return None, 0
+        if self.artifacts.has(sorted_run_key(entry.name, entry.version),
+                              kind=SORTED_RUN_KIND):
+            return "memory", 0
+        if self.store is not None:
+            meta = self.store.peek(
+                sorted_run_token(entry.name, entry.fingerprint)
+            )
+            if meta is not None:
+                return "disk", int(meta["logical_bytes"])
+        return None, 0
 
     def _pbsm_estimate(
         self, model: CostModel, scan_bytes: int, label: str,
-        artifact_hit: bool = False,
+        artifact_state: Optional[str] = None, restore_bytes: int = 0,
     ) -> Tuple[JoinCostEstimate, int]:
         """Price the partitioned path, including any spill overflow.
 
@@ -242,16 +287,23 @@ class Optimizer:
         the paper's 1.5x write factor plus one re-read.  Returns the
         estimate and the expected spilled bytes.
 
-        With ``artifact_hit`` the whole scan + distribute + spill phase
-        is replaced by a lookup in the partition-artifact cache: the
-        plan pays no I/O at all, and the persistent pool starts
-        sweeping cached tiles immediately.
+        ``artifact_state`` folds in the artifact layer: a ``"memory"``
+        hit replaces the whole scan + distribute + spill phase with a
+        cache lookup (no I/O at all — the persistent pool starts
+        sweeping cached tiles immediately); a ``"disk"`` hit replaces
+        it with one sequential restore read of the persisted tiles.
         """
-        if artifact_hit:
+        if artifact_state == "memory":
             return JoinCostEstimate(
                 "pbsm-grid", 0.0,
-                f"{label}, distributed tiles cached "
-                f"(partition-artifact cache)",
+                f"{label}, distributed tiles cached (artifact layer)",
+            ), 0
+        if artifact_state == "disk":
+            return JoinCostEstimate(
+                "pbsm-grid",
+                model.sequential_read_seconds(restore_bytes),
+                f"{label}, restores {restore_bytes} persisted tile "
+                f"bytes (artifact sidecar)",
             ), 0
         secs = model.sequential_read_seconds(scan_bytes)
         spill = 0
@@ -267,6 +319,37 @@ class Optimizer:
         else:
             detail = f"{label}, tiles fit the memory budget"
         return JoinCostEstimate("pbsm-grid", secs, detail), spill
+
+    def _sssj_estimate_with_runs(
+        self, model: CostModel, rel_a: Relation, rel_b: Relation,
+        states: List[Tuple[Optional[str], int]],
+    ) -> Optional[JoinCostEstimate]:
+        """Re-price ``sssj`` when sorted-run artifacts are warm.
+
+        A side whose run is cached in memory contributes nothing — no
+        sort, and the sweep scans it straight out of the cache.  A
+        side restorable from the sidecar costs one sequential read of
+        its persisted run.  Only cold sides pay the full sort-path
+        passes.  Returns ``None`` when nothing is warm (the standard
+        estimate stands).
+        """
+        if not any(state for state, _ in states):
+            return None
+        cold = 0
+        secs = 0.0
+        labels = []
+        for rel, (state, nbytes) in zip((rel_a, rel_b), states):
+            if state == "memory":
+                labels.append(f"{rel.name}: sorted run in memory")
+            elif state == "disk":
+                secs += model.sequential_read_seconds(nbytes)
+                labels.append(f"{rel.name}: sorted run on disk")
+            else:
+                cold += rel.data_bytes
+        if cold:
+            labels.append(f"{cold} bytes sorted cold")
+        secs += model.estimate_sssj(cold, 0).io_seconds
+        return JoinCostEstimate("SSSJ", secs, "; ".join(labels))
 
     def _effective_region(self, entry: CatalogEntry,
                           window: Optional[Rect]) -> Optional[Rect]:
@@ -291,6 +374,23 @@ class Optimizer:
         )
         notes: List[str] = []
 
+        # Sorted-run artifacts make the sort path cheap: re-price the
+        # sssj candidate so plan choice can flip toward (or away from)
+        # it based on what is warm.
+        run_states = [self._sorted_run_state(e) for e in entries]
+        warm_sssj = self._sssj_estimate_with_runs(
+            model, rel_a, rel_b, run_states
+        )
+        if warm_sssj is not None:
+            candidates = [
+                (name, warm_sssj if name == "sssj" else est)
+                for name, est in candidates
+            ]
+            notes.append(
+                "sorted-run artifacts warm — sssj priced sort-free "
+                f"({warm_sssj.detail})"
+            )
+
         if (rel_a.tree is not None and rel_b.tree is not None
                 and query.window is None):
             # Whole-relation joins can ride the engine's warm buffer
@@ -302,23 +402,31 @@ class Optimizer:
             ))
         tile_bytes = rel_a.data_bytes + rel_b.data_bytes
         spill_bytes = 0
-        artifact_hit = self._artifact_cached(entries, regions, query)
+        artifact_state, restore_bytes = self._partition_artifact_state(
+            entries, regions, query
+        )
         if self.workers > 1:
             est, spill_bytes = self._pbsm_estimate(
                 model, tile_bytes,
                 f"1 partition pass over {tile_bytes} bytes "
                 f"x{self.workers} workers",
-                artifact_hit=artifact_hit,
+                artifact_state=artifact_state,
+                restore_bytes=restore_bytes,
             )
             candidates.append(("pbsm-grid", est))
             notes.append(
                 f"partitioned execution available "
                 f"({self.workers}-worker pool stays warm across queries)"
             )
-            if artifact_hit:
+            if artifact_state == "memory":
                 notes.append(
                     "distributed tiles cached by a previous run — the "
                     "partition pass is free"
+                )
+            elif artifact_state == "disk":
+                notes.append(
+                    "distributed tiles persisted by a previous run — "
+                    "the partition pass is one restore read"
                 )
 
         fractions = [
@@ -345,7 +453,8 @@ class Optimizer:
                     est, spill_bytes = self._pbsm_estimate(
                         model, tile_bytes,
                         f"1 partition pass over {tile_bytes} bytes",
-                        artifact_hit=artifact_hit,
+                        artifact_state=artifact_state,
+                        restore_bytes=restore_bytes,
                     )
                     priced["pbsm-grid"] = est
             estimate = priced.get(
@@ -401,10 +510,14 @@ class Optimizer:
         entry = entries[0]
         model = CostModel(self.machine, self.scale)
         tile_bytes = entry.stream.data_bytes
+        artifact_state, restore_bytes = self._partition_artifact_state(
+            entries, regions, query
+        )
         estimate, spill_bytes = self._pbsm_estimate(
             model, tile_bytes,
             f"self-join: 1 partition pass over {tile_bytes} bytes",
-            artifact_hit=self._artifact_cached(entries, regions, query),
+            artifact_state=artifact_state,
+            restore_bytes=restore_bytes,
         )
         return PhysicalPlan(
             query=query,

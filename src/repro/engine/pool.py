@@ -29,7 +29,9 @@ to keep tiny tasks on the coordinator (the executor's
 Submission is streaming: :meth:`submit` hands one task to the pool the
 moment its partition is materialized, so coordinator-side
 materialization of later partitions overlaps with worker sweeps of
-earlier ones.
+earlier ones.  A task may carry several tiles (the executor's batch
+shipping); ``units`` counts them, so the snapshot can report the
+amortization factor (tiles per dispatched task) a skewed grid enjoys.
 """
 
 from __future__ import annotations
@@ -79,6 +81,8 @@ class WorkerPool:
         # -- stats (surfaced via snapshot / engine metrics) -------------
         self.tasks_dispatched = 0
         self.tasks_inline = 0
+        self.tiles_dispatched = 0
+        self.tiles_inline = 0
         self.pools_created = 0
         self.fallbacks = 0
 
@@ -124,23 +128,29 @@ class WorkerPool:
 
     # -- submission ------------------------------------------------------
 
-    def submit(self, fn: Callable[[Any], Any], payload: Any):
+    def submit(self, fn: Callable[[Any], Any], payload: Any,
+               units: int = 1):
         """Schedule ``fn(payload)``; returns a future-like object.
 
         Serial pools compute inline at submit time.  ``fn`` must be a
         module-level callable and ``payload`` picklable when the pool
-        is process-based.
+        is process-based.  ``units`` is how many tiles the task
+        carries (1 for solo tasks, the batch length for batch tasks).
         """
         executor = self._ensure_executor()
         if executor is None:
             self.tasks_inline += 1
+            self.tiles_inline += units
             return _InlineFuture(fn, payload)
         self.tasks_dispatched += 1
+        self.tiles_dispatched += units
         return executor.submit(fn, payload)
 
-    def run_inline(self, fn: Callable[[Any], Any], payload: Any):
+    def run_inline(self, fn: Callable[[Any], Any], payload: Any,
+                   units: int = 1):
         """Execute on the coordinator, counted separately from dispatch."""
         self.tasks_inline += 1
+        self.tiles_inline += units
         return _InlineFuture(fn, payload)
 
     def recover(self, fn: Callable[[Any], Any], payload: Any) -> Any:
@@ -169,6 +179,8 @@ class WorkerPool:
             "started": self.started,
             "tasks_dispatched": self.tasks_dispatched,
             "tasks_inline": self.tasks_inline,
+            "tiles_dispatched": self.tiles_dispatched,
+            "tiles_inline": self.tiles_inline,
             "pools_created": self.pools_created,
             "fallbacks": self.fallbacks,
         }

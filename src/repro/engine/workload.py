@@ -40,25 +40,32 @@ def engine_for_dataset(
     pool_kind: str = "process",
     min_ship_rects: Optional[int] = None,
     artifact_cache_bytes: Optional[int] = None,
+    artifact_dir: Optional[str] = None,
+    tile_batch_bytes: Optional[int] = None,
 ) -> SpatialQueryEngine:
     """An engine with one Table 2 dataset registered as two relations.
 
     ``memory_bytes`` overrides the engine's memory budget (default:
     the scaled paper budget); ``cache_bytes`` bounds the result cache
-    in bytes.  ``pool_kind``/``min_ship_rects`` configure the
-    persistent worker pool and ``artifact_cache_bytes`` caps (or with
-    0 disables) the partition-artifact cache.
+    in bytes.  ``pool_kind``/``min_ship_rects``/``tile_batch_bytes``
+    configure the persistent worker pool and its batch shipping,
+    ``artifact_cache_bytes`` caps (or with 0 disables) the artifact
+    cache, and ``artifact_dir`` persists artifacts to a sidecar
+    directory that survives engine restarts.
     """
     ds = build_dataset(dataset, scale)
     extra = {}
     if min_ship_rects is not None:
         extra["min_ship_rects"] = min_ship_rects
+    if tile_batch_bytes is not None:
+        extra["tile_batch_bytes"] = tile_batch_bytes
     engine = SpatialQueryEngine(
         scale=scale, machine=machine, workers=workers,
         cache_capacity=cache_capacity,
         memory_bytes=memory_bytes, cache_bytes=cache_bytes,
         pool_kind=pool_kind,
         artifact_cache_bytes=artifact_cache_bytes,
+        artifact_dir=artifact_dir,
         **extra,
     )
     engine.register("roads", ds.roads, universe=ds.universe)
@@ -131,12 +138,12 @@ def run_workload(engine: SpatialQueryEngine,
     snap = engine.metrics_snapshot()
     sim_wall = engine.metrics.sim_wall_seconds - sim_before
     pool = engine.worker_pool.snapshot()
-    for key in ("tasks_dispatched", "tasks_inline", "pools_created",
-                "fallbacks"):
+    for key in ("tasks_dispatched", "tasks_inline", "tiles_dispatched",
+                "tiles_inline", "pools_created", "fallbacks"):
         pool[key] -= pool_before[key]
     artifacts = engine.artifacts.snapshot()
     for key in ("hits", "misses", "puts", "evictions", "invalidations",
-                "rejections"):
+                "rejections", "disk_restores", "disk_restore_bytes"):
         artifacts[key] -= art_before[key]
     probes = artifacts["hits"] + artifacts["misses"]
     artifacts["hit_rate"] = artifacts["hits"] / probes if probes else 0.0

@@ -119,7 +119,23 @@ def _parse_serve_args(argv: List[str]) -> argparse.Namespace:
     )
     parser.add_argument(
         "--no-artifact-cache", action="store_true",
-        help="disable partition-artifact reuse across queries",
+        help="disable artifact reuse (distributions and sorted runs)",
+    )
+    parser.add_argument(
+        "--artifact-dir", default=None,
+        help=(
+            "persist artifacts to this directory (content-keyed "
+            "sidecar); a restarted serve-bench pointed at the same "
+            "directory restores its warm state lazily"
+        ),
+    )
+    parser.add_argument(
+        "--tile-batch-bytes", type=int, default=None,
+        help=(
+            "target logical payload of one multi-tile pool task; "
+            "small tiles coalesce into batches up to this size "
+            "(0 disables batching and restores the inline cutoff)"
+        ),
     )
     parser.add_argument(
         "--spill-report", action="store_true",
@@ -211,6 +227,8 @@ def serve_bench(args: argparse.Namespace) -> int:
         pool_kind=args.pool_kind,
         min_ship_rects=args.min_ship_rects,
         artifact_cache_bytes=0 if args.no_artifact_cache else None,
+        artifact_dir=args.artifact_dir,
+        tile_batch_bytes=args.tile_batch_bytes,
     )
     queries = make_workload(
         engine.catalog.get("roads").universe, args.queries, seed=args.seed,
@@ -243,7 +261,8 @@ def serve_bench(args: argparse.Namespace) -> int:
         ["artifact cache", (
             f"{report['artifacts']['hits']} hits, "
             f"{report['artifacts']['entries']} entries, "
-            f"{report['artifacts']['bytes']} B"
+            f"{report['artifacts']['bytes']} B, "
+            f"{report['artifacts']['disk_restores']} disk restores"
         )],
         ["strategies", ", ".join(
             f"{k}x{v}" for k, v in sorted(m["per_strategy"].items())

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pickle
 
-from repro.core.columnar import COLUMN_BYTES_PER_RECT, ColumnarTile
+from repro.core.columnar import (
+    COLUMN_BYTES_PER_RECT,
+    DECODE_CACHE_TILES,
+    ColumnarTile,
+    SortedRunView,
+)
 from repro.core.pbsm import SpillablePartition, TileAllowance
 from repro.core.sweep import (
     ForwardSweep,
@@ -80,6 +85,55 @@ class TestColumnarTile:
         second = tile.decode_sorted_cached()
         assert second is not first
         assert second == _ylo_sorted(rects + [extra])
+
+    def test_decode_memo_is_bounded_lru(self):
+        # The memo registry holds at most DECODE_CACHE_TILES decoded
+        # lists per process; older tiles lose theirs (LRU) but keep
+        # their columns and simply decode again.
+        tiles = [
+            ColumnarTile.from_rects(uniform_rects(8, UNIT, 0.05, seed=s))
+            for s in range(DECODE_CACHE_TILES + 16)
+        ]
+        for t in tiles:
+            t.decode_sorted_cached()
+        with_memo = sum(1 for t in tiles if t._sorted_cache is not None)
+        assert with_memo == DECODE_CACHE_TILES
+        assert tiles[0]._sorted_cache is None  # oldest: evicted
+        assert tiles[-1]._sorted_cache is not None  # newest: kept
+        # An evicted tile still decodes correctly (and re-registers).
+        again = tiles[0].decode_sorted_cached()
+        assert again == _ylo_sorted(tiles[0].decode())
+        assert tiles[0]._sorted_cache is not None
+
+    def test_decode_memo_refreshes_recency(self):
+        # A tile touched regularly survives arbitrarily many other
+        # decodes; untouched tiles get evicted around it.
+        hot = ColumnarTile.from_rects(uniform_rects(8, UNIT, 0.05, seed=1))
+        hot.decode_sorted_cached()
+        cold = [
+            ColumnarTile.from_rects(uniform_rects(8, UNIT, 0.05, seed=s))
+            for s in range(2, 2 * DECODE_CACHE_TILES + 2)
+        ]
+        for i, t in enumerate(cold):
+            t.decode_sorted_cached()
+            if i % 50 == 0:
+                hot.decode_sorted_cached()  # refresh recency
+        assert hot._sorted_cache is not None
+        assert any(t._sorted_cache is None for t in cold)
+
+
+class TestSortedRunView:
+    def test_scan_yields_sorted_rects_and_free_is_noop(self):
+        rects = uniform_rects(120, UNIT, 0.03, seed=13)
+        ordered = sorted(
+            rects, key=lambda r: (r.ylo, r.xlo, r.xhi, r.yhi, r.rid)
+        )
+        view = SortedRunView(ColumnarTile.from_rects(ordered), name="v")
+        assert list(view.scan()) == _ylo_sorted(rects)
+        assert len(view) == len(rects)
+        assert view.data_bytes == len(rects) * RECT_BYTES
+        view.free()  # cache-owned: a no-op
+        assert list(view.scan()) == _ylo_sorted(rects)
 
 
 class TestSpillablePartitionColumnar:

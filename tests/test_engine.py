@@ -763,6 +763,290 @@ class TestPartitionArtifacts:
         assert snap["worker_pool"]["workers"] == 2
 
 
+class TestSortedRunArtifacts:
+    """Warm sort-based plans skip the external sort entirely."""
+
+    def _engine(self, **kw):
+        kw.setdefault("memory_bytes", 10_000_000)
+        engine = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3,
+            cache_capacity=0, **kw,
+        )
+        a = uniform_rects(300, UNIT, 0.02, seed=1)
+        b = uniform_rects(120, UNIT, 0.03, seed=2, id_base=100_000)
+        engine.register("a", a, universe=UNIT)
+        engine.register("b", b, universe=UNIT)
+        engine.prepare()
+        return engine
+
+    def test_warm_sssj_charges_zero_sort_and_zero_io(self):
+        engine = self._engine()
+        q = Query(relations=("a", "b"), force="sssj")
+        cold = engine.execute(q).result
+        obs = engine.env.observer_for(MACHINE_3)
+        before = (engine.env.bytes_read, engine.env.bytes_written,
+                  obs.cpu_ops.get("sort", 0), obs.io_seconds)
+        warm = engine.execute(q).result
+        assert warm.detail["sorted_run_hits"] == 2
+        assert warm.pair_set() == cold.pair_set()
+        # Zero sort CPU, zero I/O of any kind: the warm run sweeps
+        # straight out of the cached columnar runs.
+        assert engine.env.bytes_read == before[0]
+        assert engine.env.bytes_written == before[1]
+        assert obs.cpu_ops.get("sort", 0) == before[2]
+        assert obs.io_seconds == before[3]
+
+    def test_optimizer_prices_sorted_hit_sort_free(self):
+        engine = self._engine()
+        q = Query(relations=("a", "b"), force="sssj")
+        engine.execute(q)
+        plan = engine.optimizer.compile(Query(relations=("a", "b")))
+        priced = dict(plan.candidates)
+        assert priced["sssj"].io_seconds == 0.0
+        assert plan.strategy == "sssj"
+        assert any("sort-free" in n for n in plan.notes)
+
+    def test_sorted_runs_share_budget_with_partitions(self):
+        engine = self._engine()
+        engine.execute(Query(relations=("a", "b"), force="sssj"))
+        snap = engine.artifacts.snapshot()
+        assert snap["kinds"]["sorted-run"]["entries"] == 2
+        assert snap["kinds"]["sorted-run"]["bytes"] > 0
+        assert engine.budget.used_by("artifacts") == snap["bytes"]
+
+    def test_reregistration_invalidates_sorted_runs(self):
+        engine = self._engine()
+        q = Query(relations=("a", "b"), force="sssj")
+        engine.execute(q)
+        assert len(engine.artifacts) == 2
+        engine.register("a", uniform_rects(300, UNIT, 0.02, seed=1),
+                        universe=UNIT)
+        # Only b's run survives; a re-run re-sorts side a.
+        assert len(engine.artifacts) == 1
+        warm = engine.execute(q).result
+        assert warm.detail["sorted_run_hits"] == 1
+
+    def test_disabled_cache_skips_sorted_run_path(self):
+        engine = self._engine(artifact_cache_bytes=0)
+        q = Query(relations=("a", "b"), force="sssj")
+        out = engine.execute(q).result
+        assert "sorted_run_hits" not in out.detail
+        assert len(engine.artifacts) == 0
+
+
+class TestArtifactPersistence:
+    """Artifacts survive engine restarts through the sidecar store."""
+
+    def _rects(self):
+        a = uniform_rects(300, UNIT, 0.02, seed=1)
+        b = uniform_rects(120, UNIT, 0.03, seed=2, id_base=100_000)
+        return a, b
+
+    def _engine(self, artifact_dir, a, b, **kw):
+        kw.setdefault("memory_bytes", 10_000_000)
+        engine = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, workers=2,
+            cache_capacity=0, pool_kind="serial",
+            artifact_dir=str(artifact_dir), **kw,
+        )
+        engine.register("a", a, universe=UNIT)
+        engine.register("b", b, universe=UNIT)
+        engine.prepare()
+        return engine
+
+    def test_restart_restores_partitions_and_sorted_runs(self, tmp_path):
+        a, b = self._rects()
+        pq = Query(relations=("a", "b"), force="pbsm-grid")
+        sq = Query(relations=("a", "b"), force="sssj")
+        first = self._engine(tmp_path, a, b)
+        p1 = first.execute(pq).result
+        s1 = first.execute(sq).result
+        assert first.artifact_store.saves == 3  # 1 distribution + 2 runs
+        first.close()
+
+        second = self._engine(tmp_path, a, b)
+        bytes_before = second.env.bytes_read
+        p2 = second.execute(pq).result
+        assert p2.detail["artifact_hit"] is True
+        assert p2.detail["artifact_restores"] == 1
+        assert p2.pair_set() == p1.pair_set()
+        # The restore is priced: one sequential read of the tiles.
+        assert second.env.bytes_read > bytes_before
+        s2 = second.execute(sq).result
+        assert s2.detail["artifact_restores"] == 2
+        assert s2.pair_set() == s1.pair_set()
+        snap = second.metrics_snapshot()
+        assert snap["artifact_disk_restores"] == 3
+        assert snap["artifact_restores"] == 3  # EngineMetrics counter
+        assert snap["artifact_disk_restore_bytes"] > 0
+        second.close()
+
+    def test_restart_with_changed_data_stays_cold(self, tmp_path):
+        a, b = self._rects()
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        first = self._engine(tmp_path, a, b)
+        first.execute(q)
+        first.close()
+        # Same names, different content: fingerprints differ, so the
+        # persisted artifacts must not match.
+        a2 = uniform_rects(300, UNIT, 0.02, seed=77)
+        second = self._engine(tmp_path, a2, b)
+        out = second.execute(q).result
+        assert out.detail["artifact_hit"] is False
+        assert second.metrics_snapshot()["artifact_disk_restores"] == 0
+        second.close()
+
+    def test_corrupt_artifact_degrades_to_cold_run(self, tmp_path):
+        import json
+        import os
+
+        a, b = self._rects()
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        first = self._engine(tmp_path, a, b)
+        reference = first.execute(q).result
+        first.close()
+        # Flip bytes in every payload file.
+        for name in os.listdir(tmp_path):
+            if name.endswith(".art"):
+                path = tmp_path / name
+                blob = bytearray(path.read_bytes())
+                blob[-1] ^= 0xFF
+                path.write_bytes(bytes(blob))
+        second = self._engine(tmp_path, a, b)
+        out = second.execute(q).result
+        assert out.detail["artifact_hit"] is False
+        assert out.pair_set() == reference.pair_set()
+        assert second.artifact_store.corrupt_drops == 1
+        # Self-healing: the cold run re-persisted a fresh artifact
+        # under the same token, and it now verifies.
+        assert second.artifact_store.saves == 1
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert len(manifest["artifacts"]) == 1
+        third = self._engine(tmp_path, a, b)
+        healed = third.execute(q).result
+        assert healed.detail["artifact_hit"] is True
+        assert healed.pair_set() == reference.pair_set()
+        third.close()
+
+    def test_store_roundtrip_is_exact(self, tmp_path):
+        from repro.engine.artifacts import ArtifactStore
+        from repro.engine.cache import PARTITION_KIND
+
+        rects_a = uniform_rects(100, UNIT, 0.03, seed=5)
+        rects_b = uniform_rects(60, UNIT, 0.04, seed=6, id_base=10_000)
+        tasks = [
+            (0, ColumnarTile.from_rects(rects_a),
+             ColumnarTile.from_rects(rects_b)),
+            (3, ColumnarTile.from_rects(rects_b), None),
+        ]
+        store = ArtifactStore(str(tmp_path))
+        assert store.save("tok", PARTITION_KIND, tasks, ["a", "b"])
+        fresh = ArtifactStore(str(tmp_path))  # re-read the manifest
+        kind, value, logical = fresh.load("tok")
+        assert kind == PARTITION_KIND
+        assert logical == 220 * 20  # 100 + 60 + 60 rects x RECT_BYTES
+        assert [(p, x.decode(), None if y is None else y.decode())
+                for p, x, y in value] == [
+            (0, rects_a, rects_b), (3, rects_b, None),
+        ]
+
+
+class TestTileBatching:
+    """Small tiles coalesce into multi-tile pool tasks."""
+
+    def _skewed(self):
+        import random
+
+        rng = random.Random(9)
+        rects = []
+        rid = 0
+        # One dense corner cluster (a huge tile) ...
+        for _ in range(1200):
+            x = rng.uniform(0.0, 0.05)
+            y = rng.uniform(0.0, 0.05)
+            rects.append(Rect(x, x + 0.01, y, y + 0.01, rid))
+            rid += 1
+        # ... plus a thin uniform spread (many tiny tiles).
+        for _ in range(1200):
+            x = rng.uniform(0.0, 0.99)
+            y = rng.uniform(0.0, 0.99)
+            rects.append(Rect(x, x + 0.004, y, y + 0.004, rid))
+            rid += 1
+        other = [
+            Rect(r.xlo, r.xhi, r.ylo, r.yhi, 1_000_000 + r.rid)
+            for r in rects[::2]
+        ]
+        return rects, other
+
+    def _engine(self, a, b, pool_kind, tile_batch_bytes, workers=3):
+        engine = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, workers=workers,
+            cache_capacity=0, memory_bytes=10_000_000,
+            pool_kind=pool_kind, tile_batch_bytes=tile_batch_bytes,
+        )
+        engine.register("a", a, universe=UNIT)
+        engine.register("b", b, universe=UNIT)
+        return engine
+
+    def test_batched_matches_serial_across_pool_kinds(self):
+        a, b = self._skewed()
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        serial = self._engine(a, b, "serial", 0)
+        ref = serial.execute(q).result
+        for kind in ("thread", "process"):
+            engine = self._engine(a, b, kind, 20480)
+            out = engine.execute(q).result
+            # Identical pair sets and bit-identical op accounting,
+            # whether tiles shipped solo, batched or inline.
+            assert out.pair_set() == ref.pair_set()
+            assert (out.detail["sweep_ops_total"]
+                    == ref.detail["sweep_ops_total"])
+            assert engine.env.cpu_ops == serial.env.cpu_ops
+            assert out.detail["tile_batches"] > 0
+            assert out.detail["batched_tiles"] > 1
+            engine.close()
+        serial.close()
+
+    def test_batch_is_one_pool_task(self):
+        a, b = self._skewed()
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        engine = self._engine(a, b, "thread", 20480)
+        out = engine.execute(q).result
+        pool = engine.worker_pool.snapshot()
+        # Tiles outnumber dispatched tasks: batches amortize round-trips.
+        assert pool["tiles_dispatched"] > pool["tasks_dispatched"]
+        assert (out.detail["active_partitions"]
+                >= out.detail["tasks_shipped"])
+        engine.close()
+
+    def test_batching_disabled_restores_inline_cutoff(self):
+        a, b = self._skewed()
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        engine = self._engine(a, b, "process", 0)
+        out = engine.execute(q).result
+        assert out.detail["tile_batches"] == 0
+        assert out.detail["batched_tiles"] == 0
+        # Small tiles stayed on the coordinator (the PR-3 cutoff).
+        assert out.detail["tasks_shipped"] == 0
+        engine.close()
+
+    def test_batching_parallelizes_skewed_grids(self):
+        # The point of batching: small tiles reach the worker pool
+        # instead of sweeping serially on the coordinator, so the
+        # simulated parallel savings strictly improve.
+        a, b = self._skewed()
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        per_tile = self._engine(a, b, "process", 0)
+        batched = self._engine(a, b, "process", 20480)
+        saved_per_tile = per_tile.execute(q).result.detail[
+            "parallel_cpu_seconds_saved"]
+        saved_batched = batched.execute(q).result.detail[
+            "parallel_cpu_seconds_saved"]
+        assert saved_batched > saved_per_tile
+        per_tile.close()
+        batched.close()
+
+
 class TestLatencyMetrics:
     def test_latency_recorded_for_executions_and_hits(self):
         engine = make_engine(cache_capacity=16)

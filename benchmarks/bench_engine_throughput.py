@@ -25,7 +25,12 @@ against fresh engines in seven configurations —
   dense cluster plus a thin spread — many tiny tiles, one huge one)
   served with tile batching disabled (every small tile sweeps serially
   on the coordinator, the PR-3 cutoff) and enabled (small tiles ship
-  to the pool in multi-tile batches).
+  to the pool in multi-tile batches);
+* **sharded, K workers**: the same workload scattered over a 2-shard
+  :class:`~repro.engine.shard.ShardedEngine` — both shards on one
+  shared worker pool — gathered with boundary dedup; the pair totals
+  must match the single-engine rows exactly (the differential
+  contract), with window queries pruning non-overlapping shards.
 
 The non-tight configurations run under a budget large enough to hold
 the partitioned tiles in memory, isolating the parallelism/caching
@@ -54,6 +59,7 @@ from repro.engine.workload import (
     engine_for_dataset,
     make_workload,
     run_workload,
+    sharded_engine_for_dataset,
 )
 from repro.experiments.report import fmt_seconds, format_table
 from repro.geom.rect import RECT_BYTES, Rect
@@ -64,6 +70,7 @@ from common import bench_scale, emit, emit_json
 DATASET = "NJ"
 N_QUERIES = 30
 WORKERS = 4
+SHARDS = 2
 
 #: Skewed synthetic grid: one dense corner cluster (a huge tile) plus
 #: a thin uniform spread (many tiny tiles).  The spread dominates the
@@ -96,6 +103,20 @@ def _serve(workers: int, cache_capacity: int, memory_bytes: int,
     )
     queries = make_workload(
         engine.catalog.get("roads").universe, N_QUERIES, seed=7,
+    )
+    report = run_workload(engine, queries)
+    engine.close()
+    return report
+
+
+def _serve_sharded(shards: int, memory_bytes: int) -> dict:
+    scale = bench_scale()
+    engine = sharded_engine_for_dataset(
+        DATASET, scale, shards=shards, workers=WORKERS,
+        cache_capacity=0, memory_bytes=memory_bytes,
+    )
+    queries = make_workload(
+        engine.universe_of("roads"), N_QUERIES, seed=7,
     )
     report = run_workload(engine, queries)
     engine.close()
@@ -204,12 +225,17 @@ def test_engine_throughput():
     skewed_per_tile = _serve_skewed(0, skew_budget)
     skewed_batched = _serve_skewed(None, skew_budget)  # default target
 
+    # Sharded catalog: scatter/gather over SHARDS engine shards, one
+    # shared worker pool, a roomy budget slice per shard.
+    sharded_k = _serve_sharded(SHARDS, SHARDS * roomy)
+
     reports = {
         "cold_1": cold_1, "cold_k": cold_k,
         "warm_1": warm_1, "tight_k": tight_k,
         "restart_warm": restart_warm,
         "skewed_per_tile": skewed_per_tile,
         "skewed_batched": skewed_batched,
+        "sharded_k": sharded_k,
     }
     labels = {
         "cold_1": "cold cache, 1 worker",
@@ -219,11 +245,13 @@ def test_engine_throughput():
         "restart_warm": f"restart warm, {WORKERS} workers",
         "skewed_per_tile": f"skewed grid, per-tile, {WORKERS} workers",
         "skewed_batched": f"skewed grid, batched, {WORKERS} workers",
+        "sharded_k": f"{SHARDS} shards, {WORKERS} workers shared",
     }
 
     rows = []
     for key in ("cold_1", "cold_k", "warm_1", "tight_k",
-                "restart_warm", "skewed_per_tile", "skewed_batched"):
+                "restart_warm", "skewed_per_tile", "skewed_batched",
+                "sharded_k"):
         rep = reports[key]
         m = rep["metrics"]
         rows.append([
@@ -327,6 +355,16 @@ def test_engine_throughput():
             > skewed_per_tile["queries_per_sec_sim"]), (
         "batched tile shipping must improve simulated q/s on a "
         "skewed grid"
+    )
+    # The sharded differential contract: scatter/gather with boundary
+    # dedup returns exactly the single-engine answers, and window
+    # queries actually prune shards.
+    assert sharded_k["pairs_returned"] == cold_k["pairs_returned"], (
+        "sharded serving must return bit-identical pair totals"
+    )
+    assert sharded_k["metrics"]["shards"] == SHARDS
+    assert sharded_k["metrics"]["shards_pruned_total"] > 0, (
+        "window queries must prune non-overlapping shards"
     )
     if speedup is not None:
         # The parallel-rework acceptance bar, on deterministic

@@ -18,7 +18,11 @@ the subsystem a production deployment needs:
   internal-memory contract shared by every layer (grants, spill,
   admission control, high-water accounting);
 * :class:`~repro.engine.engine.SpatialQueryEngine` — the facade tying
-  it together, with serving metrics.
+  it together, with serving metrics;
+* :class:`~repro.engine.shard.ShardedEngine` — scatter/gather serving
+  over N engine shards (spatial-strip partitioning with boundary
+  replication) sharing one ref-counted
+  :class:`~repro.engine.pool.WorkerPool`.
 
 Quick start::
 
@@ -42,17 +46,19 @@ from repro.engine.engine import EngineResult, SpatialQueryEngine
 from repro.engine.executor import Executor
 from repro.engine.metrics import EngineMetrics
 from repro.engine.optimizer import Optimizer, PhysicalPlan
-from repro.engine.pool import WorkerPool
+from repro.engine.pool import PoolClient, WorkerPool
 from repro.engine.query import Query
 from repro.engine.resources import (
     AdmissionError,
     ResourceBudget,
     ResourceGrant,
 )
+from repro.engine.shard import ShardedEngine
 from repro.engine.workload import (
     engine_for_dataset,
     make_workload,
     run_workload,
+    sharded_engine_for_dataset,
 )
 
 __all__ = [
@@ -67,13 +73,16 @@ __all__ = [
     "Optimizer",
     "PartitionArtifactCache",
     "PhysicalPlan",
+    "PoolClient",
     "Query",
     "WorkerPool",
     "ResourceBudget",
     "ResourceGrant",
     "ResultCache",
+    "ShardedEngine",
     "SpatialQueryEngine",
     "engine_for_dataset",
     "make_workload",
     "run_workload",
+    "sharded_engine_for_dataset",
 ]

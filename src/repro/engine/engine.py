@@ -72,6 +72,47 @@ def _copy_result(result: JoinResult) -> JoinResult:
     )
 
 
+def flatten_cache_keys(artifacts: dict, budget: dict,
+                       store_snapshot: Optional[dict] = None) -> dict:
+    """Artifact-cache and budget snapshots as serving-snapshot keys.
+
+    One flattening shared by :meth:`SpatialQueryEngine.metrics_snapshot`
+    and :meth:`ShardedEngine.metrics_snapshot` (whose inputs are shard
+    sums), so single-engine and sharded reports stay key-compatible —
+    a counter added here appears in both.
+    """
+    return {
+        "artifact_cache_entries": artifacts["entries"],
+        "artifact_cache_bytes": artifacts["bytes"],
+        "artifact_cache_hits": artifacts["hits"],
+        "artifact_cache_misses": artifacts["misses"],
+        "artifact_cache_hit_rate": artifacts["hit_rate"],
+        "artifact_cache_evictions": artifacts["evictions"],
+        "artifact_cache_invalidations": artifacts["invalidations"],
+        "artifact_kinds": artifacts["kinds"],
+        "artifact_disk_restores": artifacts["disk_restores"],
+        "artifact_disk_restore_bytes": artifacts["disk_restore_bytes"],
+        "artifact_store": store_snapshot,
+        "budget_total_bytes": budget["total_bytes"],
+        "budget_in_use_bytes": budget["in_use_bytes"],
+        "budget_high_water_bytes": budget["high_water_bytes"],
+        "budget_high_water_by_category":
+            budget["high_water_by_category"],
+        "budget_overcommits": budget["overcommits"],
+    }
+
+
+def flatten_result_cache_keys(cache: "ResultCache") -> dict:
+    """A result cache's gauges as serving-snapshot keys (shared too)."""
+    return {
+        "result_cache_entries": len(cache),
+        "result_cache_bytes": cache.bytes_used,
+        "result_cache_hit_rate": cache.hit_rate,
+        "result_cache_evictions": cache.evictions,
+        "result_cache_invalidations": cache.invalidations,
+    }
+
+
 @dataclass
 class EngineResult:
     """What ``execute`` hands back: the join result plus provenance."""
@@ -102,6 +143,7 @@ class SpatialQueryEngine:
         artifact_cache_bytes: Optional[int] = None,
         artifact_dir: Optional[str] = None,
         tile_batch_bytes: int = DEFAULT_TILE_BATCH_BYTES,
+        worker_pool: Optional[WorkerPool] = None,
     ) -> None:
         self.scale = scale
         self.machine = machine
@@ -133,7 +175,17 @@ class SpatialQueryEngine:
         # artifacts to a content-keyed sidecar there, so a restarted
         # engine pointed at the same directory restores its warm state
         # lazily on first touch.
-        self.worker_pool = WorkerPool(self.workers, kind=pool_kind)
+        #
+        # ``worker_pool`` shares an externally-owned pool (a sharded
+        # catalog runs many engines on one pool); the engine then holds
+        # a ref-counted client handle, so ``close()`` releases its ref
+        # rather than tearing down a pool a sibling engine still uses.
+        # When a pool is shared, ``pool_kind`` is ignored (the pool
+        # already has a kind).
+        self.worker_pool = (
+            worker_pool if worker_pool is not None
+            else WorkerPool(self.workers, kind=pool_kind)
+        ).client()
         self.artifacts = ArtifactCache(
             budget=self.budget, max_bytes=artifact_cache_bytes,
         )
@@ -183,6 +235,10 @@ class SpatialQueryEngine:
         self.catalog.drop(name)
         self.cache.invalidate_relation(name)
         self.artifacts.invalidate_relation(name)
+
+    def universe_of(self, name: str) -> Rect:
+        """A relation's registered universe (shared with ShardedEngine)."""
+        return self.catalog.get(name).universe
 
     def prepare(self, *names: str) -> None:
         """Force-build streams, indexes and histograms now.
@@ -289,14 +345,18 @@ class SpatialQueryEngine:
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker pool down; the engine stays queryable.
+        """Release this engine's worker-pool ref; it stays queryable.
 
-        The pool is recreated lazily if another partitioned query
-        arrives, so ``close`` is safe to call eagerly (tests, short
-        scripts); long-lived servers call it on drain.  Also usable as
-        a context manager.
+        The engine holds a ref-counted client on its pool: closing
+        releases that ref, and the pool's executor stops only when the
+        last client lets go — so closing one engine never tears a
+        *shared* pool out from under a sibling shard.  The executor is
+        recreated lazily if another partitioned query arrives, so
+        ``close`` is safe to call eagerly (tests, short scripts);
+        long-lived servers call it on drain.  Also usable as a context
+        manager.
         """
-        self.worker_pool.shutdown()
+        self.worker_pool.release()
 
     def __enter__(self) -> "SpatialQueryEngine":
         return self
@@ -309,38 +369,14 @@ class SpatialQueryEngine:
     def metrics_snapshot(self) -> dict:
         """Engine + cache + buffer-pool + budget counters in one dict."""
         snap = self.metrics.snapshot()
-        budget = self.budget.snapshot()
-        artifacts = self.artifacts.snapshot()
+        snap["worker_pool"] = self.worker_pool.snapshot()
+        snap.update(flatten_cache_keys(
+            self.artifacts.snapshot(), self.budget.snapshot(),
+            self.artifact_store.snapshot()
+            if self.artifact_store is not None else None,
+        ))
+        snap.update(flatten_result_cache_keys(self.cache))
         snap.update({
-            "worker_pool": self.worker_pool.snapshot(),
-            "artifact_cache_entries": artifacts["entries"],
-            "artifact_cache_bytes": artifacts["bytes"],
-            "artifact_cache_hits": artifacts["hits"],
-            "artifact_cache_misses": artifacts["misses"],
-            "artifact_cache_hit_rate": artifacts["hit_rate"],
-            "artifact_cache_evictions": artifacts["evictions"],
-            "artifact_cache_invalidations": artifacts["invalidations"],
-            "artifact_kinds": artifacts["kinds"],
-            "artifact_disk_restores": artifacts["disk_restores"],
-            "artifact_disk_restore_bytes":
-                artifacts["disk_restore_bytes"],
-            "artifact_store": (
-                self.artifact_store.snapshot()
-                if self.artifact_store is not None else None
-            ),
-        })
-        snap.update({
-            "budget_total_bytes": budget["total_bytes"],
-            "budget_in_use_bytes": budget["in_use_bytes"],
-            "budget_high_water_bytes": budget["high_water_bytes"],
-            "budget_high_water_by_category":
-                budget["high_water_by_category"],
-            "budget_overcommits": budget["overcommits"],
-            "result_cache_entries": len(self.cache),
-            "result_cache_bytes": self.cache.bytes_used,
-            "result_cache_hit_rate": self.cache.hit_rate,
-            "result_cache_evictions": self.cache.evictions,
-            "result_cache_invalidations": self.cache.invalidations,
             "buffer_pool_requests": self.pool.requests,
             "buffer_pool_hit_rate": self.pool.hit_rate,
             "buffer_pool_evictions": self.pool.evictions,

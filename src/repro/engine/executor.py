@@ -83,7 +83,7 @@ collected pairs, using the catalog's id -> rectangle / geometry maps.
 from __future__ import annotations
 
 from concurrent.futures import BrokenExecutor
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from repro.core.columnar import ColumnarTile, SortedRunView
 from repro.core.join_result import JoinResult
@@ -113,7 +113,7 @@ from repro.engine.cache import (
 )
 from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.optimizer import PhysicalPlan
-from repro.engine.pool import WorkerPool
+from repro.engine.pool import PoolClient, WorkerPool
 from repro.engine.resources import ResourceBudget
 from repro.geom.rect import RECT_BYTES, Rect, intersection, union_mbr
 from repro.geom.refine import polylines_intersect
@@ -152,7 +152,7 @@ class Executor:
         pool: Optional[BufferPool] = None,
         tiles_per_side: int = DEFAULT_TILES_PER_SIDE,
         budget: Optional[ResourceBudget] = None,
-        worker_pool: Optional[WorkerPool] = None,
+        worker_pool: Optional[Union[WorkerPool, PoolClient]] = None,
         artifacts: Optional[ArtifactCache] = None,
         min_ship_rects: int = DEFAULT_MIN_SHIP_RECTS,
         tile_batch_bytes: int = DEFAULT_TILE_BATCH_BYTES,
@@ -164,7 +164,9 @@ class Executor:
         self.tiles_per_side = tiles_per_side
         self.budget = budget
         # A private serial pool keeps direct (engine-less) construction
-        # working; the engine passes its long-lived shared pool.
+        # working; the engine passes a client on its long-lived pool
+        # (possibly shared with other engines — the executor only ever
+        # sees the client/pool submission surface).
         self.worker_pool = worker_pool or WorkerPool(1, kind="serial")
         self.artifacts = artifacts
         self.min_ship_rects = max(0, min_ship_rects)

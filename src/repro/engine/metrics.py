@@ -195,3 +195,64 @@ class EngineMetrics:
             "latency_p50_seconds": self.latency_percentile(0.50),
             "latency_p95_seconds": self.latency_percentile(0.95),
         }
+
+
+#: Snapshot keys where "worst shard" is the honest aggregate (summing
+#: a max or a percentile across shards would fabricate latencies no
+#: query ever saw).
+_MERGE_MAX_KEYS = frozenset({
+    "latency_max_seconds", "latency_p50_seconds", "latency_p95_seconds",
+})
+
+
+def sum_counters(into: Dict, add: Dict) -> Dict:
+    """Key-wise sum of numeric dict trees, recursing into sub-dicts.
+
+    The one merge semantic for shard aggregation: used by
+    :func:`merge_snapshots` for per-strategy and category dicts, and
+    by the sharded engine's budget/artifact facades.  Non-numeric
+    leaves keep their first-seen value.  Returns ``into``.
+    """
+    for key, value in add.items():
+        if isinstance(value, dict):
+            sum_counters(into.setdefault(key, {}), value)
+        elif isinstance(value, (int, float)) and not isinstance(
+            value, bool
+        ):
+            into[key] = into.get(key, 0) + value
+        else:
+            into.setdefault(key, value)
+    return into
+
+
+def merge_snapshots(snaps) -> Dict[str, object]:
+    """Aggregate per-engine metric snapshots into one dict.
+
+    The sharded scatter layer serves one query by executing several —
+    one per participating shard — so its physical story is the *sum*
+    of its shards': counters and simulated seconds add, per-strategy
+    dicts add key-wise, and latency extrema take the worst shard.
+    Rate keys are recomputed from the merged counts they derive from
+    (a mean of ratios is not the ratio of the sums).  Serving-level
+    counters (queries served, cache hits) also sum here — the caller
+    overrides them when, as in :class:`ShardedEngine`, one logical
+    query fans out to several shard executions.
+    """
+    merged: Dict[str, object] = {}
+    for snap in snaps:
+        for key, value in snap.items():
+            if isinstance(value, dict):
+                sum_counters(merged.setdefault(key, {}), value)
+            elif isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                merged.setdefault(key, value)
+            elif key in _MERGE_MAX_KEYS:
+                merged[key] = max(merged.get(key, 0.0), value)
+            else:
+                merged[key] = merged.get(key, 0) + value
+    served = merged.get("queries_served", 0)
+    merged["cache_hit_rate"] = (
+        merged.get("cache_hits", 0) / served if served else 0.0
+    )
+    return merged

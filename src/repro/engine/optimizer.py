@@ -75,6 +75,23 @@ def min_grant_bytes(n_inputs: int) -> int:
     return n_inputs * MIN_GRANT_RECTS * RECT_BYTES
 
 
+def effective_region(universe: Optional[Rect],
+                     window: Optional[Rect]) -> Optional[Rect]:
+    """The region a windowed query can actually touch, or ``None``.
+
+    The optimizer uses this to clip each relation's universe to the
+    query window (an empty clip compiles to the empty plan); the
+    sharded scatter layer uses the *same* predicate to prune shards
+    whose strip a window cannot reach, so both layers agree on what
+    "the window misses this region" means.
+    """
+    if window is None:
+        return universe
+    if universe is None:
+        return None
+    return intersection(universe, window)
+
+
 @dataclass
 class PhysicalPlan:
     """An executable, explainable join plan."""
@@ -353,9 +370,7 @@ class Optimizer:
 
     def _effective_region(self, entry: CatalogEntry,
                           window: Optional[Rect]) -> Optional[Rect]:
-        if window is None:
-            return entry.universe
-        return intersection(entry.universe, window)
+        return effective_region(entry.universe, window)
 
     def _view(self, entry: CatalogEntry, region: Rect) -> Relation:
         return entry.relation(universe=region, with_tree=self.auto_index)

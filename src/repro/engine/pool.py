@@ -32,12 +32,25 @@ materialization of later partitions overlaps with worker sweeps of
 earlier ones.  A task may carry several tiles (the executor's batch
 shipping); ``units`` counts them, so the snapshot can report the
 amortization factor (tiles per dispatched task) a skewed grid enjoys.
+
+Since the sharded catalog, one pool may serve **several engines**.
+Each engine talks to the pool through a :class:`PoolClient` — a
+ref-counted handle with its own dispatch counters, so per-shard
+activity stays attributable while the pool keeps the shared totals
+(the invariant the differential tests assert: client counters sum to
+the pool's).  The pool's OS resources are released when the *last*
+client releases its handle; an engine closing its own handle can
+therefore never tear the pool out from under a sibling shard.  Shared
+counters are lock-guarded: two engines may submit from two coordinator
+threads at once.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import weakref
+from concurrent.futures import BrokenExecutor
 from concurrent.futures import Executor as _FuturesExecutor
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Dict, Optional
@@ -46,9 +59,16 @@ POOL_KINDS = ("process", "thread", "serial")
 
 
 class _InlineFuture:
-    """A completed-at-submit future for inline (serial) execution."""
+    """A completed-at-submit future for inline (serial) execution.
 
-    __slots__ = ("_value", "_error")
+    The recovery slots exist because the executor's task shipper tags
+    every *submitted* future with its function/payload for broken-pool
+    replay — and submit() itself returns an ``_InlineFuture`` on the
+    broken-executor and shutdown-race fallback paths, so it must accept
+    the same tags as a real future.
+    """
+
+    __slots__ = ("_value", "_error", "_repro_fn", "_repro_payload")
 
     def __init__(self, fn: Callable[[Any], Any], payload: Any) -> None:
         self._value = None
@@ -65,7 +85,7 @@ class _InlineFuture:
 
 
 class WorkerPool:
-    """A long-lived process/thread pool shared by one engine's queries."""
+    """A long-lived process/thread pool shareable by several engines."""
 
     def __init__(self, workers: int = 1, kind: str = "process") -> None:
         if kind not in POOL_KINDS:
@@ -78,6 +98,10 @@ class WorkerPool:
         self.kind = kind if self.workers > 1 else "serial"
         self._executor: Optional[_FuturesExecutor] = None
         self._finalizer: Optional[weakref.finalize] = None
+        self._lock = threading.Lock()
+        #: Live client handles (see :meth:`client`); the pool's executor
+        #: is torn down when the count returns to zero.
+        self.refs = 0
         # -- stats (surfaced via snapshot / engine metrics) -------------
         self.tasks_dispatched = 0
         self.tasks_inline = 0
@@ -88,7 +112,27 @@ class WorkerPool:
 
     # -- lifecycle -------------------------------------------------------
 
+    def client(self) -> "PoolClient":
+        """A ref-counted handle for one engine; see :class:`PoolClient`."""
+        return PoolClient(self)
+
+    def _attach(self) -> None:
+        with self._lock:
+            self.refs += 1
+
+    def _detach(self) -> None:
+        """Drop one client ref; the last one out stops the executor."""
+        with self._lock:
+            self.refs = max(0, self.refs - 1)
+            last = self.refs == 0
+        if last:
+            self.shutdown()
+
     def _ensure_executor(self) -> Optional[_FuturesExecutor]:
+        with self._lock:
+            return self._ensure_executor_locked()
+
+    def _ensure_executor_locked(self) -> Optional[_FuturesExecutor]:
         if self._executor is not None or self.kind == "serial":
             return self._executor
         if self.kind == "process":
@@ -118,13 +162,22 @@ class WorkerPool:
         return self._executor
 
     def shutdown(self) -> None:
-        """Stop the pool (idempotent); the next submit recreates it."""
-        if self._finalizer is not None:
-            self._finalizer.detach()
-            self._finalizer = None
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
+        """Stop the pool (idempotent); the next submit recreates it.
+
+        The executor handoff happens under the lock so a shutdown
+        racing a sibling's lazy creation always sees (and stops) the
+        executor that creation stored, never a half-initialized one;
+        the potentially slow OS teardown runs outside the lock.
+        """
+        with self._lock:
+            executor = self._executor
             self._executor = None
+            finalizer = self._finalizer
+            self._finalizer = None
+        if finalizer is not None:
+            finalizer.detach()
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     # -- submission ------------------------------------------------------
 
@@ -139,18 +192,49 @@ class WorkerPool:
         """
         executor = self._ensure_executor()
         if executor is None:
-            self.tasks_inline += 1
-            self.tiles_inline += units
+            with self._lock:
+                self.tasks_inline += 1
+                self.tiles_inline += units
             return _InlineFuture(fn, payload)
-        self.tasks_dispatched += 1
-        self.tiles_dispatched += units
-        return executor.submit(fn, payload)
+        try:
+            fut = executor.submit(fn, payload)
+        except BrokenExecutor:
+            # Dead workers discovered at submit time (OOM-killed child,
+            # failed fork): demote the kind and stop the broken
+            # executor — recover()'s machinery — but defer the inline
+            # recomputation into the future, so a task-body exception
+            # surfaces at result() like on every other path.
+            with self._lock:
+                self.tasks_inline += 1
+                self.tiles_inline += units
+                self.fallbacks += 1
+                if self.kind == "process":
+                    self.kind = "thread"
+            self.shutdown()
+            return _InlineFuture(fn, payload)
+        except RuntimeError:
+            # The executor could not take the task — stopped between
+            # the fetch above and the submit (a sibling engine's
+            # recover()/release() on a shared pool), or resource
+            # exhaustion.  The task still runs — inline, counted as
+            # inline and as a fallback so the degradation is visible —
+            # instead of crashing the unlucky coordinator.
+            with self._lock:
+                self.tasks_inline += 1
+                self.tiles_inline += units
+                self.fallbacks += 1
+            return _InlineFuture(fn, payload)
+        with self._lock:
+            self.tasks_dispatched += 1
+            self.tiles_dispatched += units
+        return fut
 
     def run_inline(self, fn: Callable[[Any], Any], payload: Any,
                    units: int = 1):
         """Execute on the coordinator, counted separately from dispatch."""
-        self.tasks_inline += 1
-        self.tiles_inline += units
+        with self._lock:
+            self.tasks_inline += 1
+            self.tiles_inline += units
         return _InlineFuture(fn, payload)
 
     def recover(self, fn: Callable[[Any], Any], payload: Any) -> Any:
@@ -158,11 +242,15 @@ class WorkerPool:
 
         ``BrokenProcessPool`` poisons the whole executor, so the pool is
         torn down, the kind demoted to ``thread``, and the lost task
-        recomputed inline — correctness over parallelism.
+        recomputed inline — correctness over parallelism.  On a shared
+        pool the demotion is deliberately global: every client's next
+        query runs on threads rather than re-discovering the same
+        broken process support one shard at a time.
         """
-        self.fallbacks += 1
-        if self.kind == "process":
-            self.kind = "thread"
+        with self._lock:
+            self.fallbacks += 1
+            if self.kind == "process":
+                self.kind = "thread"
         self.shutdown()
         return fn(payload)
 
@@ -177,6 +265,7 @@ class WorkerPool:
             "kind": self.kind,
             "workers": self.workers,
             "started": self.started,
+            "refs": self.refs,
             "tasks_dispatched": self.tasks_dispatched,
             "tasks_inline": self.tasks_inline,
             "tiles_dispatched": self.tiles_dispatched,
@@ -184,6 +273,122 @@ class WorkerPool:
             "pools_created": self.pools_created,
             "fallbacks": self.fallbacks,
         }
+
+
+class PoolClient:
+    """One engine's ref-counted handle on a (possibly shared) pool.
+
+    The client forwards every submission to the underlying
+    :class:`WorkerPool` and mirrors its accounting locally, so a
+    sharded deployment can attribute dispatch traffic per shard while
+    the pool keeps the totals (``sum(client counters) == pool
+    counters`` whenever every submitter goes through a client).
+    Gauges — kind, worker count, creation/fallback counts — are reads
+    of the shared pool.
+
+    :meth:`release` drops this client's ref; the pool's executor is
+    stopped only when the last client lets go, which is what makes
+    ``engine.close()`` safe on a pool the engine does not own.  A
+    released client stays usable — the next submission quietly
+    re-takes its ref (so a close -> query -> close drain cycle stops
+    the lazily recreated executor again instead of leaking it) —
+    preserving the engine contract that ``close()`` keeps the engine
+    queryable.
+    """
+
+    __slots__ = ("pool", "tasks_dispatched", "tasks_inline",
+                 "tiles_dispatched", "tiles_inline", "_released")
+
+    def __init__(self, pool: WorkerPool) -> None:
+        self.pool = pool
+        self.tasks_dispatched = 0
+        self.tasks_inline = 0
+        self.tiles_dispatched = 0
+        self.tiles_inline = 0
+        self._released = False
+        pool._attach()
+
+    # -- shared gauges ---------------------------------------------------
+
+    @property
+    def kind(self) -> str:
+        return self.pool.kind
+
+    @property
+    def workers(self) -> int:
+        return self.pool.workers
+
+    @property
+    def started(self) -> bool:
+        return self.pool.started
+
+    @property
+    def pools_created(self) -> int:
+        return self.pool.pools_created
+
+    @property
+    def fallbacks(self) -> int:
+        return self.pool.fallbacks
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, fn: Callable[[Any], Any], payload: Any,
+               units: int = 1):
+        self._reattach()
+        fut = self.pool.submit(fn, payload, units)
+        # Mirror the pool's own inline-vs-dispatch verdict (an inline
+        # future means the pool had no executor for this task).
+        if isinstance(fut, _InlineFuture):
+            self.tasks_inline += 1
+            self.tiles_inline += units
+        else:
+            self.tasks_dispatched += 1
+            self.tiles_dispatched += units
+        return fut
+
+    def run_inline(self, fn: Callable[[Any], Any], payload: Any,
+                   units: int = 1):
+        self._reattach()
+        self.tasks_inline += 1
+        self.tiles_inline += units
+        return self.pool.run_inline(fn, payload, units)
+
+    def recover(self, fn: Callable[[Any], Any], payload: Any) -> Any:
+        return self.pool.recover(fn, payload)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _reattach(self) -> None:
+        # A submission on a released client re-takes the ref, so the
+        # executor this submission may lazily create is stopped by the
+        # next release rather than leaked.
+        if self._released:
+            self._released = False
+            self.pool._attach()
+
+    def release(self) -> None:
+        """Drop this client's ref (idempotent); last one stops the pool."""
+        if self._released:
+            return
+        self._released = True
+        self.pool._detach()
+
+    def shutdown(self) -> None:
+        """Alias for :meth:`release` (the pre-sharing engine verb)."""
+        self.release()
+
+    # -- observability ---------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Pool gauges with this client's dispatch counters."""
+        snap = self.pool.snapshot()
+        snap.update({
+            "tasks_dispatched": self.tasks_dispatched,
+            "tasks_inline": self.tasks_inline,
+            "tiles_dispatched": self.tiles_dispatched,
+            "tiles_inline": self.tiles_inline,
+        })
+        return snap
 
 
 def _shutdown_executor(executor: _FuturesExecutor) -> None:

@@ -1,0 +1,559 @@
+"""Scatter/gather serving over a sharded catalog.
+
+One :class:`~repro.engine.engine.SpatialQueryEngine` owns one catalog,
+one budget and one simulated disk — the single-box deployment.
+:class:`ShardedEngine` is the next tier: each registered relation is
+partitioned across N engine shards by **spatial region**, every shard
+runs the full catalog → optimizer → executor stack over its slice, and
+one shared :class:`~repro.engine.pool.WorkerPool` serves all of their
+partitioned sweeps (each engine holds a ref-counted
+:class:`~repro.engine.pool.PoolClient`, so per-shard dispatch stays
+attributable and closing one shard never stops the others' pool).
+
+**Sharding rule.**  The first registered relation fixes N-1 vertical
+cut lines, placed so the relation's spatial histogram mass splits
+evenly (the same histogram the optimizer already trusts for
+selectivity).  Shard k owns the strip between cut k-1 and cut k (the
+outer strips extend to ±infinity, so later relations can never fall
+outside every shard); a rectangle is registered with **every** shard
+whose strip it touches.  This boundary replication is what makes
+scatter/gather exact:
+
+* every pair a shard reports is genuine — both rectangles are real,
+  the shard's engine checked the real intersection/window/refinement
+  predicates — so the gathered union never over-reports;
+* every genuine result pair is reported by at least one shard — the
+  pair's reference point (the upper-left corner of the common
+  intersection, PBSM's duplicate-elimination point) lies inside both
+  rectangles, so the strip that contains it holds *both* via
+  replication, and for windowed queries a point of
+  ``intersection ∩ window`` works the same way.  The argument extends
+  verbatim to multiway tuples, whose results have a common N-way
+  intersection.
+
+A rectangle pair straddling a cut is therefore found by up to two
+shards; the gather phase deduplicates by rid pair (set union, the same
+rule the self-join path uses) and counts what it dropped.
+
+**Scatter planning.**  A query touches only the shards that (a) hold
+data for every referenced relation and (b) — for windowed queries —
+own a strip the window intersects, decided with the optimizer's own
+:func:`~repro.engine.optimizer.effective_region` predicate so the
+scatter layer and the per-shard planner agree on window semantics.
+Pruned shards cost nothing, which is the localized-query win sharding
+exists for.
+
+**Isolation.**  Each shard keeps its own
+:class:`~repro.engine.resources.ResourceBudget` slice (an explicit
+``memory_bytes`` is divided evenly; the default gives every shard the
+scaled paper budget), its own :class:`~repro.engine.cache.ArtifactCache`
+(version-bump invalidation stays per-shard — re-registering a relation
+invalidates every shard holding it, but never a *sibling engine's*
+unrelated artifacts) and its own metrics; :meth:`ShardedEngine.metrics_snapshot` aggregates them with
+:func:`~repro.engine.metrics.merge_snapshots` and overrides the
+serving-level counters (one logical query is one serve, however many
+shards it scattered to).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace as _replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.histogram import SpatialHistogram
+from repro.core.join_result import JoinResult
+from repro.engine.cache import ResultCache
+from repro.engine.catalog import GeometryMap
+from repro.engine.engine import (
+    MAX_CACHED_PAIRS,
+    EngineResult,
+    SpatialQueryEngine,
+    _copy_result,
+    flatten_cache_keys,
+    flatten_result_cache_keys,
+)
+from repro.engine.executor import (
+    DEFAULT_MIN_SHIP_RECTS,
+    DEFAULT_TILE_BATCH_BYTES,
+)
+from repro.engine.metrics import merge_snapshots, sum_counters
+from repro.engine.optimizer import effective_region
+from repro.engine.pool import WorkerPool
+from repro.engine.query import Query
+from repro.geom.rect import Rect, mbr_of
+from repro.sim.machines import MACHINE_3, MachineSpec
+from repro.sim.scale import DEFAULT_SCALE, ScaleConfig
+
+
+def balanced_cuts(rects: Sequence[Rect], universe: Rect, shards: int,
+                  grid: int) -> List[float]:
+    """N-1 vertical cut lines splitting histogram mass evenly.
+
+    Built from the same grid histogram the optimizer uses for
+    selectivity: column masses (rectangle centers per column) are
+    accumulated left to right and a cut dropped each time another
+    1/N of the total mass has passed.  Degenerate data (all mass in
+    one column) collapses cuts together, which just leaves the excess
+    shards empty — correct, merely idle.
+    """
+    hist = SpatialHistogram.build(rects, universe, grid=grid)
+    col_mass = [
+        sum(hist.counts[row * grid + col] for row in range(grid))
+        for col in range(grid)
+    ]
+    total = sum(col_mass)
+    cuts: List[float] = []
+    acc = 0
+    col = 0
+    for k in range(1, shards):
+        target = total * k / shards
+        while col < grid and acc < target:
+            acc += col_mass[col]
+            col += 1
+        cuts.append(universe.xlo + col * hist.cell_w)
+    return cuts
+
+
+class _ShardMetricsView:
+    """The counters :func:`run_workload` reads, summed over shards."""
+
+    def __init__(self, owner: "ShardedEngine") -> None:
+        self._owner = owner
+
+    @property
+    def sim_wall_seconds(self) -> float:
+        return sum(
+            e.metrics.sim_wall_seconds for e in self._owner.engines
+        )
+
+    @property
+    def spilled_rects(self) -> int:
+        return sum(e.metrics.spilled_rects for e in self._owner.engines)
+
+
+class _ShardArtifactsView:
+    """Per-shard artifact caches presented as one summed snapshot."""
+
+    def __init__(self, owner: "ShardedEngine") -> None:
+        self._owner = owner
+
+    def snapshot(self) -> Dict[str, object]:
+        merged: Dict[str, object] = {}
+        for engine in self._owner.engines:
+            sum_counters(merged, engine.artifacts.snapshot())
+        probes = merged.get("hits", 0) + merged.get("misses", 0)
+        merged["hit_rate"] = (
+            merged.get("hits", 0) / probes if probes else 0.0
+        )
+        return merged
+
+
+class _ShardBudgetView:
+    """Per-shard budget slices presented as one summed snapshot.
+
+    Every gauge sums — including ``high_water_bytes``, so it stays
+    comparable to the summed ``total_bytes`` (high water <= total
+    holds for the deployment as it does per shard).  Because the
+    scatter loop runs shards sequentially on one coordinator, the
+    summed high water is an upper bound on the true momentary peak:
+    conservative for memory sizing, and exact once shards execute
+    concurrently.  Per-slice peaks are in ``high_water_by_category``
+    and the per-shard engines' own snapshots.
+    """
+
+    def __init__(self, owner: "ShardedEngine") -> None:
+        self._owner = owner
+
+    def snapshot(self) -> Dict[str, object]:
+        merged: Dict[str, object] = {}
+        for engine in self._owner.engines:
+            sum_counters(merged, engine.budget.snapshot())
+        return merged
+
+
+class ShardedEngine:
+    """N engine shards, one shared worker pool, exact scatter/gather."""
+
+    def __init__(
+        self,
+        shards: int = 2,
+        scale: ScaleConfig = DEFAULT_SCALE,
+        machine: MachineSpec = MACHINE_3,
+        workers: int = 1,
+        cache_capacity: int = 64,
+        histogram_grid: int = 32,
+        memory_bytes: Optional[int] = None,
+        cache_bytes: Optional[int] = None,
+        pool_kind: str = "process",
+        min_ship_rects: int = DEFAULT_MIN_SHIP_RECTS,
+        artifact_cache_bytes: Optional[int] = None,
+        tile_batch_bytes: int = DEFAULT_TILE_BATCH_BYTES,
+    ) -> None:
+        self.shards = max(1, shards)
+        self.scale = scale
+        self.machine = machine
+        self.histogram_grid = histogram_grid
+        #: One pool for every shard; each engine below holds a client.
+        self.pool = WorkerPool(max(1, workers), kind=pool_kind)
+        per_shard = (
+            max(1, memory_bytes // self.shards)
+            if memory_bytes is not None else None
+        )
+        # Result caching happens once, at the scatter level (below):
+        # verbatim repeats hit the top-level cache before any shard is
+        # touched, so per-shard result caches would only store the
+        # same answers a second time — shard engines run with theirs
+        # disabled.  Artifact caches stay per-shard: they serve
+        # *overlapping* (not just verbatim) queries.
+        self.engines = [
+            SpatialQueryEngine(
+                scale=scale, machine=machine, workers=workers,
+                cache_capacity=0,
+                histogram_grid=histogram_grid,
+                memory_bytes=per_shard, cache_bytes=None,
+                min_ship_rects=min_ship_rects,
+                artifact_cache_bytes=artifact_cache_bytes,
+                tile_batch_bytes=tile_batch_bytes,
+                worker_pool=self.pool,
+            )
+            for _ in range(self.shards)
+        ]
+        self._cuts: Optional[List[float]] = None
+        self._versions: Dict[str, int] = {}
+        self._next_version = 1
+        self._present: Dict[str, List[bool]] = {}
+        self._universes: Dict[str, Rect] = {}
+        #: Top-level result cache: a verbatim repeat skips the scatter.
+        self.cache = ResultCache(capacity=cache_capacity,
+                                 max_bytes=cache_bytes)
+        # Aggregate facades so serving harnesses (run_workload, the
+        # serve-bench CLI) read a sharded deployment exactly like a
+        # single engine.
+        self.metrics = _ShardMetricsView(self)
+        self.artifacts = _ShardArtifactsView(self)
+        self.budget = _ShardBudgetView(self)
+        self.worker_pool = self.pool
+        # -- serving-level counters -------------------------------------
+        self.queries_served = 0
+        self.cache_hits = 0
+        self.queries_executed = 0
+        self.pairs_returned = 0
+        self.duplicates_eliminated = 0
+        self.shards_pruned_total = 0
+        #: Per-relation boundary-replica counts (extra copies beyond
+        #: one per rectangle); re-registration replaces an entry and
+        #: drop removes it, so the gauge tracks the *current* catalog.
+        self._replica_counts: Dict[str, int] = {}
+
+    @property
+    def boundary_replicas(self) -> int:
+        """Extra rectangle copies currently held due to replication."""
+        return sum(self._replica_counts.values())
+
+    # -- sharding geometry ------------------------------------------------
+
+    def strip_of(self, shard: int) -> Tuple[float, float]:
+        """Shard ``shard``'s x-interval (outer strips are unbounded)."""
+        if not 0 <= shard < self.shards:
+            raise IndexError(
+                f"shard {shard} out of range for {self.shards} shards"
+            )
+        if self._cuts is None and self.shards > 1:
+            raise RuntimeError(
+                "shard strips are fixed by the first register(); "
+                "no relation is registered yet"
+            )
+        cuts = self._cuts or []
+        lo = cuts[shard - 1] if shard > 0 else float("-inf")
+        hi = cuts[shard] if shard < len(cuts) else float("inf")
+        return lo, hi
+
+    def _strip_rect(self, shard: int) -> Rect:
+        lo, hi = self.strip_of(shard)
+        return Rect(lo, hi, float("-inf"), float("inf"), shard)
+
+    # -- catalog management -----------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        rects: Sequence[Rect],
+        universe: Optional[Rect] = None,
+        geometries: Optional[GeometryMap] = None,
+    ) -> None:
+        """(Re-)register a relation, replicated across strip boundaries.
+
+        The first registration fixes the cut lines from this
+        relation's histogram; later relations are sliced along the
+        same cuts so every relation's shard k covers the same strip
+        (joins must align).  Shards whose slice is empty simply do not
+        hold the relation and are pruned from its queries.
+        """
+        rect_list = list(rects)
+        if not rect_list:
+            raise ValueError(f"relation {name!r} has no rectangles")
+        uni = universe if universe is not None else mbr_of(rect_list)
+        if self._cuts is None:
+            self._cuts = balanced_cuts(
+                rect_list, uni, self.shards, self.histogram_grid
+            )
+        was_present = self._present.get(name, [False] * self.shards)
+        present = [False] * self.shards
+        replicas = -len(rect_list)
+        for k, engine in enumerate(self.engines):
+            lo, hi = self.strip_of(k)
+            subset = [r for r in rect_list if r.xhi >= lo and r.xlo <= hi]
+            replicas += len(subset)
+            if subset:
+                sub_geoms = (
+                    {r.rid: geometries[r.rid] for r in subset
+                     if r.rid in geometries}
+                    if geometries is not None else None
+                )
+                engine.register(name, subset, universe=uni,
+                                geometries=sub_geoms)
+                present[k] = True
+            elif was_present[k]:
+                engine.drop(name)
+        self._replica_counts[name] = replicas
+        self._present[name] = present
+        self._universes[name] = uni
+        self._versions[name] = self._next_version
+        self._next_version += 1
+        self.cache.invalidate_relation(name)
+
+    def drop(self, name: str) -> None:
+        self._check_known(name)
+        for k, engine in enumerate(self.engines):
+            if self._present[name][k]:
+                engine.drop(name)
+        del self._present[name]
+        del self._universes[name]
+        del self._versions[name]
+        del self._replica_counts[name]
+        self.cache.invalidate_relation(name)
+
+    def universe_of(self, name: str) -> Rect:
+        self._check_known(name)
+        return self._universes[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._versions)
+
+    def prepare(self, *names: str) -> None:
+        """Force-build every shard's streams/indexes/histograms now."""
+        for name in (names or self.names()):
+            self._check_known(name)
+            for k, engine in enumerate(self.engines):
+                if self._present[name][k]:
+                    engine.prepare(name)
+
+    def _check_known(self, name: str) -> None:
+        if name not in self._versions:
+            known = ", ".join(self.names()) or "<empty catalog>"
+            raise KeyError(
+                f"unknown relation {name!r}; registered: {known}"
+            )
+
+    # -- scatter planning -------------------------------------------------
+
+    def plan_shards(self, query: Query) -> Tuple[List[int], List[int]]:
+        """(participating, pruned) shard ids for one query.
+
+        A shard participates only when it holds data for every
+        referenced relation and, for windowed queries, when the window
+        reaches its strip.  Pruning is sound because every result
+        pair/tuple is also reported by the shard owning its reference
+        point, which is never pruned (the reference point lies in the
+        window's effective region and inside every referenced
+        rectangle).
+        """
+        rels = set(query.relations)
+        for name in rels:
+            self._check_known(name)
+        participating: List[int] = []
+        pruned: List[int] = []
+        for k in range(self.shards):
+            if not all(self._present[n][k] for n in rels):
+                pruned.append(k)
+                continue
+            if query.window is not None and effective_region(
+                self._strip_rect(k), query.window
+            ) is None:
+                pruned.append(k)
+                continue
+            participating.append(k)
+        return participating, pruned
+
+    # -- serving ----------------------------------------------------------
+
+    def execute(self, query: Query) -> EngineResult:
+        t_start = time.perf_counter()
+        for name in set(query.relations):
+            self._check_known(name)
+        key = (query.canonical(),
+               tuple((n, self._versions[n]) for n in query.relations))
+        cached = self.cache.get(key)
+        if cached is not None:
+            result = _copy_result(cached)
+            result.detail["cache_hit"] = True
+            wall = time.perf_counter() - t_start
+            self.queries_served += 1
+            self.cache_hits += 1
+            self.pairs_returned += cached.n_pairs
+            return EngineResult(
+                query=query, result=result, plan=None, from_cache=True,
+                wall_seconds=wall, sim_wall_seconds=0.0,
+            )
+
+        participating, pruned = self.plan_shards(query)
+        # The gather phase deduplicates by rid, so sub-queries always
+        # collect pairs even when the caller only wants a count.
+        sub = (query if query.collect_pairs
+               else _replace(query, collect_pairs=True))
+        merged: set = set()
+        raw_pairs = 0
+        sim_wall = 0.0
+        shard_pairs: Dict[int, int] = {}
+        shard_strategies: Dict[int, str] = {}
+        for k in participating:
+            out = self.engines[k].execute(sub)
+            sim_wall += out.sim_wall_seconds
+            raw_pairs += out.result.n_pairs
+            shard_pairs[k] = out.result.n_pairs
+            shard_strategies[k] = str(
+                out.result.detail.get("strategy", "?")
+            )
+            merged.update(out.result.pairs)
+        # Sorting makes collected gathers deterministic; count-only
+        # queries need just the deduplicated cardinality.
+        pairs = sorted(merged) if query.collect_pairs else None
+        result = JoinResult(
+            algorithm="scatter-gather",
+            n_pairs=len(merged),
+            pairs=pairs,
+            detail={
+                "strategy": "scatter-gather",
+                "shards": self.shards,
+                "shards_queried": list(participating),
+                "shards_pruned": list(pruned),
+                "cross_shard_duplicates": raw_pairs - len(merged),
+                "shard_pairs": shard_pairs,
+                "shard_strategies": shard_strategies,
+            },
+        )
+        wall = time.perf_counter() - t_start
+        self.queries_served += 1
+        self.queries_executed += 1
+        self.pairs_returned += result.n_pairs
+        self.duplicates_eliminated += raw_pairs - result.n_pairs
+        self.shards_pruned_total += len(pruned)
+        # Same rule as the single engine: count-only results (no pair
+        # list) always cache; collected results cache up to the bound.
+        if result.pairs is None or len(result.pairs) <= MAX_CACHED_PAIRS:
+            self.cache.put(key, _copy_result(result))
+        return EngineResult(
+            query=query, result=result, plan=None, from_cache=False,
+            wall_seconds=wall, sim_wall_seconds=sim_wall,
+        )
+
+    def explain(self, query: Query) -> str:
+        """The scatter plan plus every participating shard's plan."""
+        participating, pruned = self.plan_shards(query)
+        lines = [
+            f"Sharded : {self.shards} shards, scatter to "
+            f"{participating or 'none'}"
+            + (f", pruned {pruned}" if pruned else ""),
+        ]
+        for k in participating:
+            lo, hi = self.strip_of(k)
+            lines.append(f"-- shard {k} (x in [{lo:g}, {hi:g}]) --")
+            lines.append(self.engines[k].explain(query))
+        return "\n".join(lines)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every shard's pool ref; the last one stops the pool."""
+        for engine in self.engines:
+            engine.close()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- observability ----------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Shard counters aggregated, serving counters at this level.
+
+        Physical counters (pages, bytes, CPU ops, simulated seconds,
+        spills) sum across shards; serving counters are overridden
+        with the scatter layer's own — one logical query is one serve,
+        even when it executed on four shards.  ``per_shard`` keeps the
+        attribution story: each shard's serve/pair/dispatch counts,
+        whose dispatch totals sum to the shared pool's by
+        construction.
+        """
+        snap = merge_snapshots(
+            [e.metrics.snapshot() for e in self.engines]
+        )
+        snap.update(flatten_cache_keys(
+            self.artifacts.snapshot(), self.budget.snapshot(),
+        ))
+        snap.update({
+            "queries_served": self.queries_served,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": (
+                self.cache_hits / self.queries_served
+                if self.queries_served else 0.0
+            ),
+            "queries_executed": self.queries_executed,
+            "pairs_returned": self.pairs_returned,
+            "duplicates_eliminated": self.duplicates_eliminated,
+            "shards": self.shards,
+            "shard_cuts": list(self._cuts or []),
+            "shards_pruned_total": self.shards_pruned_total,
+            "boundary_replicas": self.boundary_replicas,
+            "worker_pool": self.pool.snapshot(),
+            "per_shard": [
+                {
+                    "queries_served": e.metrics.queries_served,
+                    "pairs_returned": e.metrics.pairs_returned,
+                    "tasks_dispatched": e.worker_pool.tasks_dispatched,
+                    "tasks_inline": e.worker_pool.tasks_inline,
+                    "tiles_dispatched": e.worker_pool.tiles_dispatched,
+                    "tiles_inline": e.worker_pool.tiles_inline,
+                    "relations": [
+                        n for n in self.names() if self._present[n][i]
+                    ],
+                }
+                for i, e in enumerate(self.engines)
+            ],
+            # Result-cache gauges are the scatter-level cache's own:
+            # it is the only result cache in a sharded deployment
+            # (shard engines run with theirs disabled).
+            **flatten_result_cache_keys(self.cache),
+            "buffer_pool_requests": sum(
+                e.pool.requests for e in self.engines
+            ),
+            "buffer_pool_hit_rate": (
+                sum(e.pool.hit_rate * e.pool.requests
+                    for e in self.engines)
+                / max(1, sum(e.pool.requests for e in self.engines))
+            ),
+            "buffer_pool_evictions": sum(
+                e.pool.evictions for e in self.engines
+            ),
+            "buffer_pool_resident_pages": sum(
+                e.pool.resident_pages for e in self.engines
+            ),
+            "indexes_built": sum(
+                e.catalog.indexes_built for e in self.engines
+            ),
+            "relations": self.names(),
+        })
+        return snap

@@ -4,23 +4,29 @@ A production engine sees a *mix*: dense nationwide overlays, localized
 window joins (the Section 6.3 scenario), and plenty of exact repeats —
 dashboards refresh the same query.  :func:`make_workload` generates
 such a mix deterministically from a seed; :func:`run_workload` replays
-it against a :class:`~repro.engine.engine.SpatialQueryEngine` and
-returns the serving report that both the ``serve-bench`` CLI
-subcommand and ``benchmarks/bench_engine_throughput.py`` print.
+it against a :class:`~repro.engine.engine.SpatialQueryEngine` — or a
+:class:`~repro.engine.shard.ShardedEngine`, whose aggregate facades
+expose the same serving surface — and returns the serving report that
+both the ``serve-bench`` CLI subcommand and
+``benchmarks/bench_engine_throughput.py`` print.
 """
 
 from __future__ import annotations
 
 import random
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.data.datasets import build_dataset
 from repro.engine.engine import SpatialQueryEngine
 from repro.engine.query import Query
+from repro.engine.shard import ShardedEngine
 from repro.geom.rect import Rect
 from repro.sim.machines import MACHINE_3, MachineSpec
 from repro.sim.scale import ScaleConfig
+
+#: Anything run_workload can serve against.
+ServingEngine = Union[SpatialQueryEngine, ShardedEngine]
 
 #: Workload mix: share of queries that repeat an earlier query verbatim
 #: (cache-hit traffic), and share of localized window queries among the
@@ -74,6 +80,46 @@ def engine_for_dataset(
     return engine
 
 
+def sharded_engine_for_dataset(
+    dataset: str,
+    scale: ScaleConfig,
+    shards: int,
+    machine: MachineSpec = MACHINE_3,
+    workers: int = 1,
+    cache_capacity: int = 64,
+    memory_bytes: Optional[int] = None,
+    cache_bytes: Optional[int] = None,
+    pool_kind: str = "process",
+    min_ship_rects: Optional[int] = None,
+    artifact_cache_bytes: Optional[int] = None,
+    tile_batch_bytes: Optional[int] = None,
+) -> ShardedEngine:
+    """Like :func:`engine_for_dataset`, but scattered over N shards.
+
+    ``memory_bytes`` here is the *total* budget, sliced evenly across
+    the shards; all shards share one worker pool of ``workers``
+    workers.
+    """
+    ds = build_dataset(dataset, scale)
+    extra = {}
+    if min_ship_rects is not None:
+        extra["min_ship_rects"] = min_ship_rects
+    if tile_batch_bytes is not None:
+        extra["tile_batch_bytes"] = tile_batch_bytes
+    engine = ShardedEngine(
+        shards=shards, scale=scale, machine=machine, workers=workers,
+        cache_capacity=cache_capacity,
+        memory_bytes=memory_bytes, cache_bytes=cache_bytes,
+        pool_kind=pool_kind,
+        artifact_cache_bytes=artifact_cache_bytes,
+        **extra,
+    )
+    engine.register("roads", ds.roads, universe=ds.universe)
+    engine.register("hydro", ds.hydro, universe=ds.universe)
+    engine.prepare()
+    return engine
+
+
 def make_workload(universe: Rect, n_queries: int,
                   seed: int = 7) -> List[Query]:
     """A deterministic mixed stream of pairwise queries.
@@ -109,7 +155,7 @@ def _quantile(ordered: List[float], q: float) -> float:
     return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
 
 
-def run_workload(engine: SpatialQueryEngine,
+def run_workload(engine: ServingEngine,
                  queries: List[Query]) -> Dict[str, object]:
     """Serve ``queries`` and summarize the engine's behaviour.
 

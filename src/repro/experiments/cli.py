@@ -88,6 +88,14 @@ def _parse_serve_args(argv: List[str]) -> argparse.Namespace:
         help="executor worker-pool size (default: 1)",
     )
     parser.add_argument(
+        "--shards", type=int, default=1,
+        help=(
+            "catalog shards served scatter/gather-style; >1 partitions "
+            "each relation across this many engines sharing one worker "
+            "pool (default: 1, a single engine)"
+        ),
+    )
+    parser.add_argument(
         "--seed", type=int, default=7,
         help="workload seed (default: 7)",
     )
@@ -218,20 +226,37 @@ def serve_bench(args: argparse.Namespace) -> int:
         engine_for_dataset,
         make_workload,
         run_workload,
+        sharded_engine_for_dataset,
     )
 
     scale = _scale(args.scale)
-    engine = engine_for_dataset(
-        args.dataset, scale, workers=max(1, args.workers),
-        memory_bytes=args.memory_bytes,
-        pool_kind=args.pool_kind,
-        min_ship_rects=args.min_ship_rects,
-        artifact_cache_bytes=0 if args.no_artifact_cache else None,
-        artifact_dir=args.artifact_dir,
-        tile_batch_bytes=args.tile_batch_bytes,
-    )
+    if args.shards > 1:
+        if args.artifact_dir:
+            raise SystemExit(
+                "--artifact-dir is not supported with --shards yet "
+                "(the sidecar is keyed per engine)"
+            )
+        engine = sharded_engine_for_dataset(
+            args.dataset, scale, shards=args.shards,
+            workers=max(1, args.workers),
+            memory_bytes=args.memory_bytes,
+            pool_kind=args.pool_kind,
+            min_ship_rects=args.min_ship_rects,
+            artifact_cache_bytes=0 if args.no_artifact_cache else None,
+            tile_batch_bytes=args.tile_batch_bytes,
+        )
+    else:
+        engine = engine_for_dataset(
+            args.dataset, scale, workers=max(1, args.workers),
+            memory_bytes=args.memory_bytes,
+            pool_kind=args.pool_kind,
+            min_ship_rects=args.min_ship_rects,
+            artifact_cache_bytes=0 if args.no_artifact_cache else None,
+            artifact_dir=args.artifact_dir,
+            tile_batch_bytes=args.tile_batch_bytes,
+        )
     queries = make_workload(
-        engine.catalog.get("roads").universe, args.queries, seed=args.seed,
+        engine.universe_of("roads"), args.queries, seed=args.seed,
     )
     report = run_workload(engine, queries)
     engine.close()
@@ -268,6 +293,12 @@ def serve_bench(args: argparse.Namespace) -> int:
             f"{k}x{v}" for k, v in sorted(m["per_strategy"].items())
         )],
     ]
+    if args.shards > 1:
+        rows.append(["shards", (
+            f"{m['shards']}, "
+            f"{m['duplicates_eliminated']} boundary dups removed, "
+            f"{m['shards_pruned_total']} shard-queries pruned"
+        )])
     if args.spill_report:
         budget = report["budget"]
         rows += [
@@ -283,6 +314,7 @@ def serve_bench(args: argparse.Namespace) -> int:
     title = (
         f"serve-bench {args.dataset} (scale {scale.name}): "
         f"{args.queries} queries, {max(1, args.workers)} workers"
+        + (f", {args.shards} shards" if args.shards > 1 else "")
     )
     print(format_table(["Metric", "Value"], rows, title=title))
     return 0

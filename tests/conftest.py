@@ -1,12 +1,17 @@
-"""Shared fixtures: a small simulated machine room and tiny datasets."""
+"""Shared fixtures: a small simulated machine room, tiny datasets, and
+the differential-testing harness (brute force vs. single engine vs.
+sharded scatter/gather)."""
 
 from __future__ import annotations
 
+from typing import List, Optional, Sequence, Set, Tuple
+
 import pytest
 
-from repro.geom.rect import Rect
+from repro.core.brute import brute_force_pairs
+from repro.geom.rect import Rect, intersection, mbr_of
 from repro.sim.env import SimEnv
-from repro.sim.machines import ALL_MACHINES
+from repro.sim.machines import ALL_MACHINES, MACHINE_3
 from repro.sim.scale import ScaleConfig
 from repro.storage.disk import Disk
 from repro.storage.pages import PageStore
@@ -46,3 +51,128 @@ def unit_square() -> Rect:
 def make_env(scale: ScaleConfig = TEST_SCALE) -> SimEnv:
     """Non-fixture variant for hypothesis tests (fresh per example)."""
     return SimEnv(scale=scale, machines=ALL_MACHINES)
+
+
+# -- differential-testing harness --------------------------------------------
+
+
+def brute_reference(
+    rects_a: Sequence[Rect],
+    rects_b: Optional[Sequence[Rect]] = None,
+    window: Optional[Rect] = None,
+) -> Set[Tuple[int, int]]:
+    """The oracle pair set with the engine's exact semantics.
+
+    ``rects_b=None`` is a self-join (one representative per unordered
+    pair, ``rid_a < rid_b``, identity excluded); a ``window`` keeps a
+    pair only when the rectangles' common intersection meets it — the
+    same post-filter rule :func:`repro.engine.executor._filter_window`
+    applies.
+    """
+    if rects_b is None:
+        pairs = {
+            (x, y)
+            for x, y in brute_force_pairs(rects_a, rects_a)
+            if x < y
+        }
+        by_a = by_b = {r.rid: r for r in rects_a}
+    else:
+        pairs = brute_force_pairs(rects_a, rects_b)
+        by_a = {r.rid: r for r in rects_a}
+        by_b = {r.rid: r for r in rects_b}
+    if window is not None:
+        kept = set()
+        for ida, idb in pairs:
+            inter = intersection(by_a[ida], by_b[idb])
+            if inter is not None and inter.intersects(window):
+                kept.add((ida, idb))
+        pairs = kept
+    return pairs
+
+
+@pytest.fixture
+def assert_same_pairs():
+    """Differential check: brute force == single engine == sharded.
+
+    The returned callable runs one join (optionally windowed, or a
+    self-join when ``rects_b`` is omitted) through the brute-force
+    oracle, a single :class:`SpatialQueryEngine`, and
+    :class:`ShardedEngine` at every requested shard count and pool
+    kind — all shards of one engine sharing one worker pool — and
+    asserts bit-identical sorted pair sets throughout, plus the
+    shared-pool accounting invariant (per-shard client counters sum to
+    the pool's totals).  Returns the sorted reference pairs.
+    """
+    from repro.engine import Query, ShardedEngine, SpatialQueryEngine
+
+    def check(
+        rects_a: Sequence[Rect],
+        rects_b: Optional[Sequence[Rect]] = None,
+        *,
+        window: Optional[Rect] = None,
+        universe: Optional[Rect] = None,
+        shard_counts: Sequence[int] = (1, 2, 4),
+        pool_kinds: Sequence[str] = ("serial", "thread"),
+        workers: int = 2,
+        force: Optional[str] = None,
+    ) -> List[Tuple[int, int]]:
+        self_join = rects_b is None
+        if universe is None:
+            universe = mbr_of(list(rects_a) + list(rects_b or ()))
+        ref = sorted(brute_reference(rects_a, rects_b, window))
+        query = Query(
+            relations=("a", "a") if self_join else ("a", "b"),
+            window=window, force=force,
+        )
+
+        single = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, workers=workers,
+            cache_capacity=0, min_ship_rects=0,
+        )
+        single.register("a", rects_a, universe=universe)
+        if not self_join:
+            single.register("b", rects_b, universe=universe)
+        got = sorted(single.execute(query).result.pairs)
+        assert got == ref, (
+            f"single engine diverged from brute force "
+            f"({len(got)} vs {len(ref)} pairs)"
+        )
+        single.close()
+
+        for kind in pool_kinds:
+            for n_shards in shard_counts:
+                sharded = ShardedEngine(
+                    shards=n_shards, scale=TEST_SCALE, machine=MACHINE_3,
+                    workers=workers, pool_kind=kind, cache_capacity=0,
+                    min_ship_rects=0,
+                )
+                sharded.register("a", rects_a, universe=universe)
+                if not self_join:
+                    sharded.register("b", rects_b, universe=universe)
+                got = sorted(sharded.execute(query).result.pairs)
+                assert got == ref, (
+                    f"{n_shards}-shard {kind}-pool engine diverged "
+                    f"({len(got)} vs {len(ref)} pairs)"
+                )
+                # Shared-pool accounting: every shard submits through
+                # its own client, and the clients' counters must sum
+                # to the pool's totals — cross-shard traffic is never
+                # double- or under-counted.
+                for counter in ("tasks_dispatched", "tasks_inline",
+                                "tiles_dispatched", "tiles_inline"):
+                    per_shard = sum(
+                        getattr(e.worker_pool, counter)
+                        for e in sharded.engines
+                    )
+                    assert per_shard == getattr(sharded.pool, counter), (
+                        f"{counter}: shard sum {per_shard} != pool "
+                        f"total {getattr(sharded.pool, counter)}"
+                    )
+                snap = sharded.metrics_snapshot()
+                assert snap["queries_served"] == 1
+                assert snap["pairs_returned"] == len(ref)
+                sharded.close()
+                assert sharded.pool.refs == 0
+        return ref
+
+    return check

@@ -1,0 +1,713 @@
+"""Sharded scatter/gather serving: differential and property tests.
+
+The headline contract: :class:`ShardedEngine` must return bit-identical
+pair sets to the single-engine and brute-force references on every
+workload — random, skewed, clustered, degenerate, windowed, self-join,
+forced-strategy, multiway — at every shard count, with all shards
+sharing one :class:`WorkerPool`.  The ``assert_same_pairs`` fixture in
+``conftest.py`` is the harness; the property tests here feed it seeded
+adversarial data.  Alongside correctness, the suite pins the
+shared-pool lifecycle (ref-counted close, per-client accounting,
+broken-pool demotion) and cross-engine isolation (budgets, artifact
+caches, interleaved and concurrent workloads).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.engine import (
+    AdmissionError,
+    Query,
+    ShardedEngine,
+    SpatialQueryEngine,
+    WorkerPool,
+    make_workload,
+    run_workload,
+)
+from repro.engine.shard import balanced_cuts
+from repro.geom.rect import Rect, intersection
+from repro.sim.machines import MACHINE_3
+
+from tests.conftest import TEST_SCALE, brute_reference
+
+UNIT = Rect(0.0, 1.0, 0.0, 1.0, 0)
+
+
+# -- seeded adversarial dataset generators (no new deps) ---------------------
+
+
+def _uniform(rng: random.Random, n: int, id_base: int = 0):
+    out = []
+    for i in range(n):
+        x, y = rng.random(), rng.random()
+        w, h = rng.random() * 0.04, rng.random() * 0.04
+        out.append(Rect(x, min(1.0, x + w), y, min(1.0, y + h),
+                        id_base + i))
+    return out
+
+
+def _clustered(rng: random.Random, n: int, id_base: int = 0):
+    """A few dense gaussian blobs — hot tiles, cold elsewhere."""
+    centers = [(rng.random(), rng.random()) for _ in range(3)]
+    out = []
+    for i in range(n):
+        cx, cy = centers[i % len(centers)]
+        x = min(0.98, max(0.0, rng.gauss(cx, 0.03)))
+        y = min(0.98, max(0.0, rng.gauss(cy, 0.03)))
+        w, h = rng.random() * 0.02, rng.random() * 0.02
+        out.append(Rect(x, x + w, y, y + h, id_base + i))
+    return out
+
+
+def _skewed(rng: random.Random, n: int, id_base: int = 0):
+    """Mass piled against x=0 — the cut balancer's stress case."""
+    out = []
+    for i in range(n):
+        x = rng.random() ** 3
+        y = rng.random()
+        w, h = rng.random() * 0.03, rng.random() * 0.03
+        out.append(Rect(x, min(1.0, x + w), y, min(1.0, y + h),
+                        id_base + i))
+    return out
+
+
+def _degenerate(rng: random.Random, n: int, id_base: int = 0):
+    """Duplicates, zero-area points, and strip-straddling slivers."""
+    out = []
+    for i in range(n):
+        rid = id_base + i
+        if out and i % 4 == 0:
+            # Exact duplicate coordinates under a fresh id.
+            prev = out[-1]
+            out.append(Rect(prev.xlo, prev.xhi, prev.ylo, prev.yhi, rid))
+        elif i % 5 == 0:
+            x, y = rng.random(), rng.random()
+            out.append(Rect(x, x, y, y, rid))  # zero-area point
+        elif i % 7 == 0:
+            # Full-width sliver: straddles every shard boundary.
+            y = rng.random() * 0.99
+            out.append(Rect(0.0, 1.0, y, y + 0.004, rid))
+        else:
+            x, y = rng.random(), rng.random()
+            w, h = rng.random() * 0.03, rng.random() * 0.03
+            out.append(Rect(x, min(1.0, x + w), y, min(1.0, y + h),
+                            rid))
+    return out
+
+
+GENERATORS = {
+    "uniform": _uniform,
+    "clustered": _clustered,
+    "skewed": _skewed,
+    "degenerate": _degenerate,
+}
+
+
+def _make_sharded(shards: int, **kw) -> ShardedEngine:
+    kw.setdefault("scale", TEST_SCALE)
+    kw.setdefault("machine", MACHINE_3)
+    kw.setdefault("workers", 2)
+    kw.setdefault("pool_kind", "serial")
+    kw.setdefault("cache_capacity", 0)
+    kw.setdefault("min_ship_rects", 0)
+    return ShardedEngine(shards=shards, **kw)
+
+
+def _make_single(pool=None, **kw) -> SpatialQueryEngine:
+    kw.setdefault("scale", TEST_SCALE)
+    kw.setdefault("machine", MACHINE_3)
+    kw.setdefault("workers", 2)
+    kw.setdefault("cache_capacity", 0)
+    kw.setdefault("min_ship_rects", 0)
+    return SpatialQueryEngine(worker_pool=pool, **kw)
+
+
+# -- sharding geometry -------------------------------------------------------
+
+
+class TestShardingGeometry:
+    def test_balanced_cuts_split_uniform_mass_evenly(self):
+        rng = random.Random(1)
+        rects = _uniform(rng, 400)
+        cuts = balanced_cuts(rects, UNIT, 4, grid=32)
+        assert len(cuts) == 3
+        assert cuts == sorted(cuts)
+        # Uniform mass: cuts land near the quartiles.
+        for cut, expect in zip(cuts, (0.25, 0.5, 0.75)):
+            assert abs(cut - expect) < 0.1
+
+    def test_degenerate_mass_collapses_cuts(self):
+        # All centers in one column: every cut lands at the same spot
+        # and the excess shards simply stay empty.
+        rects = [Rect(0.1, 0.12, y / 100, y / 100 + 0.01, y)
+                 for y in range(50)]
+        cuts = balanced_cuts(rects, UNIT, 4, grid=32)
+        assert len(set(cuts)) == 1
+
+    def test_outer_strips_are_unbounded(self):
+        sharded = _make_sharded(3)
+        sharded.register("a", _uniform(random.Random(2), 100),
+                         universe=UNIT)
+        lo0, _ = sharded.strip_of(0)
+        _, hi2 = sharded.strip_of(2)
+        assert lo0 == float("-inf") and hi2 == float("inf")
+        # A later relation lying entirely outside the first one's
+        # universe still lands in a shard.
+        far = [Rect(5.0 + i * 0.01, 5.02 + i * 0.01, 0.1, 0.2, 900 + i)
+               for i in range(10)]
+        sharded.register("far", far)
+        assert sharded._present["far"][2]
+        sharded.close()
+
+    def test_strip_of_before_register_raises_clearly(self):
+        sharded = _make_sharded(2)
+        with pytest.raises(RuntimeError, match="no relation is registered"):
+            sharded.strip_of(1)
+        sharded.close()
+
+    def test_window_prunes_nonoverlapping_shards(self):
+        rng = random.Random(3)
+        sharded = _make_sharded(4)
+        sharded.register("a", _uniform(rng, 200), universe=UNIT)
+        sharded.register("b", _uniform(rng, 150, 10_000), universe=UNIT)
+        corner = Rect(0.9, 0.99, 0.9, 0.99, 0)
+        out = sharded.execute(Query(relations=("a", "b"), window=corner))
+        detail = out.result.detail
+        assert detail["shards_pruned"], "a corner window must prune shards"
+        assert len(detail["shards_queried"]) < 4
+        sharded.close()
+
+
+# -- differential suite ------------------------------------------------------
+
+
+class TestDifferential:
+    """Brute force == single engine == ShardedEngine(1, 2, 4 shards)."""
+
+    def test_full_join(self, assert_same_pairs):
+        rng = random.Random(7)
+        ref = assert_same_pairs(_uniform(rng, 250),
+                                _uniform(rng, 120, 10_000))
+        assert ref, "the differential reference must not be empty"
+
+    def test_windowed_join(self, assert_same_pairs):
+        rng = random.Random(8)
+        assert_same_pairs(
+            _uniform(rng, 250), _uniform(rng, 120, 10_000),
+            window=Rect(0.2, 0.55, 0.15, 0.6, 0),
+        )
+
+    def test_self_join(self, assert_same_pairs):
+        rng = random.Random(9)
+        ref = assert_same_pairs(_clustered(rng, 200))
+        assert all(x < y for x, y in ref)
+
+    def test_forced_strategies(self, assert_same_pairs):
+        rng = random.Random(10)
+        a = _uniform(rng, 200)
+        b = _uniform(rng, 100, 10_000)
+        for force in ("sssj", "pq-index", "pbsm-grid"):
+            assert_same_pairs(a, b, force=force, shard_counts=(2, 3),
+                              pool_kinds=("serial",))
+
+    def test_multiway_join(self):
+        rng = random.Random(11)
+        a = _uniform(rng, 90)
+        b = _uniform(rng, 70, 10_000)
+        c = _uniform(rng, 60, 20_000)
+        ref = set()
+        for ra in a:
+            for rb in b:
+                i1 = intersection(ra, rb)
+                if i1 is None:
+                    continue
+                for rc in c:
+                    if intersection(i1, rc) is not None:
+                        ref.add((ra.rid, rb.rid, rc.rid))
+        query = Query(relations=("a", "b", "c"))
+        single = _make_single()
+        for name, rects in (("a", a), ("b", b), ("c", c)):
+            single.register(name, rects, universe=UNIT)
+        assert set(map(tuple, single.execute(query).result.pairs)) == ref
+        single.close()
+        for shards in (2, 4):
+            sharded = _make_sharded(shards)
+            for name, rects in (("a", a), ("b", b), ("c", c)):
+                sharded.register(name, rects, universe=UNIT)
+            got = set(map(tuple, sharded.execute(query).result.pairs))
+            assert got == ref, f"{shards}-shard multiway diverged"
+            sharded.close()
+
+    def test_count_only_query_dedups_across_shards(self):
+        rng = random.Random(12)
+        a = _degenerate(rng, 150)
+        b = _degenerate(rng, 120, 10_000)
+        ref = brute_reference(a, b)
+        for shards in (2, 4):
+            sharded = _make_sharded(shards)
+            sharded.register("a", a, universe=UNIT)
+            sharded.register("b", b, universe=UNIT)
+            out = sharded.execute(
+                Query(relations=("a", "b"), collect_pairs=False)
+            )
+            assert out.result.pairs is None
+            assert out.result.n_pairs == len(ref), (
+                "count-only results must be boundary-deduplicated"
+            )
+            sharded.close()
+
+    def test_refined_join_matches_single_engine(self):
+        rng = random.Random(13)
+        a = _uniform(rng, 120)
+        b = _uniform(rng, 90, 10_000)
+        # Exact diagonals for half the rectangles; the rest fall back
+        # to the MBR verdict — both behaviours must shard identically.
+        geom_a = {r.rid: [(r.xlo, r.ylo), (r.xhi, r.yhi)]
+                  for r in a if r.rid % 2 == 0}
+        geom_b = {r.rid: [(r.xlo, r.yhi), (r.xhi, r.ylo)]
+                  for r in b if r.rid % 2 == 0}
+        query = Query(relations=("a", "b"), refine=True)
+        single = _make_single()
+        single.register("a", a, universe=UNIT, geometries=geom_a)
+        single.register("b", b, universe=UNIT, geometries=geom_b)
+        ref = sorted(single.execute(query).result.pairs)
+        single.close()
+        for shards in (2, 4):
+            sharded = _make_sharded(shards)
+            sharded.register("a", a, universe=UNIT, geometries=geom_a)
+            sharded.register("b", b, universe=UNIT, geometries=geom_b)
+            assert sorted(sharded.execute(query).result.pairs) == ref
+            sharded.close()
+
+
+# -- randomized property tests (the test-archetype headline) -----------------
+
+
+class TestShardCountInvariance:
+    """Seeded property tests: results never depend on the shard count."""
+
+    @pytest.mark.parametrize("kind", sorted(GENERATORS))
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_join_invariance(self, kind, seed, assert_same_pairs):
+        rng = random.Random(seed)
+        gen = GENERATORS[kind]
+        assert_same_pairs(gen(rng, 130), gen(rng, 100, 10_000),
+                          pool_kinds=("serial",))
+
+    @pytest.mark.parametrize("kind", sorted(GENERATORS))
+    @pytest.mark.parametrize("seed", [5, 17])
+    def test_window_invariance(self, kind, seed, assert_same_pairs):
+        rng = random.Random(seed)
+        gen = GENERATORS[kind]
+        a = gen(rng, 130)
+        b = gen(rng, 100, 10_000)
+        # A random window, sometimes degenerate-thin.
+        x = rng.random() * 0.7
+        y = rng.random() * 0.7
+        w = rng.random() * 0.4 + (0.0 if seed % 2 else 0.001)
+        h = rng.random() * 0.4
+        assert_same_pairs(a, b, window=Rect(x, x + w, y, y + h, 0),
+                          pool_kinds=("serial",))
+
+    @pytest.mark.parametrize("kind", ["skewed", "degenerate"])
+    def test_self_join_invariance(self, kind, assert_same_pairs):
+        rng = random.Random(23)
+        assert_same_pairs(GENERATORS[kind](rng, 160),
+                          pool_kinds=("serial",))
+
+    def test_invariance_across_pool_kinds(self, assert_same_pairs):
+        # One cross-product sweep with real thread pools: shard count
+        # x pool kind must not change a single pair.
+        rng = random.Random(29)
+        assert_same_pairs(_skewed(rng, 140), _skewed(rng, 110, 10_000),
+                          pool_kinds=("serial", "thread"))
+
+
+# -- shared pool lifecycle ---------------------------------------------------
+
+
+class TestSharedPoolLifecycle:
+    def _registered(self, pool, seed, name="a"):
+        rng = random.Random(seed)
+        rects = _uniform(rng, 200, seed * 1000)
+        engine = _make_single(pool=pool, pool_kind="thread")
+        engine.register(name, rects, universe=UNIT)
+        return engine, rects
+
+    def test_close_releases_ref_without_stopping_shared_pool(self):
+        pool = WorkerPool(2, kind="thread")
+        e1, r1 = self._registered(pool, 1)
+        e2, r2 = self._registered(pool, 2)
+        assert pool.refs == 2
+        q = Query(relations=("a", "a"))
+        e1.execute(q)
+        e2.execute(q)
+        assert pool.started
+        e1.close()
+        assert pool.refs == 1
+        assert pool.started, "a sibling's pool must survive one close"
+        # The surviving engine keeps serving correct answers.
+        out = e2.execute(Query(relations=("a", "a"),
+                               window=Rect(0.1, 0.9, 0.1, 0.9, 0)))
+        ref = brute_reference(r2, window=Rect(0.1, 0.9, 0.1, 0.9, 0))
+        assert set(out.result.pairs) == ref
+        e2.close()
+        assert pool.refs == 0
+        assert not pool.started, "the last release stops the pool"
+
+    def test_client_counters_sum_to_pool_totals(self):
+        pool = WorkerPool(2, kind="thread")
+        e1, _ = self._registered(pool, 3)
+        e2, _ = self._registered(pool, 4)
+        q = Query(relations=("a", "a"))
+        e1.execute(q)
+        e2.execute(q)
+        e2.execute(Query(relations=("a", "a"),
+                         window=Rect(0.0, 0.5, 0.0, 0.5, 0)))
+        for counter in ("tasks_dispatched", "tasks_inline",
+                        "tiles_dispatched", "tiles_inline"):
+            total = getattr(pool, counter)
+            clients = (getattr(e1.worker_pool, counter)
+                       + getattr(e2.worker_pool, counter))
+            assert clients == total, counter
+        assert e2.worker_pool.tasks_dispatched > (
+            e1.worker_pool.tasks_dispatched
+        ), "per-client counters must attribute traffic, not mirror it"
+        e1.close()
+        e2.close()
+
+    def test_broken_pool_demotion_is_shared_but_loses_no_query(self):
+        pool = WorkerPool(2, kind="process")
+        e1, r1 = self._registered(pool, 5)
+        e2, r2 = self._registered(pool, 6)
+        # Simulate a broken process pool observed by e1's executor.
+        recovered = e1.worker_pool.recover(len, (1, 2, 3))
+        assert recovered == 3, "the lost task is recomputed inline"
+        assert pool.kind == "thread", "demotion is pool-wide"
+        assert pool.fallbacks == 1
+        # Both engines keep serving bit-correct results on threads.
+        q = Query(relations=("a", "a"))
+        assert set(e1.execute(q).result.pairs) == brute_reference(r1)
+        assert set(e2.execute(q).result.pairs) == brute_reference(r2)
+        e1.close()
+        e2.close()
+
+    def test_close_query_close_stops_recreated_executor(self):
+        # A drained engine that serves again re-takes its pool ref, so
+        # the lazily recreated executor is stopped by the next close
+        # instead of leaking worker threads/processes.
+        engine = _make_single(pool_kind="thread")
+        engine.register("a", _uniform(random.Random(71), 200),
+                        universe=UNIT)
+        q = Query(relations=("a", "a"))
+        engine.execute(q)
+        assert engine.worker_pool.started
+        engine.close()
+        assert not engine.worker_pool.started
+        engine.execute(q)  # recreates the executor lazily
+        assert engine.worker_pool.started
+        engine.close()
+        assert not engine.worker_pool.started
+
+    def test_submit_after_rug_pulled_executor_runs_inline(self):
+        # A sibling's recover()/release() can stop the executor between
+        # another coordinator's fetch and submit; the task must run
+        # inline, counted as inline, instead of crashing the query.
+        pool = WorkerPool(2, kind="thread")
+        fut = pool.submit(len, (1, 2))
+        assert fut.result() == 2 and pool.tasks_dispatched == 1
+        pool._executor.shutdown(wait=True)  # rug-pull, pool unaware
+        fut = pool.submit(len, (1, 2, 3))
+        assert fut.result() == 3
+        assert pool.tasks_dispatched == 1 and pool.tasks_inline == 1
+        pool.shutdown()
+
+    def test_broken_executor_at_submit_triggers_demotion(self):
+        # BrokenExecutor is a RuntimeError subclass; a pool whose
+        # workers died must hit the recover path (demote to threads,
+        # count the fallback), not the quiet rug-pull fallback.
+        from concurrent.futures import BrokenExecutor
+
+        class _BrokenStub:
+            def submit(self, fn, payload):
+                raise BrokenExecutor("workers died")
+
+            def shutdown(self, wait=True):
+                pass
+
+        pool = WorkerPool(2, kind="process")
+        pool._executor = _BrokenStub()
+        fut = pool.submit(len, (1, 2, 3))
+        assert fut.result() == 3, "the lost task is recomputed inline"
+        assert pool.kind == "thread", "dead workers must demote the pool"
+        assert pool.fallbacks == 1
+        assert pool.tasks_inline == 1 and pool.tasks_dispatched == 0
+        # The demoted pool keeps dispatching — on threads now.
+        fut = pool.submit(len, (1, 2))
+        assert fut.result() == 2 and pool.tasks_dispatched == 1
+        pool.shutdown()
+
+    def test_rug_pulled_executor_recovers_through_shipping_path(self):
+        # End to end through _TaskShipper: the fallback future must
+        # accept the shipper's recovery tags (fn/payload), so a query
+        # whose executor vanished mid-flight still returns exact pairs.
+        rng = random.Random(73)
+        rects = _uniform(rng, 220)
+        engine = _make_single(pool_kind="thread")
+        engine.register("a", rects, universe=UNIT)
+        q = Query(relations=("a", "a"))
+        engine.execute(q)  # creates the executor
+        pool = engine.worker_pool.pool
+        assert pool.started
+        pool._executor.shutdown(wait=True)  # rug-pull, pool unaware
+        out = engine.execute(q)
+        assert set(out.result.pairs) == brute_reference(rects)
+        engine.close()
+
+    def test_sharded_close_is_idempotent(self):
+        sharded = _make_sharded(3, pool_kind="thread")
+        sharded.register("a", _uniform(random.Random(7), 150),
+                         universe=UNIT)
+        sharded.execute(Query(relations=("a", "a")))
+        sharded.close()
+        sharded.close()  # second close must be a no-op
+        assert sharded.pool.refs == 0
+
+
+# -- cross-engine isolation on one pool --------------------------------------
+
+
+class TestSharedPoolIsolation:
+    def _pair(self, pool_kind="thread"):
+        pool = WorkerPool(2, kind=pool_kind)
+        rng = random.Random(31)
+        r1 = _clustered(rng, 180)
+        r2 = _skewed(rng, 180, 50_000)
+        # Roomy budgets: tiles stay resident, so partition artifacts
+        # are retained and the invalidation-isolation check has
+        # something to (not) invalidate.
+        e1 = _make_single(pool=pool, memory_bytes=512_000)
+        e2 = _make_single(pool=pool, memory_bytes=512_000)
+        e1.register("a", r1, universe=UNIT)
+        e2.register("a", r2, universe=UNIT)
+        return pool, e1, e2, r1, r2
+
+    def test_interleaved_workloads_no_crosstalk(self):
+        pool, e1, e2, r1, r2 = self._pair()
+        ref1 = brute_reference(r1)
+        ref2 = brute_reference(r2)
+        q = Query(relations=("a", "a"))
+        for _ in range(3):
+            assert set(e1.execute(q).result.pairs) == ref1
+            assert set(e2.execute(q).result.pairs) == ref2
+        # Budgets are private slices: separate ledgers, both exercised.
+        assert e1.budget is not e2.budget
+        assert e1.budget.high_water_bytes > 0
+        assert e2.budget.high_water_bytes > 0
+        # Artifact caches are private: invalidating one engine's
+        # relation never touches the sibling's warm artifacts.
+        assert e1.artifacts is not e2.artifacts
+        e2_entries = len(e2.artifacts)
+        e1.register("a", r1, universe=UNIT)  # version bump on e1 only
+        assert e1.artifacts.invalidations > 0
+        assert e2.artifacts.invalidations == 0
+        assert len(e2.artifacts) == e2_entries
+        assert set(e2.execute(q).result.pairs) == ref2
+        e1.close()
+        e2.close()
+
+    def test_concurrent_submission_is_correct(self):
+        pool, e1, e2, r1, r2 = self._pair()
+        ref1 = brute_reference(r1)
+        ref2 = brute_reference(r2)
+        q = Query(relations=("a", "a"))
+        failures = []
+
+        def worker(engine, ref):
+            try:
+                for _ in range(4):
+                    if set(engine.execute(q).result.pairs) != ref:
+                        failures.append("pair mismatch")
+            except Exception as exc:  # pragma: no cover - diagnostics
+                failures.append(repr(exc))
+
+        threads = [threading.Thread(target=worker, args=(e1, ref1)),
+                   threading.Thread(target=worker, args=(e2, ref2))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures, failures
+        # Shared totals survived concurrent submission intact.
+        assert (e1.worker_pool.tasks_dispatched
+                + e2.worker_pool.tasks_dispatched
+                == pool.tasks_dispatched)
+        assert (e1.worker_pool.tasks_inline
+                + e2.worker_pool.tasks_inline == pool.tasks_inline)
+        e1.close()
+        e2.close()
+
+    def test_shard_fallback_does_not_poison_sibling_results(self):
+        sharded = _make_sharded(2, pool_kind="process")
+        rng = random.Random(37)
+        rects = _uniform(rng, 220)
+        sharded.register("a", rects, universe=UNIT)
+        # Shard 0's executor observes a broken pool mid-query; the
+        # demotion is shared, but shard 1's results must stay exact.
+        sharded.engines[0].worker_pool.recover(len, ())
+        assert sharded.pool.kind == "thread"
+        out = sharded.execute(Query(relations=("a", "a")))
+        assert set(out.result.pairs) == brute_reference(rects)
+        sharded.close()
+
+
+# -- sharded serving behaviour -----------------------------------------------
+
+
+class TestShardedServing:
+    def test_top_level_cache_skips_scatter(self):
+        sharded = _make_sharded(3, cache_capacity=8)
+        rng = random.Random(41)
+        sharded.register("a", _uniform(rng, 150), universe=UNIT)
+        sharded.register("b", _uniform(rng, 100, 10_000), universe=UNIT)
+        q = Query(relations=("a", "b"))
+        first = sharded.execute(q)
+        executed = sum(e.metrics.queries_executed
+                       for e in sharded.engines)
+        second = sharded.execute(q)
+        assert not first.from_cache and second.from_cache
+        assert second.result.pair_set() == first.result.pair_set()
+        assert sum(e.metrics.queries_executed
+                   for e in sharded.engines) == executed, (
+            "a top-level hit must not touch any shard"
+        )
+        # The cached copy is private: mutating it cannot poison later
+        # hits.
+        second.result.pairs.clear()
+        assert sharded.execute(q).result.pair_set() == (
+            first.result.pair_set()
+        )
+        sharded.close()
+
+    def test_count_only_repeat_served_from_cache(self):
+        sharded = _make_sharded(2, cache_capacity=8)
+        rng = random.Random(79)
+        sharded.register("a", _uniform(rng, 150), universe=UNIT)
+        q = Query(relations=("a", "a"), collect_pairs=False)
+        first = sharded.execute(q)
+        second = sharded.execute(q)
+        assert not first.from_cache and second.from_cache
+        assert second.result.n_pairs == first.result.n_pairs
+        assert second.result.pairs is None
+        sharded.close()
+
+    def test_reregister_invalidates_only_that_relation(self):
+        sharded = _make_sharded(2, cache_capacity=8)
+        rng = random.Random(43)
+        a1 = _uniform(rng, 150)
+        b = _uniform(rng, 100, 10_000)
+        sharded.register("a", a1, universe=UNIT)
+        sharded.register("b", b, universe=UNIT)
+        q = Query(relations=("a", "b"))
+        sharded.execute(q)
+        a2 = _uniform(random.Random(99), 150)
+        sharded.register("a", a2, universe=UNIT)
+        out = sharded.execute(q)
+        assert not out.from_cache, "re-registration must orphan the hit"
+        assert set(out.result.pairs) == brute_reference(a2, b)
+        sharded.close()
+
+    def test_admission_error_propagates_from_shard_slice(self):
+        # The total would fit one engine, but each slice is below the
+        # minimum grant — the shard's admission control must refuse.
+        sharded = _make_sharded(4, memory_bytes=4096)
+        rng = random.Random(47)
+        sharded.register("a", _uniform(rng, 200), universe=UNIT)
+        with pytest.raises(AdmissionError):
+            sharded.execute(Query(relations=("a", "a")))
+        sharded.close()
+
+    def test_run_workload_on_sharded_engine(self):
+        rng = random.Random(53)
+        roads = _uniform(rng, 220)
+        hydro = _uniform(rng, 160, 10_000)
+        queries = make_workload(UNIT, 14, seed=5)
+
+        single = _make_single(cache_capacity=16)
+        single.register("roads", roads, universe=UNIT)
+        single.register("hydro", hydro, universe=UNIT)
+        ref = run_workload(single, queries)
+        single.close()
+
+        sharded = _make_sharded(3, cache_capacity=16)
+        sharded.register("roads", roads, universe=UNIT)
+        sharded.register("hydro", hydro, universe=UNIT)
+        report = run_workload(sharded, queries)
+        sharded.close()
+
+        assert report["queries"] == ref["queries"] == 14
+        assert report["pairs_returned"] == ref["pairs_returned"], (
+            "the serving harness must see identical answers sharded"
+        )
+        assert report["sim_wall_seconds"] > 0
+        m = report["metrics"]
+        assert m["shards"] == 3
+        assert m["queries_served"] == 14
+        assert m["cache_hits"] > 0, "repeats must hit the top cache"
+        assert m["budget_total_bytes"] == sum(
+            e.budget.total_bytes for e in sharded.engines
+        )
+
+    def test_metrics_snapshot_aggregates_consistently(self):
+        sharded = _make_sharded(4, pool_kind="thread")
+        rng = random.Random(59)
+        sharded.register("a", _uniform(rng, 250), universe=UNIT)
+        sharded.register("b", _uniform(rng, 180, 10_000), universe=UNIT)
+        for q in (Query(relations=("a", "b")),
+                  Query(relations=("a", "a")),
+                  Query(relations=("a", "b"),
+                        window=Rect(0.0, 0.4, 0.0, 0.4, 0))):
+            sharded.execute(q)
+        snap = sharded.metrics_snapshot()
+        assert snap["queries_served"] == 3
+        # Physical counters are shard sums.
+        assert snap["pages_read"] == sum(
+            e.metrics.pages_read for e in sharded.engines
+        )
+        assert snap["sim_wall_seconds"] == pytest.approx(sum(
+            e.metrics.sim_wall_seconds for e in sharded.engines
+        ))
+        # Dispatch attribution closes: per-shard rows sum to the pool.
+        per_shard = snap["per_shard"]
+        assert len(per_shard) == 4
+        for counter in ("tasks_dispatched", "tiles_dispatched",
+                        "tasks_inline", "tiles_inline"):
+            assert sum(row[counter] for row in per_shard) == (
+                snap["worker_pool"][counter]
+            ), counter
+        assert snap["worker_pool"]["refs"] == 4
+        sharded.close()
+
+    def test_explain_shows_scatter_plan(self):
+        sharded = _make_sharded(2)
+        rng = random.Random(61)
+        sharded.register("a", _uniform(rng, 120), universe=UNIT)
+        sharded.register("b", _uniform(rng, 90, 10_000), universe=UNIT)
+        text = sharded.explain(Query(relations=("a", "b")))
+        assert "Sharded : 2 shards" in text
+        assert text.count("Chosen") == 2
+        sharded.close()
+
+    def test_drop_and_unknown_relation(self):
+        sharded = _make_sharded(2)
+        rng = random.Random(67)
+        sharded.register("a", _uniform(rng, 100), universe=UNIT)
+        sharded.drop("a")
+        with pytest.raises(KeyError, match="unknown relation"):
+            sharded.execute(Query(relations=("a", "a")))
+        with pytest.raises(KeyError, match="unknown relation"):
+            sharded.drop("a")

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Validate a Prometheus text-exposition file (CI gate).
+
+Reuses the same structural validator the test suite runs
+(:func:`repro.engine.obs.validate_prometheus`), so "valid" means one
+thing across the repo.  Usage::
+
+    python benchmarks/check_prometheus.py metrics.prom \
+        --require repro_engine_queries_served
+
+``-`` reads from stdin; ``--require`` asserts a metric name appears at
+least once (repeatable).  Exit status 0 on success, 1 with the errors
+printed otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine.obs import validate_prometheus  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="exposition file ('-': stdin)")
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="NAME",
+        help="fail unless this metric name has at least one sample",
+    )
+    args = parser.parse_args()
+
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        text = pathlib.Path(args.path).read_text(encoding="utf-8")
+
+    errors = validate_prometheus(text)
+    for name in args.require:
+        if not re.search(
+            rf"^{re.escape(name)}(\{{| )", text, flags=re.MULTILINE
+        ):
+            errors.append(f"required metric {name!r} has no samples")
+    if errors:
+        for err in errors:
+            print(f"check_prometheus: {err}", file=sys.stderr)
+        return 1
+    samples = sum(
+        1 for line in text.splitlines()
+        if line and not line.startswith("#")
+    )
+    print(f"check_prometheus: ok ({samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Validate trace JSON produced by serve-bench ``--trace`` (CI gate).
+
+Accepts either a serve-bench ``--json`` report (validates the
+``trace`` span tree and every ``slow_queries[*].trace``) or a bare
+span dict, and checks them against the schema the engine promises
+(:func:`repro.engine.obs.validate_trace`).  Usage::
+
+    python benchmarks/check_trace_schema.py /tmp/serve-trace.json
+
+``-`` reads from stdin.  Exit status 0 on success, 1 with the errors
+printed otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine.obs import validate_trace  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "path", help="serve-bench report or span JSON ('-': stdin)",
+    )
+    args = parser.parse_args()
+
+    if args.path == "-":
+        data = json.load(sys.stdin)
+    else:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+
+    traces = []
+    if isinstance(data, dict) and "name" in data and "children" in data:
+        traces.append(("$", data))
+    else:
+        if not isinstance(data, dict) or "trace" not in data:
+            print(
+                "check_trace_schema: input has neither 'trace' nor a "
+                "span shape (was serve-bench run with --trace?)",
+                file=sys.stderr,
+            )
+            return 1
+        traces.append(("trace", data["trace"]))
+        for i, entry in enumerate(data.get("slow_queries", [])):
+            if entry.get("trace") is not None:
+                traces.append((f"slow_queries[{i}].trace",
+                               entry["trace"]))
+
+    errors = []
+    for label, span in traces:
+        errors.extend(validate_trace(span, path=label))
+    if errors:
+        for err in errors:
+            print(f"check_trace_schema: {err}", file=sys.stderr)
+        return 1
+    print(f"check_trace_schema: ok ({len(traces)} trace trees)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

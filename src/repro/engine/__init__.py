@@ -44,8 +44,19 @@ from repro.engine.cache import (
 from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.engine import EngineResult, SpatialQueryEngine
 from repro.engine.executor import Executor
-from repro.engine.metrics import EngineMetrics
-from repro.engine.optimizer import Optimizer, PhysicalPlan
+from repro.engine.metrics import (
+    EngineMetrics,
+    LatencyTracker,
+    merge_snapshots,
+)
+from repro.engine.obs import (
+    SlowQueryLog,
+    render_json,
+    render_prometheus,
+    validate_prometheus,
+    validate_trace,
+)
+from repro.engine.optimizer import Optimizer, PhysicalPlan, PlanActuals
 from repro.engine.pool import PoolClient, WorkerPool
 from repro.engine.query import Query
 from repro.engine.resources import (
@@ -54,6 +65,7 @@ from repro.engine.resources import (
     ResourceGrant,
 )
 from repro.engine.shard import ShardedEngine
+from repro.engine.trace import EnvMeter, Span, span_meter
 from repro.engine.workload import (
     engine_for_dataset,
     make_workload,
@@ -69,12 +81,17 @@ __all__ = [
     "CatalogEntry",
     "EngineMetrics",
     "EngineResult",
+    "EnvMeter",
     "Executor",
+    "LatencyTracker",
     "Optimizer",
     "PartitionArtifactCache",
     "PhysicalPlan",
+    "PlanActuals",
     "PoolClient",
     "Query",
+    "SlowQueryLog",
+    "Span",
     "WorkerPool",
     "ResourceBudget",
     "ResourceGrant",
@@ -83,6 +100,12 @@ __all__ = [
     "SpatialQueryEngine",
     "engine_for_dataset",
     "make_workload",
+    "merge_snapshots",
+    "render_json",
+    "render_prometheus",
     "run_workload",
     "sharded_engine_for_dataset",
+    "span_meter",
+    "validate_prometheus",
+    "validate_trace",
 ]

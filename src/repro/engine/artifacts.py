@@ -44,6 +44,7 @@ import hashlib
 import json
 import os
 import sys
+import time
 import zlib
 from array import array
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -126,8 +127,10 @@ class ArtifactStore:
         self._manifest: Dict[str, dict] = {}
         self.saves = 0
         self.save_bytes = 0
+        self.save_wall_seconds = 0.0
         self.restores = 0
         self.restore_bytes = 0
+        self.restore_wall_seconds = 0.0
         self.corrupt_drops = 0
         self._load_manifest()
 
@@ -157,6 +160,7 @@ class ArtifactStore:
         """
         if token in self._manifest:
             return True
+        t0 = time.perf_counter()
         entries, blobs, n_rects = _encode(kind, value)
         if entries is None:
             return False
@@ -183,6 +187,7 @@ class ArtifactStore:
         self._write_manifest()
         self.saves += 1
         self.save_bytes += len(body)
+        self.save_wall_seconds += time.perf_counter() - t0
         return True
 
     def clear(self) -> None:
@@ -204,6 +209,7 @@ class ArtifactStore:
         meta = self._manifest.get(token)
         if meta is None:
             return None
+        t0 = time.perf_counter()
         path = os.path.join(self.root, meta["file"])
         try:
             with open(path, "rb") as fh:
@@ -221,6 +227,7 @@ class ArtifactStore:
             return None
         self.restores += 1
         self.restore_bytes += meta["logical_bytes"]
+        self.restore_wall_seconds += time.perf_counter() - t0
         return (meta["kind"], value, meta["logical_bytes"])
 
     # -- internals -------------------------------------------------------
@@ -257,8 +264,10 @@ class ArtifactStore:
             "entries": len(self._manifest),
             "saves": self.saves,
             "save_bytes": self.save_bytes,
+            "save_wall_seconds": self.save_wall_seconds,
             "restores": self.restores,
             "restore_bytes": self.restore_bytes,
+            "restore_wall_seconds": self.restore_wall_seconds,
             "corrupt_drops": self.corrupt_drops,
         }
 

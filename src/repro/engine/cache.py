@@ -151,6 +151,18 @@ class ResultCache:
         self.invalidations += len(stale)
         return len(stale)
 
+    def pop(self, key: Hashable) -> Optional[Any]:
+        """Silently drop one entry (no counter bumps); returns it or None.
+
+        Used by EXPLAIN ANALYZE to force re-execution of a cached query
+        without skewing the hit/miss statistics.
+        """
+        if key not in self._entries:
+            return None
+        value = self._entries[key]
+        self._forget(key)
+        return value
+
     def clear(self) -> None:
         self.invalidations += len(self._entries)
         self._entries.clear()
@@ -164,6 +176,18 @@ class ResultCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "entries": len(self._entries),
+            "bytes": self.bytes_used,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "oversized_rejections": self.oversized_rejections,
+        }
 
     # -- internals -------------------------------------------------------
 

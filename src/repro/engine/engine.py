@@ -46,10 +46,12 @@ from repro.engine.executor import (
     Executor,
 )
 from repro.engine.metrics import EngineMetrics
-from repro.engine.optimizer import Optimizer, PhysicalPlan
+from repro.engine.obs import SlowQueryLog
+from repro.engine.optimizer import Optimizer, PhysicalPlan, PlanActuals
 from repro.engine.pool import WorkerPool
 from repro.engine.query import Query
 from repro.engine.resources import AdmissionError, ResourceBudget
+from repro.engine.trace import Span, span_meter
 from repro.geom.rect import Rect
 from repro.sim.env import SimEnv
 from repro.sim.machines import MACHINE_3, MachineSpec
@@ -107,6 +109,8 @@ def flatten_result_cache_keys(cache: "ResultCache") -> dict:
     return {
         "result_cache_entries": len(cache),
         "result_cache_bytes": cache.bytes_used,
+        "result_cache_hits": cache.hits,
+        "result_cache_misses": cache.misses,
         "result_cache_hit_rate": cache.hit_rate,
         "result_cache_evictions": cache.evictions,
         "result_cache_invalidations": cache.invalidations,
@@ -123,6 +127,7 @@ class EngineResult:
     from_cache: bool
     wall_seconds: float
     sim_wall_seconds: float
+    trace: Optional[Span] = None
 
 
 class SpatialQueryEngine:
@@ -144,6 +149,9 @@ class SpatialQueryEngine:
         artifact_dir: Optional[str] = None,
         tile_batch_bytes: int = DEFAULT_TILE_BATCH_BYTES,
         worker_pool: Optional[WorkerPool] = None,
+        trace: bool = False,
+        slow_log_capacity: Optional[int] = None,
+        slow_threshold_seconds: float = 0.0,
     ) -> None:
         self.scale = scale
         self.machine = machine
@@ -214,6 +222,18 @@ class SpatialQueryEngine:
             capacity=cache_capacity, max_bytes=cache_bytes,
         )
         self.metrics = EngineMetrics()
+        # Observability.  ``trace`` turns on per-query span trees; the
+        # slow-query log keeps the N worst traces (it also works with
+        # tracing off, logging latencies without trees).  Both are off
+        # by default so the serving hot path stays allocation-free.
+        self.tracing = bool(trace)
+        if slow_log_capacity is None:
+            slow_log_capacity = 8 if self.tracing else 0
+        self.slow_log = (
+            SlowQueryLog(slow_log_capacity, slow_threshold_seconds)
+            if slow_log_capacity > 0 else None
+        )
+        self.last_trace: Optional[Span] = None
 
     # -- catalog management ----------------------------------------------
 
@@ -254,8 +274,12 @@ class SpatialQueryEngine:
 
     # -- serving ---------------------------------------------------------
 
-    def execute(self, query: Query) -> EngineResult:
+    def execute(self, query: Query, analyze: bool = False) -> EngineResult:
         t_start = time.perf_counter()
+        trace = (
+            Span("query", query=query.describe(), engine="single")
+            if self.tracing else None
+        )
         key = (query.canonical(),
                self.catalog.versions_of(query.relations))
         cached = self.cache.get(key)
@@ -264,9 +288,16 @@ class SpatialQueryEngine:
             result.detail["cache_hit"] = True
             hit_wall = time.perf_counter() - t_start
             self.metrics.record_hit(cached.n_pairs, hit_wall)
+            if trace is not None:
+                lookup = trace.child("lookup", hit=True)
+                lookup.wall_seconds = hit_wall
+                trace.wall_seconds = hit_wall
+                trace.attrs["pairs"] = cached.n_pairs
+            self._observe_query(query, hit_wall, 0.0, trace, True)
             return EngineResult(
                 query=query, result=result, plan=None, from_cache=True,
                 wall_seconds=hit_wall, sim_wall_seconds=0.0,
+                trace=trace,
             )
 
         # Snapshot counters before compiling: plan-time lazy builds
@@ -279,7 +310,13 @@ class SpatialQueryEngine:
             self.env.cpu_ops, obs.io_seconds, obs.cpu_seconds,
         )
         t0 = time.perf_counter()
-        plan = self.optimizer.compile(query)
+        if trace is not None:
+            lookup = trace.child("lookup", hit=False)
+            lookup.wall_seconds = t0 - t_start
+        with span_meter(self.env, self.machine, trace, "plan") as pspan:
+            plan = self.optimizer.compile(query)
+            if pspan is not None:
+                pspan.attrs["strategy"] = plan.strategy
         if plan.min_grant_bytes > self.budget.total_bytes:
             # Admission control: even with maximal spilling this query
             # could not run under the engine's memory contract; refuse
@@ -290,7 +327,10 @@ class SpatialQueryEngine:
                 f"{plan.min_grant_bytes} bytes but the engine budget is "
                 f"{self.budget.total_bytes} bytes"
             )
-        result = self.executor.execute(plan, self.catalog)
+        with span_meter(self.env, self.machine, trace, "execute",
+                        strategy=plan.strategy) as espan:
+            result = self.executor.execute(plan, self.catalog,
+                                           trace=espan)
         wall = time.perf_counter() - t0
 
         d_pages_r = self.env.page_reads - before[0]
@@ -305,8 +345,9 @@ class SpatialQueryEngine:
         saved = float(result.detail.get("parallel_cpu_seconds_saved", 0.0))
         sim_wall = d_io + max(0.0, d_cpu - saved)
 
+        strategy = str(result.detail.get("strategy", plan.strategy))
         self.metrics.record_execution(
-            strategy=str(result.detail.get("strategy", plan.strategy)),
+            strategy=strategy,
             n_pairs=result.n_pairs,
             pages_read=d_pages_r, pages_written=d_pages_w,
             bytes_read=d_bytes_r, bytes_written=d_bytes_w,
@@ -321,14 +362,81 @@ class SpatialQueryEngine:
                 result.detail.get("artifact_restore_bytes", 0)
             ),
         )
+        self.metrics.record_estimate(
+            strategy, plan.estimate.io_seconds, d_io
+        )
+        if analyze:
+            # EXPLAIN ANALYZE contract: the actuals attached to the
+            # plan are the exact deltas just fed to the metrics, so
+            # ``plan.explain()`` and ``metrics_snapshot()`` can never
+            # disagree about what a query cost.
+            plan.actuals = PlanActuals(
+                pages_read=d_pages_r, pages_written=d_pages_w,
+                bytes_read=d_bytes_r, bytes_written=d_bytes_w,
+                cpu_ops=d_cpu_ops,
+                sim_io_seconds=d_io, sim_cpu_seconds=d_cpu,
+                sim_wall_seconds=sim_wall, wall_seconds=wall,
+                pairs=result.n_pairs,
+                spilled_rects=int(result.detail.get("spilled_rects", 0)),
+                artifact_restores=int(
+                    result.detail.get("artifact_restores", 0)
+                ),
+                artifact_restore_bytes=int(
+                    result.detail.get("artifact_restore_bytes", 0)
+                ),
+            )
         if result.pairs is None or len(result.pairs) <= MAX_CACHED_PAIRS:
             # Cache a private copy: the caller owns the returned object
             # and may mutate it without corrupting future hits.
-            self.cache.put(key, _copy_result(result))
+            with span_meter(self.env, self.machine, trace, "finalize"):
+                self.cache.put(key, _copy_result(result))
+        total_wall = time.perf_counter() - t_start
+        if trace is not None:
+            # The root span carries the whole query's deltas — the same
+            # numbers record_execution saw — so summing a trace always
+            # reconciles with the metrics snapshot.
+            trace.wall_seconds = total_wall
+            trace.pages_read = d_pages_r
+            trace.pages_written = d_pages_w
+            trace.bytes_read = d_bytes_r
+            trace.bytes_written = d_bytes_w
+            trace.cpu_ops = d_cpu_ops
+            trace.sim_io_seconds = d_io
+            trace.sim_cpu_seconds = d_cpu
+            trace.attrs.update({
+                "strategy": strategy,
+                "pairs": result.n_pairs,
+                "sim_wall_seconds": sim_wall,
+            })
+        self._observe_query(query, total_wall, sim_wall, trace, False)
         return EngineResult(
             query=query, result=result, plan=plan, from_cache=False,
-            wall_seconds=wall, sim_wall_seconds=sim_wall,
+            wall_seconds=wall, sim_wall_seconds=sim_wall, trace=trace,
         )
+
+    def _observe_query(self, query: Query, wall: float, sim_wall: float,
+                       trace: Optional[Span], from_cache: bool) -> None:
+        if trace is not None:
+            self.last_trace = trace
+        if self.slow_log is not None:
+            self.slow_log.offer(
+                query.describe(), wall, sim_wall,
+                trace=trace, from_cache=from_cache,
+            )
+
+    def explain_analyze(self, query: Query) -> str:
+        """Execute the query and return its plan annotated with actuals.
+
+        The cache is bypassed on lookup (a hit would have no plan to
+        annotate) but still filled, so EXPLAIN ANALYZE warms the cache
+        like any served query.
+        """
+        key = (query.canonical(),
+               self.catalog.versions_of(query.relations))
+        self.cache.pop(key)
+        out = self.execute(query, analyze=True)
+        assert out.plan is not None
+        return out.plan.explain()
 
     def explain(self, query: Query) -> str:
         """The physical plan as text, without executing the join.
@@ -370,6 +478,10 @@ class SpatialQueryEngine:
         """Engine + cache + buffer-pool + budget counters in one dict."""
         snap = self.metrics.snapshot()
         snap["worker_pool"] = self.worker_pool.snapshot()
+        snap["slow_query_log"] = (
+            self.slow_log.snapshot()
+            if self.slow_log is not None else None
+        )
         snap.update(flatten_cache_keys(
             self.artifacts.snapshot(), self.budget.snapshot(),
             self.artifact_store.snapshot()

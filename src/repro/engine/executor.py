@@ -82,6 +82,8 @@ collected pairs, using the catalog's id -> rectangle / geometry maps.
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import BrokenExecutor
 from typing import List, Optional, Tuple, Union
 
@@ -115,6 +117,7 @@ from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.optimizer import PhysicalPlan
 from repro.engine.pool import PoolClient, WorkerPool
 from repro.engine.resources import ResourceBudget
+from repro.engine.trace import EnvMeter, Span, span_meter
 from repro.geom.rect import RECT_BYTES, Rect, intersection, union_mbr
 from repro.geom.refine import polylines_intersect
 from repro.sim.machines import MachineSpec
@@ -175,8 +178,13 @@ class Executor:
 
     # -- public ----------------------------------------------------------
 
-    def execute(self, plan: PhysicalPlan, catalog: Catalog) -> JoinResult:
+    def execute(self, plan: PhysicalPlan, catalog: Catalog,
+                trace: Optional[Span] = None) -> JoinResult:
+        """Run one plan.  ``trace``, when given, is the parent span the
+        executor hangs its phase spans under (zero overhead when None —
+        every trace call site is guarded)."""
         query = plan.query
+        env = self.disk.env
         entries = [catalog.get(n) for n in query.relations]
         if plan.mode == "empty":
             result = JoinResult(
@@ -185,16 +193,32 @@ class Executor:
                 detail={"strategy": "empty"},
             )
         elif plan.mode == "multiway":
-            result = self._execute_multiway(plan, entries)
+            with span_meter(env, self.machine, trace, "join",
+                            strategy="multiway"):
+                result = self._execute_multiway(plan, entries)
         elif plan.mode == "partitioned":
-            result = self._execute_partitioned(plan, entries)
+            result = self._execute_partitioned(plan, entries, trace)
         else:
-            result = self._execute_pairwise(plan, entries)
+            with span_meter(env, self.machine, trace, "join",
+                            strategy=plan.strategy):
+                result = self._execute_pairwise(plan, entries)
 
         if query.window is not None and result.pairs is not None:
-            result = _filter_window(result, entries, query.window)
+            with span_meter(env, self.machine, trace,
+                            "window-filter") as wspan:
+                result = _filter_window(result, entries, query.window)
+                if wspan is not None:
+                    wspan.attrs["filtered"] = result.detail[
+                        "window_filtered"
+                    ]
         if query.refine and result.pairs is not None:
-            result = _refine_pairs(result, entries)
+            with span_meter(env, self.machine, trace,
+                            "refine") as rspan:
+                result = _refine_pairs(result, entries)
+                if rspan is not None:
+                    rspan.attrs["refined_out"] = result.detail[
+                        "refined_out"
+                    ]
         result.detail.setdefault("strategy", plan.strategy)
         return result
 
@@ -342,8 +366,10 @@ class Executor:
 
     # -- partitioned parallel path ---------------------------------------
 
-    def _execute_partitioned(self, plan: PhysicalPlan,
-                             entries: List[CatalogEntry]) -> JoinResult:
+    def _execute_partitioned(
+        self, plan: PhysicalPlan, entries: List[CatalogEntry],
+        trace: Optional[Span] = None,
+    ) -> JoinResult:
         env = self.disk.env
         query = plan.query
         self_join = query.is_self_join
@@ -364,6 +390,17 @@ class Executor:
         cached = None
         task_window: Optional[Rect] = None
         restore_bytes = 0
+        # The distribute span covers the artifact probe (a disk restore
+        # is distribute work) through scan/partition/spill/submission.
+        # Entered manually rather than as a ``with`` block so the
+        # existing control flow keeps its shape; on an execution error
+        # the whole trace is discarded with the query, so the meter
+        # needs no unwind protection.
+        dmeter = None
+        if trace is not None:
+            dmeter = EnvMeter(env, self.machine,
+                              trace.child("distribute"))
+            dmeter.__enter__()
         if self.artifacts is not None:
             # Candidate keys, best first: the exact (possibly windowed)
             # distribution, then — for windowed queries — the *full*
@@ -423,7 +460,7 @@ class Executor:
                                  universe.ylo, universe.yhi,
                                  grid.t, n_parts)
 
-        shipper = _TaskShipper(self)
+        shipper = _TaskShipper(self, traced=trace is not None)
         if cached is not None:
             grant = self._submit_cached(
                 cached, grid_spec, self_join, collect, n_parts,
@@ -438,6 +475,20 @@ class Executor:
                 n_parts, akey, shipper,
             )
         submitted = shipper.submitted
+        sweep_span = gmeter = None
+        if dmeter is not None:
+            dmeter.__exit__()
+            dmeter.span.attrs.update({
+                "partitions": n_parts,
+                "artifact_hit": cached is not None,
+                "restore_bytes": restore_bytes,
+                "spilled_rects": spilled_rects,
+            })
+            # Created before gather so the children land in phase
+            # order; populated below, once the task dicts are back.
+            sweep_span = trace.child("sweep")
+            gmeter = EnvMeter(env, self.machine, trace.child("gather"))
+            gmeter.__enter__()
         try:
             outcomes = self._gather(submitted)
         finally:
@@ -445,6 +496,10 @@ class Executor:
                 p.free()
             if grant is not None:
                 grant.release()
+        task_dicts: Optional[List[dict]] = None
+        if shipper.traced:
+            task_dicts = [outcome[1] for outcome in outcomes]
+            outcomes = [outcome[0] for outcome in outcomes]
 
         pairs: Optional[List[Tuple[int, int]]] = [] if collect else None
         n_pairs = 0
@@ -465,6 +520,10 @@ class Executor:
                 inline_ops += task_ops
             if pairs is not None:
                 pairs.extend(part_pairs)
+        if gmeter is not None:
+            # Close before charging the sweep ops: the merged op total
+            # belongs to the sweep span, not the gather drain.
+            gmeter.__exit__()
         env.charge("sweep", total_ops)
 
         # The simulated critical path: shipped tasks (solo tiles and
@@ -479,6 +538,31 @@ class Executor:
         saved_seconds = (
             (total_ops - critical) * self.machine.cpu.seconds_per_op
         )
+        if sweep_span is not None:
+            # Worker-side spans, recorded inside the pool tasks and
+            # shipped back with the results, grafted under one sweep
+            # span.  The span's simulated CPU is the *parallel-phase*
+            # duration (critical path x seconds/op); its wall is the
+            # aggregate worker busy time (tasks overlap — elapsed
+            # coordinator time is on the gather span).
+            spo = self.machine.cpu.seconds_per_op
+            for (_f, shipped, _size, _tiles), tdict in zip(
+                submitted, task_dicts
+            ):
+                tspan = Span.from_task(tdict, spo)
+                tspan.attrs["shipped"] = shipped
+                sweep_span.adopt(tspan)
+            sweep_span.cpu_ops = total_ops
+            sweep_span.sim_cpu_seconds = critical * spo
+            sweep_span.wall_seconds = sum(
+                c.wall_seconds for c in sweep_span.children
+            )
+            sweep_span.attrs.update({
+                "ops_total": total_ops,
+                "ops_critical": critical,
+                "workers": plan.workers,
+                "tasks": len(submitted),
+            })
         task_sizes = [size for _, _, size, _ in submitted]
         return JoinResult(
             algorithm="PBSM-grid",
@@ -764,11 +848,27 @@ class _TaskShipper:
     ``submitted`` collects ``(future, shipped, size, tiles)`` in
     submission order; payloads and task functions ride along on the
     future for broken-pool recovery.
+
+    With ``traced=True`` every task runs through its traced wrapper
+    (:func:`sweep_tile_task_traced` / :func:`sweep_tile_batch_task_traced`),
+    which returns ``(outcome, span dict)`` instead of the bare outcome
+    — the worker-side half of the trace tree, shipped back across the
+    process boundary with the result.  Untraced queries dispatch the
+    bare functions: the zero-cost-when-off contract.
     """
 
-    def __init__(self, executor: "Executor") -> None:
+    def __init__(self, executor: "Executor",
+                 traced: bool = False) -> None:
         self.ex = executor
         self.pool = executor.worker_pool
+        self.traced = traced
+        self._solo_fn = (
+            sweep_tile_task_traced if traced else sweep_tile_task
+        )
+        self._batch_fn = (
+            sweep_tile_batch_task_traced if traced
+            else sweep_tile_batch_task
+        )
         self.submitted: List[tuple] = []
         self._pending: List[Tuple[tuple, int]] = []
         self._pending_size = 0
@@ -780,7 +880,7 @@ class _TaskShipper:
             self._inline(payload, size)
             return
         if size >= self.ex.min_ship_rects:
-            self._ship(sweep_tile_task, payload, size, 1)
+            self._ship(self._solo_fn, payload, size, 1)
             return
         if self.ex.tile_batch_bytes <= 0:
             self._inline(payload, size)
@@ -805,11 +905,11 @@ class _TaskShipper:
             payloads = tuple(p for p, _ in self._pending)
             self.batches += 1
             self.batched_tiles += len(payloads)
-            self._ship(sweep_tile_batch_task, payloads,
+            self._ship(self._batch_fn, payloads,
                        self._pending_size, len(payloads))
         elif ship:
             payload, size = self._pending[0]
-            self._ship(sweep_tile_task, payload, size, 1)
+            self._ship(self._solo_fn, payload, size, 1)
         else:
             for payload, size in self._pending:
                 self._inline(payload, size)
@@ -824,7 +924,7 @@ class _TaskShipper:
 
     def _inline(self, payload: tuple, size: int) -> None:
         self.submitted.append(
-            (self.pool.run_inline(sweep_tile_task, payload), False,
+            (self.pool.run_inline(self._solo_fn, payload), False,
              size, 1)
         )
 
@@ -926,6 +1026,51 @@ def sweep_tile_batch_task(payloads: tuple) -> Tuple[int, Optional[List[Tuple[int
         if pairs is not None:
             merged.extend(pairs)
     return (count, merged, ops, dups)
+
+
+def sweep_tile_task_traced(payload: tuple) -> Tuple[tuple, dict]:
+    """:func:`sweep_tile_task` plus a worker-side span dict.
+
+    The dict is plain picklable data — built inside the pool worker,
+    shipped back attached to the outcome, and converted to a
+    :class:`~repro.engine.trace.Span` on the coordinator
+    (:meth:`Span.from_task`), which also prices the ops on the
+    engine's machine.  The wrapped outcome is bit-identical to the
+    untraced task's.
+    """
+    t0 = time.perf_counter()
+    outcome = sweep_tile_task(payload)
+    return outcome, {
+        "name": "sweep-task",
+        "part": payload[0],
+        "tiles": 1,
+        "wall_seconds": time.perf_counter() - t0,
+        "cpu_ops": outcome[2],
+        "pairs": outcome[0],
+        "dups": outcome[3],
+        "pid": os.getpid(),
+    }
+
+
+def sweep_tile_batch_task_traced(payloads: tuple) -> Tuple[tuple, dict]:
+    """:func:`sweep_tile_batch_task` plus a worker-side span dict.
+
+    One span per *task* (the scheduling unit), not per tile — the
+    batch crossed the boundary once and swept back to back, and that
+    is the story the trace tells; ``tiles`` records the amortization.
+    """
+    t0 = time.perf_counter()
+    outcome = sweep_tile_batch_task(payloads)
+    return outcome, {
+        "name": "sweep-task",
+        "part": None,
+        "tiles": len(payloads),
+        "wall_seconds": time.perf_counter() - t0,
+        "cpu_ops": outcome[2],
+        "pairs": outcome[0],
+        "dups": outcome[3],
+        "pid": os.getpid(),
+    }
 
 
 def _distribute(stream, parts: List[SpillablePartition], grid: TileGrid,

@@ -27,6 +27,63 @@ from repro.geom.rect import RECT_BYTES
 LATENCY_RESERVOIR = 512
 
 
+class LatencyTracker:
+    """Latency aggregates plus a bounded reservoir for percentiles.
+
+    Extracted from :class:`EngineMetrics` so serving layers that are
+    not an engine — the sharded scatter loop logs its *logical* query
+    latencies, not the sum of its shards' — can track latency with the
+    same semantics: running count/total/max, classic reservoir sampling
+    (every served query equally likely to be represented, however long
+    the process lives), and index-based percentile reads.
+    """
+
+    __slots__ = ("count", "total_seconds", "max_seconds",
+                 "_reservoir", "_rng")
+
+    def __init__(self, seed: int = 0x51AB) -> None:
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+        self._reservoir: List[float] = []
+        self._rng = random.Random(seed)
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+        if len(self._reservoir) < LATENCY_RESERVOIR:
+            self._reservoir.append(seconds)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < LATENCY_RESERVOIR:
+                self._reservoir[j] = seconds
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) over the reservoir."""
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+    @property
+    def avg_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """The latency keys every serving snapshot carries."""
+        return {
+            "latency_count": self.count,
+            "latency_total_seconds": self.total_seconds,
+            "latency_avg_seconds": self.avg_seconds,
+            "latency_max_seconds": self.max_seconds,
+            "latency_p50_seconds": self.percentile(0.50),
+            "latency_p95_seconds": self.percentile(0.95),
+        }
+
+
 @dataclass
 class EngineMetrics:
     """Cumulative counters for one engine instance."""
@@ -68,51 +125,84 @@ class EngineMetrics:
     pairs_returned: int = 0
     per_strategy: Dict[str, int] = field(default_factory=dict)
 
+    #: Per-strategy estimate-vs-actual feedback: how far the cost
+    #: model's I/O estimate was from what execution actually charged.
+    #: Sums only (query count, estimated seconds, actual seconds,
+    #: absolute error) so shard snapshots merge by plain addition;
+    #: readers derive mean errors from the sums.
+    estimate_errors: Dict[str, Dict[str, float]] = field(
+        default_factory=dict
+    )
+
     #: Per-query wall-clock latency: running aggregates plus a bounded
     #: reservoir sample for tail percentiles (p50/p95).  Cache hits
     #: count too — a served query is a served query, and hit latency is
     #: exactly what the tail of a warm engine looks like.
-    latency_count: int = 0
-    latency_total_seconds: float = 0.0
-    latency_max_seconds: float = 0.0
-    _latency_reservoir: List[float] = field(
-        default_factory=list, repr=False
+    latency: LatencyTracker = field(
+        default_factory=LatencyTracker, repr=False
     )
-    _latency_rng: random.Random = field(
-        default_factory=lambda: random.Random(0x51AB), repr=False
-    )
+
+    # Attribute-compatible views of the tracker (pre-extraction callers
+    # and tests read these names directly).
+
+    @property
+    def latency_count(self) -> int:
+        return self.latency.count
+
+    @property
+    def latency_total_seconds(self) -> float:
+        return self.latency.total_seconds
+
+    @property
+    def latency_max_seconds(self) -> float:
+        return self.latency.max_seconds
+
+    @property
+    def _latency_reservoir(self) -> List[float]:
+        return self.latency._reservoir
 
     # -- recording -------------------------------------------------------
 
     def record_latency(self, seconds: float) -> None:
         """Fold one served query's wall latency into the aggregates."""
-        self.latency_count += 1
-        self.latency_total_seconds += seconds
-        if seconds > self.latency_max_seconds:
-            self.latency_max_seconds = seconds
-        # Classic reservoir sampling keeps each served query equally
-        # likely to be represented, however long the engine lives.
-        if len(self._latency_reservoir) < LATENCY_RESERVOIR:
-            self._latency_reservoir.append(seconds)
-        else:
-            j = self._latency_rng.randrange(self.latency_count)
-            if j < LATENCY_RESERVOIR:
-                self._latency_reservoir[j] = seconds
+        self.latency.record(seconds)
 
     def latency_percentile(self, q: float) -> float:
         """The ``q``-quantile (0..1) over the latency reservoir."""
-        if not self._latency_reservoir:
-            return 0.0
-        ordered = sorted(self._latency_reservoir)
-        idx = min(len(ordered) - 1, int(q * len(ordered)))
-        return ordered[idx]
+        return self.latency.percentile(q)
 
-    def record_hit(self, n_pairs: int,
-                   wall_seconds: float = 0.0) -> None:
+    def record_hit(self, n_pairs: int, wall_seconds: float) -> None:
+        """One result-cache hit.  ``wall_seconds`` is the *measured*
+        hit latency — there is deliberately no default: a synthetic 0.0
+        would drag p50/p95 toward zero on any cache-friendly workload,
+        which is exactly the tail distortion the percentiles exist to
+        catch."""
         self.queries_served += 1
         self.cache_hits += 1
         self.pairs_returned += n_pairs
         self.record_latency(wall_seconds)
+
+    def record_estimate(self, strategy: str, estimated_io_seconds: float,
+                        actual_io_seconds: float) -> None:
+        """Fold one executed query's estimate-vs-actual I/O gap.
+
+        Forced strategies are planned without pricing (NaN estimate)
+        and are skipped — there is no estimate to be wrong about.
+        """
+        if estimated_io_seconds != estimated_io_seconds:  # NaN
+            return
+        err = self.estimate_errors.setdefault(strategy, {
+            "queries": 0,
+            "estimated_io_seconds": 0.0,
+            "actual_io_seconds": 0.0,
+            "abs_error_seconds": 0.0,
+        })
+        err["queries"] += 1
+        err["estimated_io_seconds"] += estimated_io_seconds
+        err["actual_io_seconds"] += actual_io_seconds
+        err["abs_error_seconds"] += abs(
+            actual_io_seconds - estimated_io_seconds
+        )
 
     def record_rejection(self) -> None:
         """A query refused by admission control (never executed)."""
@@ -189,11 +279,10 @@ class EngineMetrics:
             "wall_seconds": self.wall_seconds,
             "pairs_returned": self.pairs_returned,
             "per_strategy": dict(self.per_strategy),
-            "latency_count": self.latency_count,
-            "latency_total_seconds": self.latency_total_seconds,
-            "latency_max_seconds": self.latency_max_seconds,
-            "latency_p50_seconds": self.latency_percentile(0.50),
-            "latency_p95_seconds": self.latency_percentile(0.95),
+            "estimate_errors": {
+                k: dict(v) for k, v in self.estimate_errors.items()
+            },
+            **self.latency.snapshot(),
         }
 
 
@@ -203,6 +292,20 @@ class EngineMetrics:
 _MERGE_MAX_KEYS = frozenset({
     "latency_max_seconds", "latency_p50_seconds", "latency_p95_seconds",
 })
+
+#: Derived-rate keys recomputed after merging: ``(rate key, numerator
+#: key, denominator keys)``.  A mean of per-shard ratios is not the
+#: ratio of the sums, so every rate whose numerator/denominator
+#: counters are present in the merged dict is recomputed from them.
+_DERIVED_RATES = (
+    ("cache_hit_rate", "cache_hits", ("queries_served",)),
+    ("latency_avg_seconds", "latency_total_seconds",
+     ("latency_count",)),
+    ("artifact_cache_hit_rate", "artifact_cache_hits",
+     ("artifact_cache_hits", "artifact_cache_misses")),
+    ("result_cache_hit_rate", "result_cache_hits",
+     ("result_cache_hits", "result_cache_misses")),
+)
 
 
 def sum_counters(into: Dict, add: Dict) -> Dict:
@@ -251,8 +354,11 @@ def merge_snapshots(snaps) -> Dict[str, object]:
                 merged[key] = max(merged.get(key, 0.0), value)
             else:
                 merged[key] = merged.get(key, 0) + value
-    served = merged.get("queries_served", 0)
-    merged["cache_hit_rate"] = (
-        merged.get("cache_hits", 0) / served if served else 0.0
-    )
+    for rate_key, num_key, den_keys in _DERIVED_RATES:
+        if rate_key not in merged and num_key not in merged:
+            continue
+        den = sum(merged.get(k, 0) for k in den_keys)
+        merged[rate_key] = (
+            merged.get(num_key, 0) / den if den else 0.0
+        )
     return merged

@@ -93,6 +93,32 @@ def effective_region(universe: Optional[Rect],
 
 
 @dataclass
+class PlanActuals:
+    """What one execution of a plan actually cost (EXPLAIN ANALYZE).
+
+    Filled by ``SpatialQueryEngine.execute(..., analyze=True)`` from
+    the same environment deltas the engine feeds its metrics, so plan
+    actuals and :class:`~repro.engine.metrics.EngineMetrics` deltas
+    agree bit for bit on serial pools (and up to worker scheduling
+    nondeterminism nowhere — op accounting is pool-kind-invariant).
+    """
+
+    pages_read: int = 0
+    pages_written: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    cpu_ops: int = 0
+    sim_io_seconds: float = 0.0
+    sim_cpu_seconds: float = 0.0
+    sim_wall_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    pairs: int = 0
+    spilled_rects: int = 0
+    artifact_restores: int = 0
+    artifact_restore_bytes: int = 0
+
+
+@dataclass
 class PhysicalPlan:
     """An executable, explainable join plan."""
 
@@ -118,6 +144,9 @@ class PhysicalPlan:
     tile_bytes: int = 0
     spill_bytes: int = 0
     min_grant_bytes: int = 0
+    #: Measured execution costs, set only by EXPLAIN ANALYZE
+    #: (``engine.execute(query, analyze=True)``).
+    actuals: Optional[PlanActuals] = None
 
     def explain(self) -> str:
         lines = [
@@ -161,6 +190,28 @@ class PhysicalPlan:
             f"Chosen  : {self.strategy} "
             f"(estimated {self.estimate.io_seconds:.4f}s I/O)"
         )
+        if self.actuals is not None:
+            a = self.actuals
+            est = self.estimate.io_seconds
+            err = (
+                f"{a.sim_io_seconds - est:+.4f}s vs estimate"
+                if est == est else "no estimate (forced)"
+            )
+            lines.append(
+                f"Actual  : {a.sim_io_seconds:.4f}s I/O ({err}), "
+                f"{a.sim_cpu_seconds:.4f}s CPU, "
+                f"{a.sim_wall_seconds:.4f}s simulated wall"
+            )
+            lines.append(
+                f"Actual  : {a.pages_read:,} pages read, "
+                f"{a.pages_written:,} written, {a.cpu_ops:,} cpu ops, "
+                f"{a.pairs:,} pairs"
+                + (f", {a.spilled_rects:,} rects spilled"
+                   if a.spilled_rects else "")
+                + (f", {a.artifact_restores} artifact restores "
+                   f"({a.artifact_restore_bytes:,} B)"
+                   if a.artifact_restores else "")
+            )
         for note in self.notes:
             lines.append(f"Note    : {note}")
         return "\n".join(lines)

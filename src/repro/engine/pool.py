@@ -109,6 +109,14 @@ class WorkerPool:
         self.tiles_inline = 0
         self.pools_created = 0
         self.fallbacks = 0
+        #: process->thread kind demotions (a subset of ``fallbacks``:
+        #: only the fallbacks that permanently changed the pool kind).
+        self.demotions = 0
+        #: Every client ever attached, weakly held, so the snapshot can
+        #: report per-client dispatch splits without the pool keeping
+        #: dead engines alive.
+        self._clients: "weakref.WeakSet[PoolClient]" = weakref.WeakSet()
+        self._client_seq = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -152,6 +160,7 @@ class WorkerPool:
                 # degrade to threads for the life of the pool.
                 self.kind = "thread"
                 self.fallbacks += 1
+                self.demotions += 1
         if self._executor is None and self.kind == "thread":
             self._executor = ThreadPoolExecutor(max_workers=self.workers)
         if self._executor is not None:
@@ -210,6 +219,7 @@ class WorkerPool:
                 self.fallbacks += 1
                 if self.kind == "process":
                     self.kind = "thread"
+                    self.demotions += 1
             self.shutdown()
             return _InlineFuture(fn, payload)
         except RuntimeError:
@@ -251,6 +261,7 @@ class WorkerPool:
             self.fallbacks += 1
             if self.kind == "process":
                 self.kind = "thread"
+                self.demotions += 1
         self.shutdown()
         return fn(payload)
 
@@ -261,6 +272,8 @@ class WorkerPool:
         return self._executor is not None
 
     def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            clients = sorted(self._clients, key=lambda c: c.client_id)
         return {
             "kind": self.kind,
             "workers": self.workers,
@@ -272,6 +285,17 @@ class WorkerPool:
             "tiles_inline": self.tiles_inline,
             "pools_created": self.pools_created,
             "fallbacks": self.fallbacks,
+            "demotions": self.demotions,
+            "per_client": [
+                {
+                    "client_id": c.client_id,
+                    "tasks_dispatched": c.tasks_dispatched,
+                    "tasks_inline": c.tasks_inline,
+                    "tiles_dispatched": c.tiles_dispatched,
+                    "tiles_inline": c.tiles_inline,
+                }
+                for c in clients
+            ],
         }
 
 
@@ -296,8 +320,9 @@ class PoolClient:
     queryable.
     """
 
-    __slots__ = ("pool", "tasks_dispatched", "tasks_inline",
-                 "tiles_dispatched", "tiles_inline", "_released")
+    __slots__ = ("pool", "client_id", "tasks_dispatched", "tasks_inline",
+                 "tiles_dispatched", "tiles_inline", "_released",
+                 "__weakref__")
 
     def __init__(self, pool: WorkerPool) -> None:
         self.pool = pool
@@ -307,6 +332,10 @@ class PoolClient:
         self.tiles_inline = 0
         self._released = False
         pool._attach()
+        with pool._lock:
+            self.client_id = pool._client_seq
+            pool._client_seq += 1
+            pool._clients.add(self)
 
     # -- shared gauges ---------------------------------------------------
 
@@ -383,6 +412,7 @@ class PoolClient:
         """Pool gauges with this client's dispatch counters."""
         snap = self.pool.snapshot()
         snap.update({
+            "client_id": self.client_id,
             "tasks_dispatched": self.tasks_dispatched,
             "tasks_inline": self.tasks_inline,
             "tiles_dispatched": self.tiles_dispatched,

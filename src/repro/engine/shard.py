@@ -77,10 +77,16 @@ from repro.engine.executor import (
     DEFAULT_MIN_SHIP_RECTS,
     DEFAULT_TILE_BATCH_BYTES,
 )
-from repro.engine.metrics import merge_snapshots, sum_counters
+from repro.engine.metrics import (
+    LatencyTracker,
+    merge_snapshots,
+    sum_counters,
+)
+from repro.engine.obs import SlowQueryLog
 from repro.engine.optimizer import effective_region
 from repro.engine.pool import WorkerPool
 from repro.engine.query import Query
+from repro.engine.trace import SPAN_METRIC_FIELDS, Span
 from repro.geom.rect import Rect, mbr_of
 from repro.sim.machines import MACHINE_3, MachineSpec
 from repro.sim.scale import DEFAULT_SCALE, ScaleConfig
@@ -189,6 +195,9 @@ class ShardedEngine:
         min_ship_rects: int = DEFAULT_MIN_SHIP_RECTS,
         artifact_cache_bytes: Optional[int] = None,
         tile_batch_bytes: int = DEFAULT_TILE_BATCH_BYTES,
+        trace: bool = False,
+        slow_log_capacity: Optional[int] = None,
+        slow_threshold_seconds: float = 0.0,
     ) -> None:
         self.shards = max(1, shards)
         self.scale = scale
@@ -216,6 +225,11 @@ class ShardedEngine:
                 artifact_cache_bytes=artifact_cache_bytes,
                 tile_batch_bytes=tile_batch_bytes,
                 worker_pool=self.pool,
+                # Shard engines trace (their span trees become shard
+                # subtrees of the scatter trace) but never keep their
+                # own slow logs — slowness is a scatter-level property.
+                trace=trace,
+                slow_log_capacity=0,
             )
             for _ in range(self.shards)
         ]
@@ -245,6 +259,19 @@ class ShardedEngine:
         #: one per rectangle); re-registration replaces an entry and
         #: drop removes it, so the gauge tracks the *current* catalog.
         self._replica_counts: Dict[str, int] = {}
+        # Observability: scatter-level per-query latency (one sample
+        # per logical query, hits included — satisfying the same
+        # measured-hit-latency contract the single engine keeps), plus
+        # the scatter-level trace/slow-log pair.
+        self.latency = LatencyTracker()
+        self.tracing = bool(trace)
+        if slow_log_capacity is None:
+            slow_log_capacity = 8 if self.tracing else 0
+        self.slow_log = (
+            SlowQueryLog(slow_log_capacity, slow_threshold_seconds)
+            if slow_log_capacity > 0 else None
+        )
+        self.last_trace: Optional[Span] = None
 
     @property
     def boundary_replicas(self) -> int:
@@ -388,8 +415,12 @@ class ShardedEngine:
 
     # -- serving ----------------------------------------------------------
 
-    def execute(self, query: Query) -> EngineResult:
+    def execute(self, query: Query, analyze: bool = False) -> EngineResult:
         t_start = time.perf_counter()
+        trace = (
+            Span("query", query=query.describe(), engine="sharded")
+            if self.tracing else None
+        )
         for name in set(query.relations):
             self._check_known(name)
         key = (query.canonical(),
@@ -402,12 +433,28 @@ class ShardedEngine:
             self.queries_served += 1
             self.cache_hits += 1
             self.pairs_returned += cached.n_pairs
+            self.latency.record(wall)
+            if trace is not None:
+                lookup = trace.child("lookup", hit=True)
+                lookup.wall_seconds = wall
+                trace.wall_seconds = wall
+                trace.attrs["pairs"] = cached.n_pairs
+            self._observe_query(query, wall, 0.0, trace, True)
             return EngineResult(
                 query=query, result=result, plan=None, from_cache=True,
                 wall_seconds=wall, sim_wall_seconds=0.0,
+                trace=trace,
             )
 
         participating, pruned = self.plan_shards(query)
+        scatter = None
+        if trace is not None:
+            lookup = trace.child("lookup", hit=False)
+            lookup.wall_seconds = time.perf_counter() - t_start
+            scatter = trace.child(
+                "scatter", shards=list(participating),
+                pruned=list(pruned),
+            )
         # The gather phase deduplicates by rid, so sub-queries always
         # collect pairs even when the caller only wants a count.
         sub = (query if query.collect_pairs
@@ -417,8 +464,10 @@ class ShardedEngine:
         sim_wall = 0.0
         shard_pairs: Dict[int, int] = {}
         shard_strategies: Dict[int, str] = {}
+        shard_plans: Dict[int, str] = {}
+        t_scatter = time.perf_counter()
         for k in participating:
-            out = self.engines[k].execute(sub)
+            out = self.engines[k].execute(sub, analyze=analyze)
             sim_wall += out.sim_wall_seconds
             raw_pairs += out.result.n_pairs
             shard_pairs[k] = out.result.n_pairs
@@ -426,6 +475,23 @@ class ShardedEngine:
                 out.result.detail.get("strategy", "?")
             )
             merged.update(out.result.pairs)
+            if analyze and out.plan is not None:
+                shard_plans[k] = out.plan.explain()
+            if scatter is not None and out.trace is not None:
+                # The shard engine's whole query trace becomes one
+                # "shard" subtree of the scatter span.
+                sp = out.trace
+                sp.name = "shard"
+                sp.attrs["shard"] = k
+                scatter.adopt(sp)
+        if scatter is not None:
+            scatter.wall_seconds = time.perf_counter() - t_scatter
+            for f in SPAN_METRIC_FIELDS:
+                if f == "wall_seconds":
+                    continue
+                setattr(scatter, f,
+                        sum(getattr(c, f) for c in scatter.children))
+        t_gather = time.perf_counter()
         # Sorting makes collected gathers deterministic; count-only
         # queries need just the deduplicated cardinality.
         pairs = sorted(merged) if query.collect_pairs else None
@@ -443,20 +509,51 @@ class ShardedEngine:
                 "shard_strategies": shard_strategies,
             },
         )
+        if analyze:
+            result.detail["shard_plans"] = shard_plans
+        if trace is not None:
+            gather = trace.child(
+                "gather", raw_pairs=raw_pairs, pairs=len(merged),
+                duplicates=raw_pairs - len(merged),
+            )
+            gather.wall_seconds = time.perf_counter() - t_gather
         wall = time.perf_counter() - t_start
         self.queries_served += 1
         self.queries_executed += 1
         self.pairs_returned += result.n_pairs
         self.duplicates_eliminated += raw_pairs - result.n_pairs
         self.shards_pruned_total += len(pruned)
+        self.latency.record(wall)
+        if trace is not None:
+            trace.wall_seconds = wall
+            for f in SPAN_METRIC_FIELDS:
+                if f == "wall_seconds":
+                    continue
+                setattr(trace, f, getattr(scatter, f))
+            trace.attrs.update({
+                "strategy": "scatter-gather",
+                "pairs": result.n_pairs,
+                "sim_wall_seconds": sim_wall,
+            })
+        self._observe_query(query, wall, sim_wall, trace, False)
         # Same rule as the single engine: count-only results (no pair
         # list) always cache; collected results cache up to the bound.
         if result.pairs is None or len(result.pairs) <= MAX_CACHED_PAIRS:
             self.cache.put(key, _copy_result(result))
         return EngineResult(
             query=query, result=result, plan=None, from_cache=False,
-            wall_seconds=wall, sim_wall_seconds=sim_wall,
+            wall_seconds=wall, sim_wall_seconds=sim_wall, trace=trace,
         )
+
+    def _observe_query(self, query: Query, wall: float, sim_wall: float,
+                       trace: Optional[Span], from_cache: bool) -> None:
+        if trace is not None:
+            self.last_trace = trace
+        if self.slow_log is not None:
+            self.slow_log.offer(
+                query.describe(), wall, sim_wall,
+                trace=trace, from_cache=from_cache,
+            )
 
     def explain(self, query: Query) -> str:
         """The scatter plan plus every participating shard's plan."""
@@ -514,6 +611,14 @@ class ShardedEngine:
             "queries_executed": self.queries_executed,
             "pairs_returned": self.pairs_returned,
             "duplicates_eliminated": self.duplicates_eliminated,
+            # Latency is a per-logical-query distribution: the shard
+            # engines' merged samples would count one scatter as N
+            # queries, so the scatter layer's own tracker overrides.
+            **self.latency.snapshot(),
+            "slow_query_log": (
+                self.slow_log.snapshot()
+                if self.slow_log is not None else None
+            ),
             "shards": self.shards,
             "shard_cuts": list(self._cuts or []),
             "shards_pruned_total": self.shards_pruned_total,

@@ -48,6 +48,9 @@ def engine_for_dataset(
     artifact_cache_bytes: Optional[int] = None,
     artifact_dir: Optional[str] = None,
     tile_batch_bytes: Optional[int] = None,
+    trace: bool = False,
+    slow_log_capacity: Optional[int] = None,
+    slow_threshold_seconds: float = 0.0,
 ) -> SpatialQueryEngine:
     """An engine with one Table 2 dataset registered as two relations.
 
@@ -72,6 +75,9 @@ def engine_for_dataset(
         pool_kind=pool_kind,
         artifact_cache_bytes=artifact_cache_bytes,
         artifact_dir=artifact_dir,
+        trace=trace,
+        slow_log_capacity=slow_log_capacity,
+        slow_threshold_seconds=slow_threshold_seconds,
         **extra,
     )
     engine.register("roads", ds.roads, universe=ds.universe)
@@ -93,6 +99,9 @@ def sharded_engine_for_dataset(
     min_ship_rects: Optional[int] = None,
     artifact_cache_bytes: Optional[int] = None,
     tile_batch_bytes: Optional[int] = None,
+    trace: bool = False,
+    slow_log_capacity: Optional[int] = None,
+    slow_threshold_seconds: float = 0.0,
 ) -> ShardedEngine:
     """Like :func:`engine_for_dataset`, but scattered over N shards.
 
@@ -112,6 +121,9 @@ def sharded_engine_for_dataset(
         memory_bytes=memory_bytes, cache_bytes=cache_bytes,
         pool_kind=pool_kind,
         artifact_cache_bytes=artifact_cache_bytes,
+        trace=trace,
+        slow_log_capacity=slow_log_capacity,
+        slow_threshold_seconds=slow_threshold_seconds,
         **extra,
     )
     engine.register("roads", ds.roads, universe=ds.universe)
@@ -185,7 +197,8 @@ def run_workload(engine: ServingEngine,
     sim_wall = engine.metrics.sim_wall_seconds - sim_before
     pool = engine.worker_pool.snapshot()
     for key in ("tasks_dispatched", "tasks_inline", "tiles_dispatched",
-                "tiles_inline", "pools_created", "fallbacks"):
+                "tiles_inline", "pools_created", "fallbacks",
+                "demotions"):
         pool[key] -= pool_before[key]
     artifacts = engine.artifacts.snapshot()
     for key in ("hits", "misses", "puts", "evictions", "invalidations",
@@ -194,7 +207,9 @@ def run_workload(engine: ServingEngine,
     probes = artifacts["hits"] + artifacts["misses"]
     artifacts["hit_rate"] = artifacts["hits"] / probes if probes else 0.0
     latencies.sort()
-    return {
+    last_trace = getattr(engine, "last_trace", None)
+    slow_log = getattr(engine, "slow_log", None)
+    report: Dict[str, object] = {
         "queries": len(queries),
         "pairs_returned": total_pairs,
         "wall_seconds": wall,
@@ -212,3 +227,8 @@ def run_workload(engine: ServingEngine,
         "latency_max_seconds": latencies[-1] if latencies else 0.0,
         "metrics": snap,
     }
+    if last_trace is not None:
+        report["trace"] = last_trace.to_dict()
+    if slow_log is not None:
+        report["slow_queries"] = slow_log.entries()
+    return report

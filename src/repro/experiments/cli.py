@@ -150,8 +150,58 @@ def _parse_serve_args(argv: List[str]) -> argparse.Namespace:
         help="append budget/spill/cache-bytes rows to the report table",
     )
     parser.add_argument(
+        "--trace", action="store_true",
+        help=(
+            "record a span tree per query (admission -> plan -> "
+            "scatter -> worker tasks -> gather); the last query's tree "
+            "lands in the JSON report under 'trace'"
+        ),
+    )
+    parser.add_argument(
+        "--slow-log", type=int, default=None, metavar="N",
+        help=(
+            "keep the N slowest queries (with traces when --trace); "
+            "they land in the JSON report under 'slow_queries'"
+        ),
+    )
+    parser.add_argument(
+        "--slow-threshold-ms", type=float, default=0.0,
+        help="ignore queries faster than this for the slow log",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help=(
+            "also write the metrics snapshot to PATH — Prometheus "
+            "text exposition format, or structured JSON when PATH "
+            "ends in .json"
+        ),
+    )
+    parser.add_argument(
         "--json", action="store_true",
         help="emit the serving report as one JSON object",
+    )
+    return parser.parse_args(argv)
+
+
+def _parse_metrics_args(argv: List[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments metrics",
+        description=(
+            "Re-render a serve-bench JSON report (or raw metrics "
+            "snapshot) as Prometheus text or structured JSON."
+        ),
+    )
+    parser.add_argument(
+        "--from", dest="source", default="-", metavar="FILE",
+        help="serve-bench --json output or a bare snapshot ('-': stdin)",
+    )
+    parser.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        help="output format (default: prometheus)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write here instead of stdout",
     )
     return parser.parse_args(argv)
 
@@ -236,6 +286,12 @@ def serve_bench(args: argparse.Namespace) -> int:
                 "--artifact-dir is not supported with --shards yet "
                 "(the sidecar is keyed per engine)"
             )
+    obs_kwargs = {
+        "trace": args.trace,
+        "slow_log_capacity": args.slow_log,
+        "slow_threshold_seconds": args.slow_threshold_ms / 1000.0,
+    }
+    if args.shards > 1:
         engine = sharded_engine_for_dataset(
             args.dataset, scale, shards=args.shards,
             workers=max(1, args.workers),
@@ -244,6 +300,7 @@ def serve_bench(args: argparse.Namespace) -> int:
             min_ship_rects=args.min_ship_rects,
             artifact_cache_bytes=0 if args.no_artifact_cache else None,
             tile_batch_bytes=args.tile_batch_bytes,
+            **obs_kwargs,
         )
     else:
         engine = engine_for_dataset(
@@ -254,12 +311,15 @@ def serve_bench(args: argparse.Namespace) -> int:
             artifact_cache_bytes=0 if args.no_artifact_cache else None,
             artifact_dir=args.artifact_dir,
             tile_batch_bytes=args.tile_batch_bytes,
+            **obs_kwargs,
         )
     queries = make_workload(
         engine.universe_of("roads"), args.queries, seed=args.seed,
     )
     report = run_workload(engine, queries)
     engine.close()
+    if args.metrics_out:
+        _write_metrics(report["metrics"], args.metrics_out)
     if args.json:
         print(json.dumps(report, default=str, sort_keys=True))
         return 0
@@ -320,10 +380,50 @@ def serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_metrics(snapshot: Dict, path: str) -> None:
+    """Export one metrics snapshot to ``path`` (format by extension)."""
+    from repro.engine.obs import render_json, render_prometheus
+
+    if path.endswith(".json"):
+        text = render_json(snapshot)
+    else:
+        text = render_prometheus(snapshot)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+
+
+def metrics_cmd(args: argparse.Namespace) -> int:
+    """Re-render a saved report/snapshot as Prometheus text or JSON."""
+    from repro.engine.obs import render_json, render_prometheus
+
+    if args.source == "-":
+        data = json.load(sys.stdin)
+    else:
+        with open(args.source, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    # Accept either a full serve-bench report (snapshot under
+    # "metrics") or a bare snapshot dict.
+    snapshot = data.get("metrics", data) if isinstance(data, dict) else data
+    if not isinstance(snapshot, dict):
+        print("metrics: input is not a report or snapshot object",
+              file=sys.stderr)
+        return 2
+    text = (render_json(snapshot) if args.format == "json"
+            else render_prometheus(snapshot))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "serve-bench":
         return serve_bench(_parse_serve_args(argv[1:]))
+    if argv and argv[0] == "metrics":
+        return metrics_cmd(_parse_metrics_args(argv[1:]))
     args = _parse_args(argv)
     scale = _scale(args.scale)
     datasets = (

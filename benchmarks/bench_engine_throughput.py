@@ -30,7 +30,13 @@ against fresh engines in seven configurations —
   :class:`~repro.engine.shard.ShardedEngine` — both shards on one
   shared worker pool — gathered with boundary dedup; the pair totals
   must match the single-engine rows exactly (the differential
-  contract), with window queries pruning non-overlapping shards.
+  contract), with window queries pruning non-overlapping shards;
+* **kernel/shipping ablations**: the cold partitioned config on the
+  pure-python kernel with pickled shipping (the pre-rework mode), and
+  the skewed batched config with only the kernel or only the shm
+  transport reverted — wall-clock attribution for the vectorized
+  kernel and the zero-copy shared-memory tile shipping, which by
+  contract change no answers and no simulated numbers.
 
 The non-tight configurations run under a budget large enough to hold
 the partitioned tiles in memory, isolating the parallelism/caching
@@ -93,13 +99,28 @@ PRE_PR_BASELINE = {
     "tight_k": {"queries_per_sec_sim": 143.9, "wall_seconds": 0.0556},
 }
 
+#: Wall-clock throughput immediately before the kernel/shm rework
+#: (python sweeps, pickled tile shipping), recorded on this machine at
+#: the default 1/256 scale.  Simulated numbers are *unchanged* by the
+#: rework (the kernels are accounting-identical by contract — the
+#: differential suite asserts it), so its acceptance bar is wall
+#: clock: >= 2x queries/sec on both the partitioned cold config and
+#: the skewed batched grid with the numpy kernel + shm shipping.
+PRE_KERNEL_BASELINE_SCALE = "1/256"
+PRE_KERNEL_BASELINE = {
+    "cold_k": {"queries_per_sec_wall": 204.2},
+    "skewed_batched": {"queries_per_sec_wall": 47.2},
+}
+
 
 def _serve(workers: int, cache_capacity: int, memory_bytes: int,
-           artifact_dir=None) -> dict:
+           artifact_dir=None, kernel: str = "auto",
+           shm_min_bytes=None) -> dict:
     scale = bench_scale()
     engine = engine_for_dataset(
         DATASET, scale, workers=workers, cache_capacity=cache_capacity,
         memory_bytes=memory_bytes, artifact_dir=artifact_dir,
+        kernel=kernel, shm_min_bytes=shm_min_bytes,
     )
     queries = make_workload(
         engine.catalog.get("roads").universe, N_QUERIES, seed=7,
@@ -146,15 +167,19 @@ def _skewed_relations():
     return roads, hydro, unit
 
 
-def _serve_skewed(tile_batch_bytes, memory_bytes: int) -> dict:
+def _serve_skewed(tile_batch_bytes, memory_bytes: int,
+                  kernel: str = "auto", shm_min_bytes=None) -> dict:
     scale = bench_scale()
     roads, hydro, unit = _skewed_relations()
     kwargs = {}
     if tile_batch_bytes is not None:
         kwargs["tile_batch_bytes"] = tile_batch_bytes
+    if shm_min_bytes is not None:
+        kwargs["shm_min_bytes"] = shm_min_bytes
     engine = SpatialQueryEngine(
         scale=scale, machine=MACHINE_3, workers=WORKERS,
-        cache_capacity=0, memory_bytes=memory_bytes, **kwargs,
+        cache_capacity=0, memory_bytes=memory_bytes, kernel=kernel,
+        **kwargs,
     )
     engine.register("roads", roads, universe=unit)
     engine.register("hydro", hydro, universe=unit)
@@ -188,6 +213,8 @@ def _json_row(rep: dict) -> dict:
         "latency_p95_seconds": rep["latency_p95_seconds"],
         "pool": rep["pool"],
         "per_strategy": m["per_strategy"],
+        "kernel": m.get("kernel", "python"),
+        "shm": rep["pool"].get("shm"),
     }
 
 
@@ -205,6 +232,14 @@ def test_engine_throughput():
     cold_k = _serve(workers=WORKERS, cache_capacity=0, memory_bytes=roomy)
     warm_1 = _serve(workers=1, cache_capacity=64, memory_bytes=roomy)
     tight_k = _serve(workers=WORKERS, cache_capacity=0, memory_bytes=tight)
+
+    # Kernel/shipping ablation rows: the same cold partitioned config
+    # on the pure-python kernel with pickled shipping (the pre-rework
+    # execution mode, for wall-clock attribution).
+    cold_k_python = _serve(
+        workers=WORKERS, cache_capacity=0, memory_bytes=roomy,
+        kernel="python", shm_min_bytes=-1,
+    )
 
     # Restart warm-up: populate a sidecar, shut down, serve again from
     # a fresh engine on the same directory.
@@ -224,6 +259,14 @@ def test_engine_throughput():
     skew_budget = 8 * (SKEW_CLUSTER + SKEW_SPREAD) * 2 * RECT_BYTES
     skewed_per_tile = _serve_skewed(0, skew_budget)
     skewed_batched = _serve_skewed(None, skew_budget)  # default target
+    # Ablations on the headline skewed config: python kernel (shm
+    # still on) and pickled shipping (numpy kernel still on).
+    skewed_batched_python = _serve_skewed(
+        None, skew_budget, kernel="python",
+    )
+    skewed_batched_pickled = _serve_skewed(
+        None, skew_budget, shm_min_bytes=-1,
+    )
 
     # Sharded catalog: scatter/gather over SHARDS engine shards, one
     # shared worker pool, a roomy budget slice per shard.
@@ -231,27 +274,35 @@ def test_engine_throughput():
 
     reports = {
         "cold_1": cold_1, "cold_k": cold_k,
+        "cold_k_python": cold_k_python,
         "warm_1": warm_1, "tight_k": tight_k,
         "restart_warm": restart_warm,
         "skewed_per_tile": skewed_per_tile,
         "skewed_batched": skewed_batched,
+        "skewed_batched_python": skewed_batched_python,
+        "skewed_batched_pickled": skewed_batched_pickled,
         "sharded_k": sharded_k,
     }
     labels = {
         "cold_1": "cold cache, 1 worker",
         "cold_k": f"cold cache, {WORKERS} workers",
+        "cold_k_python": f"cold, {WORKERS} wk, python+pickle",
         "warm_1": "warm cache, 1 worker",
         "tight_k": f"tight budget, {WORKERS} workers",
         "restart_warm": f"restart warm, {WORKERS} workers",
         "skewed_per_tile": f"skewed grid, per-tile, {WORKERS} workers",
         "skewed_batched": f"skewed grid, batched, {WORKERS} workers",
+        "skewed_batched_python": f"skewed batched, {WORKERS} wk, python",
+        "skewed_batched_pickled":
+            f"skewed batched, {WORKERS} wk, pickled",
         "sharded_k": f"{SHARDS} shards, {WORKERS} workers shared",
     }
 
     rows = []
-    for key in ("cold_1", "cold_k", "warm_1", "tight_k",
-                "restart_warm", "skewed_per_tile", "skewed_batched",
-                "sharded_k"):
+    for key in ("cold_1", "cold_k", "cold_k_python", "warm_1",
+                "tight_k", "restart_warm", "skewed_per_tile",
+                "skewed_batched", "skewed_batched_python",
+                "skewed_batched_pickled", "sharded_k"):
         rep = reports[key]
         m = rep["metrics"]
         rows.append([
@@ -301,6 +352,16 @@ def test_engine_throughput():
             ),
             "baseline_scale": PRE_PR_BASELINE_SCALE,
         }
+    kernel_speedup = None
+    if scale.name == PRE_KERNEL_BASELINE_SCALE:
+        kernel_speedup = {
+            key: (
+                reports[key]["queries_per_sec_wall"]
+                / base["queries_per_sec_wall"]
+            )
+            for key, base in PRE_KERNEL_BASELINE.items()
+        }
+        kernel_speedup["baseline_scale"] = PRE_KERNEL_BASELINE_SCALE
     emit_json("BENCH_engine_throughput.json", {
         "bench": "engine_throughput",
         "dataset": DATASET,
@@ -312,6 +373,8 @@ def test_engine_throughput():
         "configurations": {k: _json_row(r) for k, r in reports.items()},
         "pre_pr_baseline": PRE_PR_BASELINE,
         "parallel_speedup_vs_pre_pr": speedup,
+        "pre_kernel_baseline": PRE_KERNEL_BASELINE,
+        "wall_speedup_vs_pre_kernel": kernel_speedup,
     })
 
     # The subsystem's reason to exist, asserted.
@@ -366,6 +429,17 @@ def test_engine_throughput():
     assert sharded_k["metrics"]["shards_pruned_total"] > 0, (
         "window queries must prune non-overlapping shards"
     )
+    # Kernel parity: the ablation rows answer the same workload and
+    # charge the same simulated cost — the kernels and the shipping
+    # transport change wall clock only.
+    assert (cold_k_python["pairs_returned"] == cold_k["pairs_returned"]
+            and cold_k_python["sim_wall_seconds"]
+            == cold_k["sim_wall_seconds"]), (
+        "python-kernel ablation must be accounting-identical to numpy"
+    )
+    assert (skewed_batched_python["pairs_returned"]
+            == skewed_batched_pickled["pairs_returned"]
+            == skewed_batched["pairs_returned"])
     if speedup is not None:
         # The parallel-rework acceptance bar, on deterministic
         # simulated numbers at the scale the baseline was recorded.
@@ -373,6 +447,15 @@ def test_engine_throughput():
             f"multi-worker config must serve >= 2x the pre-rework "
             f"queries/sec (got {speedup['queries_per_sec_sim']:.2f}x)"
         )
+    if kernel_speedup is not None:
+        # The kernel/shm-rework acceptance bar: wall-clock throughput
+        # (simulated numbers are invariant by construction).
+        for key in PRE_KERNEL_BASELINE:
+            assert kernel_speedup[key] >= 2.0, (
+                f"{key}: numpy kernel + shm shipping must serve >= 2x "
+                f"the pre-rework wall queries/sec "
+                f"(got {kernel_speedup[key]:.2f}x)"
+            )
 
 
 if __name__ == "__main__":

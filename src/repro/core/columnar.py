@@ -184,11 +184,66 @@ class ColumnarTile:
             + self.rid.itemsize * len(self.rid)
         )
 
+    # -- shared-memory packing -------------------------------------------
+    #
+    # The zero-copy shipping path writes a tile's five columns
+    # contiguously into a shared-memory buffer (``pack_into``) and
+    # reconstructs them on the far side as memoryview casts over the
+    # same buffer (``view_over``) — no pickle, no memcpy on the read
+    # side.  A view tile supports everything a worker does with a tile
+    # (len, decode, iteration over columns, ``nbytes``) but is
+    # read-only: ``append``/``extend`` on it raise, which is the
+    # contract — shared segments are immutable once published.
+
+    def pack_into(self, buf, offset: int) -> int:
+        """Write the five columns contiguously at ``buf[offset:]``.
+
+        Layout: ``xlo | xhi | ylo | yhi`` as float64 runs, then ``rid``
+        as an int64 run — :data:`COLUMN_BYTES_PER_RECT` bytes per
+        rectangle.  Returns the number of bytes written.
+        """
+        mv = memoryview(buf)
+        o = offset
+        for col in (self.xlo, self.xhi, self.ylo, self.yhi, self.rid):
+            raw = memoryview(col).cast("B")
+            mv[o:o + raw.nbytes] = raw
+            o += raw.nbytes
+        return o - offset
+
+    @classmethod
+    def view_over(cls, buf, offset: int, count: int) -> "ColumnarTile":
+        """A zero-copy tile whose columns are views into ``buf``.
+
+        The inverse of :meth:`pack_into`: ``buf`` is typically a
+        shared-memory segment mapped by a pool worker, and the returned
+        tile reads the coordinator's bytes in place.  The caller owns
+        the buffer's lifetime — every column view must be dead before
+        the segment can be closed (the ``BufferError`` contract of
+        ``memoryview``).
+        """
+        mv = memoryview(buf)
+        tile = cls.__new__(cls)
+        o = offset
+        stride = 8 * count
+        for name in ("xlo", "xhi", "ylo", "yhi"):
+            setattr(tile, name, mv[o:o + stride].cast("d"))
+            o += stride
+        tile.rid = mv[o:o + stride].cast("q")
+        tile._sorted_cache = None
+        return tile
+
     # Pickle via __reduce__ keeps the arrays as raw buffers and stays
-    # independent of __slots__ defaults.
+    # independent of __slots__ defaults.  A shm *view* tile pickles by
+    # copying its columns back into real arrays — crossing a pickle
+    # boundary forfeits zero-copy, never correctness.
     def __reduce__(self):
-        return (_rebuild_tile,
-                (self.xlo, self.xhi, self.ylo, self.yhi, self.rid))
+        return (_rebuild_tile, tuple(
+            col if isinstance(col, array) else array(code, col)
+            for col, code in (
+                (self.xlo, "d"), (self.xhi, "d"), (self.ylo, "d"),
+                (self.yhi, "d"), (self.rid, "q"),
+            )
+        ))
 
 
 def _rebuild_tile(xlo, xhi, ylo, yhi, rid) -> ColumnarTile:

@@ -1,0 +1,112 @@
+"""Runtime-selected sweep kernels.
+
+The batched forward sweep (:func:`repro.core.sweep.forward_sweep_pairs_batched`)
+exists in two implementations:
+
+* ``python`` — the pure-python :class:`~repro.core.sweep.ForwardSweep`
+  list-scan the repo has always used.  Always available; the reference
+  for correctness *and* accounting.
+* ``numpy`` — a vectorized kernel (:mod:`repro.core.kernels.np_sweep`)
+  that runs the y-interval filter and x-overlap test over whole
+  columns.  Bit-identical to the python kernel in the pairs it emits
+  (same pairs, same order) and in op accounting (same ``cpu_ops``,
+  same ``max_active_items``), so simulated numbers stay comparable
+  across kernels; only wall-clock changes.
+
+Selection is by name:
+
+* ``"auto"`` — numpy if importable, python otherwise.  The
+  ``REPRO_KERNEL`` environment variable overrides auto-resolution
+  (``REPRO_KERNEL=python`` forces the fallback without touching call
+  sites — the CI leg that keeps the fallback from rotting), but never
+  an explicit kernel choice.
+* ``"numpy"`` — explicit; raises if numpy is not importable.
+* ``"python"`` — explicit fallback.
+
+``resolve_kernel`` happens once, on the coordinator (engine/executor
+construction); workers receive the resolved name inside each task
+payload and obey it.  If a worker cannot honour a ``numpy`` request
+(or the input contains rectangles the vectorized kernel does not
+model, e.g. ``yhi < ylo``), the task falls back to the python kernel
+for that task only — the results are identical by contract, so the
+fallback is invisible except in wall time.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Every acceptable kernel *request*; resolution maps "auto" onto one
+#: of the two implementations.
+KERNEL_NAMES = ("auto", "numpy", "python")
+
+#: Environment override for ``"auto"`` resolution only.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+_numpy_available: Optional[bool] = None
+
+
+def numpy_available() -> bool:
+    """True when the numpy kernel is importable (memoized)."""
+    global _numpy_available
+    if _numpy_available is None:
+        try:
+            import numpy  # noqa: F401
+
+            _numpy_available = True
+        except ImportError:
+            _numpy_available = False
+    return _numpy_available
+
+
+def resolve_kernel(name: str) -> str:
+    """Map a kernel request onto ``"numpy"`` or ``"python"``.
+
+    ``"auto"`` resolves to numpy when importable, honouring
+    ``REPRO_KERNEL`` (a forced ``numpy`` that is unavailable is
+    ignored rather than fatal — the env var is a preference, not an
+    API).  An explicit ``"numpy"`` request with no numpy raises: the
+    caller asked for something this interpreter cannot provide.
+    """
+    if name not in KERNEL_NAMES:
+        raise ValueError(
+            f"kernel must be one of {KERNEL_NAMES}, got {name!r}"
+        )
+    if name == "auto":
+        forced = os.environ.get(KERNEL_ENV_VAR, "").strip().lower()
+        if forced == "python":
+            return "python"
+        if forced == "numpy" and numpy_available():
+            return "numpy"
+        return "numpy" if numpy_available() else "python"
+    if name == "numpy" and not numpy_available():
+        raise ValueError(
+            "kernel='numpy' requested but numpy is not importable; "
+            "use kernel='auto' to fall back silently"
+        )
+    return name
+
+
+def sweep_pairs_batched(kernel: str, rects_a, rects_b, env,
+                        presorted: bool = False):
+    """Dispatch the batched forward sweep to the named kernel.
+
+    The rect-list-level entry point (the tile tasks use the columnar
+    entry points in :mod:`np_sweep` directly, skipping Rect boxing).
+    Returns ``(pairs, stats)`` exactly like
+    :func:`~repro.core.sweep.forward_sweep_pairs_batched`.
+    """
+    if kernel == "numpy":
+        from repro.core.kernels import np_sweep
+
+        out = np_sweep.sweep_pairs_batched(rects_a, rects_b, env,
+                                           presorted=presorted)
+        if out is not None:
+            return out
+        # Inputs outside the vectorized kernel's model (e.g. inverted
+        # y-intervals): identical results via the reference kernel.
+    from repro.core.sweep import forward_sweep_pairs_batched
+
+    return forward_sweep_pairs_batched(rects_a, rects_b, env,
+                                       presorted=presorted)

@@ -152,6 +152,9 @@ class SpatialQueryEngine:
         trace: bool = False,
         slow_log_capacity: Optional[int] = None,
         slow_threshold_seconds: float = 0.0,
+        kernel: str = "auto",
+        shm_min_bytes: Optional[int] = None,
+        inline_plan_ops: Optional[int] = None,
     ) -> None:
         self.scale = scale
         self.machine = machine
@@ -208,13 +211,29 @@ class SpatialQueryEngine:
             tiles_per_side=DEFAULT_TILES_PER_SIDE,
             store=self.artifact_store,
         )
+        # ``kernel`` selects the sweep implementation ("auto" resolves
+        # to numpy when importable; results are bit-identical either
+        # way).  ``shm_min_bytes`` tunes zero-copy tile shipping on
+        # process pools: None keeps the executor default, negative
+        # disables shared memory entirely (tiles pickle as before).
+        # ``inline_plan_ops`` tunes cost-aware dispatch (repeat plans
+        # measured cheaper than a pool round-trip sweep inline): None
+        # keeps the executor default, 0 disables the memo.
+        extra = {}
+        if shm_min_bytes is not None:
+            extra["shm_min_bytes"] = shm_min_bytes
+        if inline_plan_ops is not None:
+            extra["inline_plan_ops"] = inline_plan_ops
         self.executor = Executor(
             self.disk, machine, pool=self.pool, budget=self.budget,
             worker_pool=self.worker_pool, artifacts=self.artifacts,
             min_ship_rects=min_ship_rects,
             tile_batch_bytes=tile_batch_bytes,
             store=self.artifact_store,
+            kernel=kernel,
+            **extra,
         )
+        self.kernel = self.executor.kernel
         # The cache governs result memory with its own byte ledger
         # (``cache_bytes``); the execution budget above stays dedicated
         # to algorithm memory, as in the paper's Section 5.1 split.
@@ -271,6 +290,10 @@ class SpatialQueryEngine:
         for name in (names or self.catalog.names()):
             entry = self.catalog.get(name)
             entry.stream, entry.tree, entry.histogram  # noqa: B018
+        # Boot the worker pool alongside the data structures: forking
+        # the workers belongs to the build phase, not to whichever
+        # query happens to be the first partitioned one.
+        self.worker_pool.prestart()
 
     # -- serving ---------------------------------------------------------
 
@@ -477,6 +500,7 @@ class SpatialQueryEngine:
     def metrics_snapshot(self) -> dict:
         """Engine + cache + buffer-pool + budget counters in one dict."""
         snap = self.metrics.snapshot()
+        snap["kernel"] = self.kernel
         snap["worker_pool"] = self.worker_pool.snapshot()
         snap["slow_query_log"] = (
             self.slow_log.snapshot()

@@ -53,6 +53,14 @@ The hot path is built around four cooperating mechanisms:
   merged pair set; op accounting is bit-identical to per-tile
   execution, and a batch is one scheduling unit on the simulated
   critical path — as it is on the real pool.
+* **Cost-aware dispatch** — the executor remembers each partitioned
+  plan's measured sweep cost (total simulated ops, keyed by artifact
+  key).  A repeat of a plan whose whole sweep measured at or under
+  ``inline_plan_ops`` keeps every tile on the coordinator: with warm
+  cached tiles a small sweep runs in microseconds, while a pool
+  round-trip costs milliseconds of submit/gather overhead.  Simulated
+  op/byte accounting is placement-independent, so this changes wall
+  clock only; big plans (and all first executions) ship as before.
 
 Worker tasks touch no shared simulation state: each sweeps local
 rectangle lists against a private op counter, and the merged op total
@@ -85,10 +93,11 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import BrokenExecutor
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.columnar import ColumnarTile, SortedRunView
 from repro.core.join_result import JoinResult
+from repro.core.kernels import resolve_kernel
 from repro.core.multiway import multiway_join
 from repro.core.pbsm import (
     SpillablePartition,
@@ -115,7 +124,12 @@ from repro.engine.cache import (
 )
 from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.optimizer import PhysicalPlan
-from repro.engine.pool import PoolClient, WorkerPool
+from repro.engine.pool import (
+    PoolClient,
+    ShmTileRef,
+    WorkerPool,
+    resolve_shm_tile,
+)
 from repro.engine.resources import ResourceBudget
 from repro.engine.trace import EnvMeter, Span, span_meter
 from repro.geom.rect import RECT_BYTES, Rect, intersection, union_mbr
@@ -144,6 +158,36 @@ DEFAULT_MIN_SHIP_RECTS = 2048
 #: batching and restores the blunt inline cutoff.
 DEFAULT_TILE_BATCH_BYTES = 64 * 1024
 
+#: Tasks whose logical payload (records x ``RECT_BYTES``) is at least
+#: this large ship their tiles as shared-memory refs instead of
+#: pickled columns when the pool is process-based and shared memory
+#: works; smaller tasks keep pickling (a tiny payload's pickle beats a
+#: segment's syscalls).  Negative disables shm shipping outright.
+DEFAULT_SHM_MIN_BYTES = 16 * 1024
+
+#: A repeat plan whose *measured* sweep came in at or under this many
+#: simulated ops keeps every tile on the coordinator.  The executor
+#: remembers each partitioned plan's total sweep ops from its last
+#: execution (keyed by the plan's artifact key); when the same plan
+#: comes back and the whole sweep is known to cost less than a couple
+#: of pool round-trips, shipping is pure overhead — submit+gather on a
+#: process pool runs milliseconds while a warm sub-64k-op sweep runs
+#: microseconds.  Simulated accounting is placement-independent (ops
+#: and bytes are charged identically wherever a sweep runs), so this
+#: is a wall-clock policy, not a semantic one.  First executions have
+#: no measurement and ship as before; ``0`` disables the memo.
+DEFAULT_INLINE_PLAN_OPS = 64 * 1024
+
+#: Below this many rectangles (both sides), a tile's sweep dispatches
+#: to the python kernel even when the engine selected numpy: the
+#: vectorized kernel's fixed per-call cost exceeds the whole sweep,
+#: and repeated sweeps of a cached tile amortize the python path's
+#: decode+sort memo while numpy re-sorts every call.  The pair set
+#: and op accounting are identical either way — this is a wall-clock
+#: cutoff, not a semantic switch.
+NUMPY_MIN_TILE_RECTS = 512
+NUMPY_MIN_LIST_RECTS = 512
+
 
 class Executor:
     """Runs :class:`PhysicalPlan` objects against the catalog."""
@@ -160,6 +204,9 @@ class Executor:
         min_ship_rects: int = DEFAULT_MIN_SHIP_RECTS,
         tile_batch_bytes: int = DEFAULT_TILE_BATCH_BYTES,
         store: Optional[ArtifactStore] = None,
+        kernel: str = "auto",
+        shm_min_bytes: int = DEFAULT_SHM_MIN_BYTES,
+        inline_plan_ops: int = DEFAULT_INLINE_PLAN_OPS,
     ) -> None:
         self.disk = disk
         self.machine = machine
@@ -175,6 +222,19 @@ class Executor:
         self.min_ship_rects = max(0, min_ship_rects)
         self.tile_batch_bytes = max(0, tile_batch_bytes)
         self.store = store
+        # Resolved once, here; workers obey the name in each payload.
+        self.kernel = resolve_kernel(kernel)
+        self.shm_min_bytes = shm_min_bytes
+        self.inline_plan_ops = max(0, inline_plan_ops)
+        # Measured sweep cost of each partitioned plan (total simulated
+        # ops, keyed by artifact key), written after every execution.
+        # Bounded by the number of distinct plans this executor serves.
+        self._plan_ops: Dict[tuple, int] = {}
+        if self.kernel == "numpy":
+            # Import the vectorized kernel on the coordinator now so
+            # fork-started pool workers inherit the loaded module
+            # instead of each importing it on their first task.
+            _np_sweep()
 
     # -- public ----------------------------------------------------------
 
@@ -388,6 +448,7 @@ class Executor:
         akey = artifact_key(versions, universe, self.tiles_per_side,
                             n_parts, query.window)
         cached = None
+        fullkey: Optional[tuple] = None
         task_window: Optional[Rect] = None
         restore_bytes = 0
         # The distribute span covers the artifact probe (a disk restore
@@ -415,10 +476,11 @@ class Executor:
                 full_universe = union_mbr(
                     entries[0].universe, entries[-1].universe
                 )
+                fullkey = artifact_key(versions, full_universe,
+                                       self.tiles_per_side, n_parts,
+                                       None)
                 candidates.append((
-                    artifact_key(versions, full_universe,
-                                 self.tiles_per_side, n_parts, None),
-                    full_universe, query.window,
+                    fullkey, full_universe, query.window,
                 ))
             hit = None
             for key_try, uni, win in candidates:
@@ -460,42 +522,69 @@ class Executor:
                                  universe.ylo, universe.yhi,
                                  grid.t, n_parts)
 
-        shipper = _TaskShipper(self, traced=trace is not None)
-        if cached is not None:
-            grant = self._submit_cached(
-                cached, grid_spec, self_join, collect, n_parts,
-                task_window, shipper,
-            )
-            spilled_rects = spill_partitions = 0
-            parts_to_free: List[SpillablePartition] = []
-        else:
-            (grant, spilled_rects, spill_partitions,
-             parts_to_free) = self._distribute_and_submit(
-                plan, entries, grid, grid_spec, self_join, collect,
-                n_parts, akey, shipper,
-            )
-        submitted = shipper.submitted
-        sweep_span = gmeter = None
-        if dmeter is not None:
-            dmeter.__exit__()
-            dmeter.span.attrs.update({
-                "partitions": n_parts,
-                "artifact_hit": cached is not None,
-                "restore_bytes": restore_bytes,
-                "spilled_rects": spilled_rects,
-            })
-            # Created before gather so the children land in phase
-            # order; populated below, once the task dicts are back.
-            sweep_span = trace.child("sweep")
-            gmeter = EnvMeter(env, self.machine, trace.child("gather"))
-            gmeter.__enter__()
+        # Cost-aware routing: if this exact plan ran before and its
+        # whole sweep measured at or under the inline threshold, every
+        # tile stays on the coordinator — a single pool round-trip
+        # costs more wall clock than the sweep itself.  A windowed
+        # plan with no measurement of its own inherits the *worst*
+        # sweep ever observed over the same full distribution (a
+        # windowed sweep is a subset of the full one, so the max is an
+        # upper bound): on a dataset whose heaviest plan is cheap,
+        # new windows inline from their first execution; one dense
+        # cluster anywhere keeps the estimate conservative and every
+        # unmeasured window ships, exactly as before the memo.
+        prior_ops = self._plan_ops.get(akey)
+        if prior_ops is None and fullkey is not None:
+            prior_ops = self._plan_ops.get(fullkey)
+        inline_all = (
+            self.inline_plan_ops > 0
+            and prior_ops is not None
+            and prior_ops <= self.inline_plan_ops
+        )
+        shipper = _TaskShipper(self, traced=trace is not None,
+                               inline_all=inline_all)
+        grant = None
+        spilled_rects = spill_partitions = 0
+        parts_to_free: List[SpillablePartition] = []
         try:
+            if cached is not None:
+                grant = self._submit_cached(
+                    cached, grid_spec, self_join, collect, n_parts,
+                    task_window, shipper,
+                )
+            else:
+                (grant, spilled_rects, spill_partitions,
+                 parts_to_free) = self._distribute_and_submit(
+                    plan, entries, grid, grid_spec, self_join, collect,
+                    n_parts, akey, shipper,
+                )
+            submitted = shipper.submitted
+            sweep_span = gmeter = None
+            if dmeter is not None:
+                dmeter.__exit__()
+                dmeter.span.attrs.update({
+                    "partitions": n_parts,
+                    "artifact_hit": cached is not None,
+                    "restore_bytes": restore_bytes,
+                    "spilled_rects": spilled_rects,
+                })
+                # Created before gather so the children land in phase
+                # order; populated below, once the task dicts are back.
+                sweep_span = trace.child("sweep")
+                gmeter = EnvMeter(env, self.machine,
+                                  trace.child("gather"))
+                gmeter.__enter__()
             outcomes = self._gather(submitted)
         finally:
             for p in parts_to_free:
                 p.free()
             if grant is not None:
                 grant.release()
+            # Every shipped task has been gathered (or abandoned):
+            # drop the inflight pins so idle segments can be reclaimed.
+            # Pinned cached-artifact tiles keep their segments alive
+            # for the next query's zero-copy re-ship.
+            shipper.release_shm()
         task_dicts: Optional[List[dict]] = None
         if shipper.traced:
             task_dicts = [outcome[1] for outcome in outcomes]
@@ -525,6 +614,11 @@ class Executor:
             # belongs to the sweep span, not the gather drain.
             gmeter.__exit__()
         env.charge("sweep", total_ops)
+        self._plan_ops[akey] = total_ops
+        if fullkey is not None:
+            self._plan_ops[fullkey] = max(
+                self._plan_ops.get(fullkey, 0), total_ops
+            )
 
         # The simulated critical path: shipped tasks (solo tiles and
         # whole batches — a batch is one scheduling unit, as on the
@@ -562,6 +656,8 @@ class Executor:
                 "ops_critical": critical,
                 "workers": plan.workers,
                 "tasks": len(submitted),
+                "kernel": self.kernel,
+                "shm_tasks": shipper.shm_tasks,
             })
         task_sizes = [size for _, _, size, _ in submitted]
         return JoinResult(
@@ -593,11 +689,14 @@ class Executor:
                 "artifact_restores": 1 if restore_bytes else 0,
                 "artifact_restore_bytes": restore_bytes,
                 "pool_kind": self.worker_pool.kind,
+                "kernel": self.kernel,
                 "tasks_shipped": sum(
                     1 for _, shipped, _, _ in submitted if shipped
                 ),
                 "tile_batches": shipper.batches,
                 "batched_tiles": shipper.batched_tiles,
+                "shm_tasks": shipper.shm_tasks,
+                "inlined_by_cost": inline_all,
             },
         )
 
@@ -663,7 +762,7 @@ class Executor:
         for part_id, tile_a, tile_b in cached:
             size = len(tile_a) + len(tile_a if tile_b is None else tile_b)
             payload = (part_id, grid_spec, tile_a, tile_b, self_join,
-                       collect, window)
+                       collect, window, self.kernel)
             shipper.add(payload, size)
         shipper.flush()
         return grant
@@ -777,7 +876,7 @@ class Executor:
                 # Cold tiles are already window-filtered by distribute,
                 # so the task carries no window of its own.
                 payload = (i, grid_spec, side_a, side_b, self_join,
-                           collect, None)
+                           collect, None, self.kernel)
                 shipper.add(payload, size)
                 if will_cache:
                     cache_tasks.append((i, side_a, side_b))
@@ -833,7 +932,11 @@ class Executor:
 class _TaskShipper:
     """Routes tile tasks to the pool: solo ship, batch, or inline.
 
-    One shipper lives for one partitioned query.  Tiles at or above
+    One shipper lives for one partitioned query.  With ``inline_all``
+    the executor has measured this exact plan before and found the
+    whole sweep cheaper than a pool round-trip: every tile sweeps on
+    the coordinator, no batching, no shipping.  Otherwise tiles at or
+    above
     ``min_ship_rects`` ship individually the moment they arrive
     (streaming submission is preserved — workers sweep early tiles
     while the coordinator materializes later ones).  Smaller tiles
@@ -855,13 +958,24 @@ class _TaskShipper:
     — the worker-side half of the trace tree, shipped back across the
     process boundary with the result.  Untraced queries dispatch the
     bare functions: the zero-cost-when-off contract.
+
+    On a process pool with working shared memory, a shipped task whose
+    logical payload reaches the executor's ``shm_min_bytes`` has its
+    :class:`ColumnarTile` sides swapped for :class:`ShmTileRef`
+    handles before pickling — the columns cross the process boundary
+    through a shared segment (memcpy on first publish, zero-copy on
+    every re-ship of a cached tile) and the worker maps them in place.
+    Packing is best-effort: any failure leaves the tile in the payload
+    and pickling proceeds as before.
     """
 
     def __init__(self, executor: "Executor",
-                 traced: bool = False) -> None:
+                 traced: bool = False,
+                 inline_all: bool = False) -> None:
         self.ex = executor
         self.pool = executor.worker_pool
         self.traced = traced
+        self.inline_all = inline_all
         self._solo_fn = (
             sweep_tile_task_traced if traced else sweep_tile_task
         )
@@ -874,9 +988,15 @@ class _TaskShipper:
         self._pending_size = 0
         self.batches = 0
         self.batched_tiles = 0
+        self.shm_tasks = 0
+        self._use_shm = (
+            self.pool.kind == "process"
+            and executor.shm_min_bytes >= 0
+            and self.pool.shm.enabled
+        )
 
     def add(self, payload: tuple, size: int) -> None:
-        if self.pool.kind == "serial":
+        if self.pool.kind == "serial" or self.inline_all:
             self._inline(payload, size)
             return
         if size >= self.ex.min_ship_rects:
@@ -917,10 +1037,60 @@ class _TaskShipper:
         self._pending_size = 0
 
     def _ship(self, fn, payload, size: int, tiles: int) -> None:
+        shm_names = ()
+        if self._use_shm and size * RECT_BYTES >= self.ex.shm_min_bytes:
+            payload, shm_names = self._shm_payload(fn, payload)
+        if shm_names:
+            # Inflight must be registered BEFORE submit: the broken-pool
+            # submit fallback resets the shm manager and then runs the
+            # task inline immediately — without the inflight pin the
+            # reset would close the very segments the payload points at.
+            self.pool.shm.add_inflight(shm_names)
+            self.shm_tasks += 1
         fut = self.pool.submit(fn, payload, units=tiles)
         fut._repro_payload = payload
         fut._repro_fn = fn
+        fut._repro_shm = shm_names
         self.submitted.append((fut, True, size, tiles))
+
+    def _shm_payload(self, fn, payload):
+        """Swap the payload's tile sides for shared-memory refs.
+
+        Returns ``(payload, segment names)``; the original payload and
+        ``()`` when nothing was packable (list-form sides, or the
+        segment allocation failed — pickling is always correct).
+        """
+        batch = fn is self._batch_fn
+        payloads = payload if batch else (payload,)
+        tiles: List[ColumnarTile] = []
+        slots: List[Tuple[int, int]] = []
+        for pi, p in enumerate(payloads):
+            for si in (2, 3):
+                side = p[si]
+                if isinstance(side, ColumnarTile) and len(side):
+                    tiles.append(side)
+                    slots.append((pi, si))
+        if not tiles:
+            return payload, ()
+        refs = self.pool.shm.refs_for(tiles)
+        if refs is None:
+            return payload, ()
+        out = [list(p) for p in payloads]
+        names = set()
+        for (pi, si), ref in zip(slots, refs):
+            out[pi][si] = ref
+            names.add(ref.segment)
+        packed = tuple(tuple(p) for p in out)
+        return (packed if batch else packed[0]), frozenset(names)
+
+    def release_shm(self) -> None:
+        """Drop the inflight pins of every shipped task (post-gather)."""
+        manager = self.pool.shm
+        for fut, shipped, _size, _tiles in self.submitted:
+            if shipped:
+                names = getattr(fut, "_repro_shm", ())
+                if names:
+                    manager.task_done(names)
 
     def _inline(self, payload: tuple, size: int) -> None:
         self.submitted.append(
@@ -940,6 +1110,22 @@ class _OpCounter:
             self.cpu_ops += ops
 
 
+_np_sweep_mod = False  # False = not probed yet; None = unavailable
+
+
+def _np_sweep():
+    """The vectorized kernel module, or None (memoized per process)."""
+    global _np_sweep_mod
+    if _np_sweep_mod is False:
+        try:
+            from repro.core.kernels import np_sweep as mod
+
+            _np_sweep_mod = mod
+        except ImportError:
+            _np_sweep_mod = None
+    return _np_sweep_mod
+
+
 def sweep_tile_task(payload: tuple) -> Tuple[int, Optional[List[Tuple[int, int]]], int, int]:
     """Sweep one partition tile; runs on a pool worker or inline.
 
@@ -956,10 +1142,40 @@ def sweep_tile_task(payload: tuple) -> Tuple[int, Optional[List[Tuple[int, int]]
     Returns ``(owned pair count, owned pairs or None, cpu ops,
     duplicates suppressed by the reference-point test and self-join
     dedup)`` — op counts bit-identical to the per-pair-callback path.
+
+    The payload's optional eighth element names the sweep kernel
+    (``"python"`` when absent — old payloads stay valid).  Tile sides
+    may arrive as :class:`ShmTileRef` handles, resolved here into
+    zero-copy views over the coordinator's shared segment.  The numpy
+    kernel runs the whole tile body vectorized when the tile is big
+    enough to pay its fixed cost; anything smaller — and any input
+    outside the vectorized model — takes the python body below, with
+    bit-identical results either way.
     """
     part_id, grid_spec, side_a, side_b, self_join, collect, window = (
-        payload
+        payload[:7]
     )
+    kernel = payload[7] if len(payload) > 7 else "python"
+    if isinstance(side_a, ShmTileRef):
+        side_a = resolve_shm_tile(side_a)
+    if isinstance(side_b, ShmTileRef):
+        side_b = resolve_shm_tile(side_b)
+    if kernel == "numpy":
+        columnar = isinstance(side_a, ColumnarTile) and (
+            side_b is None or isinstance(side_b, ColumnarTile)
+        )
+        cutoff = (
+            NUMPY_MIN_TILE_RECTS if columnar else NUMPY_MIN_LIST_RECTS
+        )
+        size = len(side_a) + len(side_a if side_b is None else side_b)
+        if size >= cutoff:
+            mod = _np_sweep()
+            if mod is not None:
+                out = mod.sweep_tile(side_a, side_b, self_join,
+                                     grid_spec, part_id, window,
+                                     collect)
+                if out is not None:
+                    return out
     if isinstance(side_a, ColumnarTile):
         side_a = side_a.decode_sorted_cached()
     if side_b is None:

@@ -48,14 +48,366 @@ threads at once.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
+import time
 import weakref
+from collections import OrderedDict
 from concurrent.futures import BrokenExecutor
 from concurrent.futures import Executor as _FuturesExecutor
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.core.columnar import ColumnarTile
+
+try:  # pragma: no cover - stdlib, but gate like any optional backend
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+    resource_tracker = None
 
 POOL_KINDS = ("process", "thread", "serial")
+
+
+class ShmTileRef(NamedTuple):
+    """A pointer to one packed tile inside a shared-memory segment.
+
+    What crosses the process boundary instead of pickled column bytes:
+    the worker attaches ``segment`` once (cached per process) and
+    reconstructs the tile as memoryview casts over the mapping
+    (:meth:`~repro.core.columnar.ColumnarTile.view_over`).
+    """
+
+    segment: str
+    offset: int
+    count: int
+
+
+class _ShmSegment:
+    """Coordinator-side record of one owned segment."""
+
+    __slots__ = ("shm", "nbytes", "pins", "inflight", "unlinked",
+                 "closed")
+
+    def __init__(self, shm, nbytes: int) -> None:
+        self.shm = shm
+        self.nbytes = nbytes
+        #: Live packed tiles pointing into this segment; each pin is
+        #: released by the tile's finalizer.
+        self.pins = 0
+        #: Shipped-but-ungathered tasks referencing this segment; the
+        #: executor decrements in its gather ``finally``.
+        self.inflight = 0
+        self.unlinked = False
+        self.closed = False
+
+
+class ShmSegments:
+    """Lifecycle manager for the pool's shared-memory tile segments.
+
+    One instance per :class:`WorkerPool` (so sharded engines on a
+    shared pool also share segments).  Tiles are packed on first ship
+    and *cached by tile identity*: re-shipping a cached artifact tile
+    re-sends a :class:`ShmTileRef` instead of re-packing (and instead
+    of re-pickling 40 bytes/rect).  A segment is unlinked and closed
+    when its last pinned tile dies and no shipped task still references
+    it; :meth:`reset` (pool shutdown, broken-pool demotion) unlinks
+    everything immediately, deferring only the closes that in-flight
+    recovery still needs.
+
+    Any ``OSError`` at segment creation (no ``/dev/shm``, rlimit)
+    disables the manager for the pool's lifetime — shipping falls back
+    to pickling, which is always correct.
+    """
+
+    def __init__(self) -> None:
+        # Reentrant: a tile finalizer (``_unpin``) can fire on this
+        # thread mid-allocation while the lock is already held.
+        self._lock = threading.RLock()
+        self._segments: Dict[str, _ShmSegment] = {}
+        #: id(tile) -> (ref, finalizer); identity-keyed so the cached
+        #: artifact tiles the executor re-ships resolve to their
+        #: existing segment.
+        self._tile_refs: Dict[int, Tuple[ShmTileRef, object]] = {}
+        self._seq = 0
+        self.enabled = shared_memory is not None
+        # -- counters (surfaced via WorkerPool.snapshot) ----------------
+        self.segments_created = 0
+        self.segments_released = 0
+        self.bytes_packed = 0
+        self.tile_refs_reused = 0
+        self.disabled_errors = 0
+
+    @property
+    def open_segments(self) -> int:
+        with self._lock:
+            return sum(
+                1 for s in self._segments.values() if not s.unlinked
+            )
+
+    @property
+    def mapped_segments(self) -> int:
+        with self._lock:
+            return sum(
+                1 for s in self._segments.values() if not s.closed
+            )
+
+    # -- packing (coordinator) -------------------------------------------
+
+    def refs_for(self, tiles: List[ColumnarTile]
+                 ) -> Optional[List[ShmTileRef]]:
+        """Shared-memory refs for ``tiles``, packing the misses.
+
+        Cache hits (a tile already packed, verified by length) reuse
+        their segment; all misses are packed together into **one** new
+        segment — a batch of small tiles costs one ``shm_open``, not
+        one per tile.  Returns ``None`` when shared memory is
+        unavailable (caller ships pickled columns instead).
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            refs: List[Optional[ShmTileRef]] = []
+            misses: List[Tuple[int, ColumnarTile]] = []
+            for i, tile in enumerate(tiles):
+                hit = self._tile_refs.get(id(tile))
+                if hit is not None and hit[0].count == len(tile):
+                    seg = self._segments.get(hit[0].segment)
+                    if seg is not None and not seg.unlinked:
+                        refs.append(hit[0])
+                        self.tile_refs_reused += 1
+                        continue
+                refs.append(None)
+                misses.append((i, tile))
+            if misses:
+                total = sum(t.nbytes for _, t in misses)
+                seg_name = self._create_locked(max(1, total))
+                if seg_name is None:
+                    return None
+                seg = self._segments[seg_name]
+                offset = 0
+                for i, tile in misses:
+                    tile.pack_into(seg.shm.buf, offset)
+                    ref = ShmTileRef(seg_name, offset, len(tile))
+                    offset += tile.nbytes
+                    refs[i] = ref
+                    seg.pins += 1
+                    fin = weakref.finalize(
+                        tile, self._unpin, seg_name
+                    )
+                    fin.atexit = False
+                    self._tile_refs[id(tile)] = (ref, fin)
+                self.bytes_packed += total
+        return refs  # type: ignore[return-value]
+
+    def _create_locked(self, nbytes: int) -> Optional[str]:
+        self._seq += 1
+        name = f"repro-{os.getpid()}-{id(self):x}-{self._seq}"
+        try:
+            shm = shared_memory.SharedMemory(
+                create=True, size=nbytes, name=name
+            )
+        except (OSError, ValueError):
+            # No usable shared memory here: disable for the pool's
+            # lifetime and let every ship fall back to pickling.
+            self.enabled = False
+            self.disabled_errors += 1
+            return None
+        self._segments[shm.name] = _ShmSegment(shm, nbytes)
+        self.segments_created += 1
+        return shm.name
+
+    # -- task / pin accounting -------------------------------------------
+
+    def add_inflight(self, names) -> None:
+        with self._lock:
+            for name in names:
+                seg = self._segments.get(name)
+                if seg is not None:
+                    seg.inflight += 1
+
+    def task_done(self, names) -> None:
+        """Gather-side release: one in-flight count per task per segment."""
+        with self._lock:
+            for name in names:
+                seg = self._segments.get(name)
+                if seg is not None:
+                    seg.inflight = max(0, seg.inflight - 1)
+                    self._maybe_free_locked(name, seg)
+
+    def _unpin(self, name: str) -> None:
+        with self._lock:
+            seg = self._segments.get(name)
+            if seg is not None:
+                seg.pins = max(0, seg.pins - 1)
+                self._maybe_free_locked(name, seg)
+
+    def _maybe_free_locked(self, name: str, seg: _ShmSegment) -> None:
+        if seg.pins > 0 or seg.inflight > 0:
+            return
+        self._unlink_locked(seg)
+        self._close_locked(seg)
+        if seg.closed:
+            del self._segments[name]
+            self.segments_released += 1
+
+    def _unlink_locked(self, seg: _ShmSegment) -> None:
+        if seg.unlinked:
+            return
+        _worker_forget(seg.shm.name)
+        try:
+            seg.shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+        seg.unlinked = True
+
+    def _close_locked(self, seg: _ShmSegment) -> None:
+        if seg.closed:
+            return
+        _worker_forget(seg.shm.name)
+        try:
+            seg.shm.close()
+        except BufferError:
+            # A live view still points into the mapping (an inline
+            # recovery's tile, typically).  The name is already
+            # unlinked; leave the mapping to the process teardown.
+            return
+        seg.closed = True
+
+    # -- lifecycle --------------------------------------------------------
+
+    def reset(self) -> None:
+        """Pool-shutdown hygiene: unlink every segment now.
+
+        Runs on normal pool shutdown *and* on broken-pool demotion, so
+        a worker that died mid-task can never leak a named segment.
+        Segments still referenced by in-flight tasks keep their name
+        until the executor's gather calls :meth:`task_done` (their
+        inline recovery resolves through this manager's mapping);
+        everything else is unlinked and closed here.  The tile-ref
+        cache is dropped wholesale — the next ship repacks fresh
+        segments.
+        """
+        with self._lock:
+            for _tid, (_ref, fin) in list(self._tile_refs.items()):
+                fin.detach()
+            self._tile_refs.clear()
+            for name, seg in list(self._segments.items()):
+                seg.pins = 0
+                if seg.inflight > 0:
+                    # Unlink is deferred to task_done so a live worker
+                    # (or the inline recovery) can still attach/read.
+                    continue
+                self._unlink_locked(seg)
+                self._close_locked(seg)
+                if seg.closed:
+                    del self._segments[name]
+                    self.segments_released += 1
+
+    # -- resolution (same-process: inline recovery, thread dispatch) -----
+
+    def buffer_of(self, name: str):
+        with self._lock:
+            seg = self._segments.get(name)
+            if seg is None or seg.closed:
+                return None
+            return seg.shm.buf
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            open_segments = sum(
+                1 for s in self._segments.values() if not s.unlinked
+            )
+            return {
+                "enabled": self.enabled,
+                "segments_created": self.segments_created,
+                "segments_released": self.segments_released,
+                "segments_open": open_segments,
+                "bytes_packed": self.bytes_packed,
+                "tile_refs_reused": self.tile_refs_reused,
+                "disabled_errors": self.disabled_errors,
+            }
+
+
+#: Worker-process attach cache: segment name -> SharedMemory.  Reset
+#: when the pid changes (a forked worker inherits the parent's dict;
+#: the inherited *objects* belong to the parent's registry and are
+#: simply dropped).  Bounded implicitly by the coordinator's segment
+#: count.
+_WORKER_SEGMENTS: Dict[str, object] = {}
+#: Worker-process view-tile cache keyed by ref, so repeat tasks on a
+#: cached artifact segment reuse one tile object — which also makes
+#: the decode-sorted memo effective across queries.
+_WORKER_VIEWS: "OrderedDict[ShmTileRef, ColumnarTile]" = OrderedDict()
+_WORKER_VIEW_CAP = 512
+_WORKER_PID = -1
+#: The pool whose manager serves same-process resolution (coordinator
+#: inline runs, thread workers).  Weakly referenced; set at manager
+#: creation.  Multiple pools in one process each register; resolution
+#: walks them.
+_LOCAL_MANAGERS: "weakref.WeakSet[ShmSegments]" = weakref.WeakSet()
+
+
+def _worker_forget(name: str) -> None:
+    """Drop a worker/coordinator cache entry for a dying segment."""
+    _WORKER_SEGMENTS.pop(name, None)
+    for ref in [r for r in _WORKER_VIEWS if r.segment == name]:
+        _WORKER_VIEWS.pop(ref, None)
+
+
+def resolve_shm_tile(ref: ShmTileRef) -> ColumnarTile:
+    """Materialize a zero-copy tile view for ``ref``.
+
+    Runs on pool workers (attach by name, cached per process) and on
+    the coordinator (inline recovery, thread pools — resolved straight
+    from the owning manager's mapping, no second attach).  Raises
+    ``FileNotFoundError`` if the segment is gone, which only happens
+    after the owning pool was reset — by then every such task has been
+    recovered inline.
+    """
+    global _WORKER_PID
+    pid = os.getpid()
+    if pid != _WORKER_PID:
+        # Fresh process (first call, or a forked child that inherited
+        # the parent's caches): drop inherited entries, never close
+        # them — the objects belong to the parent's lifecycle.
+        _WORKER_SEGMENTS.clear()
+        _WORKER_VIEWS.clear()
+        _WORKER_PID = pid
+    tile = _WORKER_VIEWS.get(ref)
+    if tile is not None:
+        _WORKER_VIEWS.move_to_end(ref)
+        return tile
+    buf = None
+    for manager in list(_LOCAL_MANAGERS):
+        buf = manager.buffer_of(ref.segment)
+        if buf is not None:
+            break
+    if buf is None:
+        shm = _WORKER_SEGMENTS.get(ref.segment)
+        if shm is None:
+            # Attaching would register the segment with the resource
+            # tracker, which the forked workers *share* with the
+            # coordinator — the coordinator's later unlink would then
+            # race every worker's unregister on one tracker set
+            # (bpo-39959).  The coordinator owns the lifecycle, so
+            # worker attaches are simply never tracked.
+            if resource_tracker is not None:
+                orig_register = resource_tracker.register
+                resource_tracker.register = lambda name, rtype: None
+                try:
+                    shm = shared_memory.SharedMemory(name=ref.segment)
+                finally:
+                    resource_tracker.register = orig_register
+            else:
+                shm = shared_memory.SharedMemory(name=ref.segment)
+            _WORKER_SEGMENTS[ref.segment] = shm
+        buf = shm.buf
+    tile = ColumnarTile.view_over(buf, ref.offset, ref.count)
+    _WORKER_VIEWS[ref] = tile
+    while len(_WORKER_VIEWS) > _WORKER_VIEW_CAP:
+        _WORKER_VIEWS.popitem(last=False)
+    return tile
 
 
 class _InlineFuture:
@@ -68,7 +420,8 @@ class _InlineFuture:
     the same tags as a real future.
     """
 
-    __slots__ = ("_value", "_error", "_repro_fn", "_repro_payload")
+    __slots__ = ("_value", "_error", "_repro_fn", "_repro_payload",
+                 "_repro_shm")
 
     def __init__(self, fn: Callable[[Any], Any], payload: Any) -> None:
         self._value = None
@@ -117,6 +470,11 @@ class WorkerPool:
         #: dead engines alive.
         self._clients: "weakref.WeakSet[PoolClient]" = weakref.WeakSet()
         self._client_seq = 0
+        #: Shared-memory segment manager for zero-copy tile shipping.
+        #: Shared by every client on this pool; registered for
+        #: same-process ref resolution (inline recovery, threads).
+        self.shm = ShmSegments()
+        _LOCAL_MANAGERS.add(self.shm)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -135,6 +493,33 @@ class WorkerPool:
             last = self.refs == 0
         if last:
             self.shutdown()
+
+    def prestart(self) -> None:
+        """Boot the workers now, off the serving path (idempotent).
+
+        A process pool forks lazily — executor on first submit, one
+        worker per queued task — which lands the whole startup cost
+        (fork x workers, pipe setup) on the first partitioned query.
+        Serving engines call this from ``prepare()`` so measured
+        traffic starts against a running pool.  One short sleep per
+        worker occupies every slot, forcing the executor to its full
+        size; failures here are ignored — a pool that cannot start
+        will demote itself on the first real submit, as before.
+        """
+        if self.kind == "serial":
+            return
+        executor = self._ensure_executor()
+        if executor is None or self.kind != "process":
+            return
+        try:
+            futures = [
+                executor.submit(time.sleep, 0.005)
+                for _ in range(self.workers)
+            ]
+            for fut in futures:
+                fut.result(timeout=30)
+        except Exception:
+            pass
 
     def _ensure_executor(self) -> Optional[_FuturesExecutor]:
         with self._lock:
@@ -187,6 +572,10 @@ class WorkerPool:
             finalizer.detach()
         if executor is not None:
             executor.shutdown(wait=True)
+        # Shared-memory hygiene rides every shutdown path — normal
+        # close, broken-pool demotion, submit-time fallback — so a
+        # dead worker can never leave a named segment behind.
+        self.shm.reset()
 
     # -- submission ------------------------------------------------------
 
@@ -286,6 +675,7 @@ class WorkerPool:
             "pools_created": self.pools_created,
             "fallbacks": self.fallbacks,
             "demotions": self.demotions,
+            "shm": self.shm.snapshot(),
             "per_client": [
                 {
                     "client_id": c.client_id,
@@ -350,6 +740,13 @@ class PoolClient:
     @property
     def started(self) -> bool:
         return self.pool.started
+
+    @property
+    def shm(self) -> ShmSegments:
+        return self.pool.shm
+
+    def prestart(self) -> None:
+        self.pool.prestart()
 
     @property
     def pools_created(self) -> int:

@@ -198,6 +198,8 @@ class ShardedEngine:
         trace: bool = False,
         slow_log_capacity: Optional[int] = None,
         slow_threshold_seconds: float = 0.0,
+        kernel: str = "auto",
+        shm_min_bytes: Optional[int] = None,
     ) -> None:
         self.shards = max(1, shards)
         self.scale = scale
@@ -225,6 +227,8 @@ class ShardedEngine:
                 artifact_cache_bytes=artifact_cache_bytes,
                 tile_batch_bytes=tile_batch_bytes,
                 worker_pool=self.pool,
+                kernel=kernel,
+                shm_min_bytes=shm_min_bytes,
                 # Shard engines trace (their span trees become shard
                 # subtrees of the scatter trace) but never keep their
                 # own slow logs — slowness is a scatter-level property.
@@ -233,6 +237,7 @@ class ShardedEngine:
             )
             for _ in range(self.shards)
         ]
+        self.kernel = self.engines[0].kernel
         self._cuts: Optional[List[float]] = None
         self._versions: Dict[str, int] = {}
         self._next_version = 1
@@ -598,6 +603,7 @@ class ShardedEngine:
         snap = merge_snapshots(
             [e.metrics.snapshot() for e in self.engines]
         )
+        snap["kernel"] = self.kernel
         snap.update(flatten_cache_keys(
             self.artifacts.snapshot(), self.budget.snapshot(),
         ))

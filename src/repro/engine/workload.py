@@ -51,6 +51,8 @@ def engine_for_dataset(
     trace: bool = False,
     slow_log_capacity: Optional[int] = None,
     slow_threshold_seconds: float = 0.0,
+    kernel: str = "auto",
+    shm_min_bytes: Optional[int] = None,
 ) -> SpatialQueryEngine:
     """An engine with one Table 2 dataset registered as two relations.
 
@@ -60,7 +62,9 @@ def engine_for_dataset(
     configure the persistent worker pool and its batch shipping,
     ``artifact_cache_bytes`` caps (or with 0 disables) the artifact
     cache, and ``artifact_dir`` persists artifacts to a sidecar
-    directory that survives engine restarts.
+    directory that survives engine restarts.  ``kernel`` selects the
+    sweep implementation and ``shm_min_bytes`` tunes (or with a
+    negative value disables) shared-memory tile shipping.
     """
     ds = build_dataset(dataset, scale)
     extra = {}
@@ -69,6 +73,7 @@ def engine_for_dataset(
     if tile_batch_bytes is not None:
         extra["tile_batch_bytes"] = tile_batch_bytes
     engine = SpatialQueryEngine(
+        kernel=kernel, shm_min_bytes=shm_min_bytes,
         scale=scale, machine=machine, workers=workers,
         cache_capacity=cache_capacity,
         memory_bytes=memory_bytes, cache_bytes=cache_bytes,
@@ -102,6 +107,8 @@ def sharded_engine_for_dataset(
     trace: bool = False,
     slow_log_capacity: Optional[int] = None,
     slow_threshold_seconds: float = 0.0,
+    kernel: str = "auto",
+    shm_min_bytes: Optional[int] = None,
 ) -> ShardedEngine:
     """Like :func:`engine_for_dataset`, but scattered over N shards.
 
@@ -116,6 +123,7 @@ def sharded_engine_for_dataset(
     if tile_batch_bytes is not None:
         extra["tile_batch_bytes"] = tile_batch_bytes
     engine = ShardedEngine(
+        kernel=kernel, shm_min_bytes=shm_min_bytes,
         shards=shards, scale=scale, machine=machine, workers=workers,
         cache_capacity=cache_capacity,
         memory_bytes=memory_bytes, cache_bytes=cache_bytes,

@@ -146,6 +146,25 @@ def _parse_serve_args(argv: List[str]) -> argparse.Namespace:
         ),
     )
     parser.add_argument(
+        "--kernel", choices=("auto", "numpy", "python"), default="auto",
+        help=(
+            "sweep kernel: 'numpy' (vectorized, errors if numpy is "
+            "missing), 'python' (pure-python reference), or 'auto' "
+            "(numpy when importable; default)"
+        ),
+    )
+    parser.add_argument(
+        "--shm-min-bytes", type=int, default=None,
+        help=(
+            "smallest logical tile payload shipped via shared memory "
+            "instead of pickling (process pools only; default 16 KiB)"
+        ),
+    )
+    parser.add_argument(
+        "--no-shm", action="store_true",
+        help="disable shared-memory tile shipping (always pickle)",
+    )
+    parser.add_argument(
         "--spill-report", action="store_true",
         help="append budget/spill/cache-bytes rows to the report table",
     )
@@ -290,6 +309,8 @@ def serve_bench(args: argparse.Namespace) -> int:
         "trace": args.trace,
         "slow_log_capacity": args.slow_log,
         "slow_threshold_seconds": args.slow_threshold_ms / 1000.0,
+        "kernel": args.kernel,
+        "shm_min_bytes": -1 if args.no_shm else args.shm_min_bytes,
     }
     if args.shards > 1:
         engine = sharded_engine_for_dataset(
@@ -342,6 +363,12 @@ def serve_bench(args: argparse.Namespace) -> int:
             f"{report['pool']['kind']} x{report['pool']['workers']}, "
             f"{report['pool']['tasks_dispatched']} shipped / "
             f"{report['pool']['tasks_inline']} inline"
+        )],
+        ["kernel / shm", (
+            f"{m.get('kernel', 'python')}, "
+            f"{report['pool']['shm']['segments_created']} segments, "
+            f"{report['pool']['shm']['tile_refs_reused']} tile refs "
+            f"reused"
         )],
         ["artifact cache", (
             f"{report['artifacts']['hits']} hits, "

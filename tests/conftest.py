@@ -4,6 +4,7 @@ sharded scatter/gather)."""
 
 from __future__ import annotations
 
+import random
 from typing import List, Optional, Sequence, Set, Tuple
 
 import pytest
@@ -51,6 +52,76 @@ def unit_square() -> Rect:
 def make_env(scale: ScaleConfig = TEST_SCALE) -> SimEnv:
     """Non-fixture variant for hypothesis tests (fresh per example)."""
     return SimEnv(scale=scale, machines=ALL_MACHINES)
+
+
+# -- seeded adversarial dataset generators (no new deps) ---------------------
+
+
+def _uniform(rng: random.Random, n: int, id_base: int = 0):
+    out = []
+    for i in range(n):
+        x, y = rng.random(), rng.random()
+        w, h = rng.random() * 0.04, rng.random() * 0.04
+        out.append(Rect(x, min(1.0, x + w), y, min(1.0, y + h),
+                        id_base + i))
+    return out
+
+
+def _clustered(rng: random.Random, n: int, id_base: int = 0):
+    """A few dense gaussian blobs — hot tiles, cold elsewhere."""
+    centers = [(rng.random(), rng.random()) for _ in range(3)]
+    out = []
+    for i in range(n):
+        cx, cy = centers[i % len(centers)]
+        x = min(0.98, max(0.0, rng.gauss(cx, 0.03)))
+        y = min(0.98, max(0.0, rng.gauss(cy, 0.03)))
+        w, h = rng.random() * 0.02, rng.random() * 0.02
+        out.append(Rect(x, x + w, y, y + h, id_base + i))
+    return out
+
+
+def _skewed(rng: random.Random, n: int, id_base: int = 0):
+    """Mass piled against x=0 — the cut balancer's stress case."""
+    out = []
+    for i in range(n):
+        x = rng.random() ** 3
+        y = rng.random()
+        w, h = rng.random() * 0.03, rng.random() * 0.03
+        out.append(Rect(x, min(1.0, x + w), y, min(1.0, y + h),
+                        id_base + i))
+    return out
+
+
+def _degenerate(rng: random.Random, n: int, id_base: int = 0):
+    """Duplicates, zero-area points, and strip-straddling slivers."""
+    out = []
+    for i in range(n):
+        rid = id_base + i
+        if out and i % 4 == 0:
+            # Exact duplicate coordinates under a fresh id.
+            prev = out[-1]
+            out.append(Rect(prev.xlo, prev.xhi, prev.ylo, prev.yhi, rid))
+        elif i % 5 == 0:
+            x, y = rng.random(), rng.random()
+            out.append(Rect(x, x, y, y, rid))  # zero-area point
+        elif i % 7 == 0:
+            # Full-width sliver: straddles every shard boundary.
+            y = rng.random() * 0.99
+            out.append(Rect(0.0, 1.0, y, y + 0.004, rid))
+        else:
+            x, y = rng.random(), rng.random()
+            w, h = rng.random() * 0.03, rng.random() * 0.03
+            out.append(Rect(x, min(1.0, x + w), y, min(1.0, y + h),
+                            rid))
+    return out
+
+
+GENERATORS = {
+    "uniform": _uniform,
+    "clustered": _clustered,
+    "skewed": _skewed,
+    "degenerate": _degenerate,
+}
 
 
 # -- differential-testing harness --------------------------------------------

@@ -1047,6 +1047,82 @@ class TestTileBatching:
         batched.close()
 
 
+class TestCostAwareDispatch:
+    """Repeat plans measured cheaper than a round-trip sweep inline."""
+
+    def _engine(self, **kw):
+        engine = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, workers=3,
+            cache_capacity=0, pool_kind="thread", min_ship_rects=0,
+            **kw,
+        )
+        a = uniform_rects(400, UNIT, 0.02, seed=31)
+        b = uniform_rects(200, UNIT, 0.03, seed=32, id_base=100_000)
+        engine.register("a", a, universe=UNIT)
+        engine.register("b", b, universe=UNIT)
+        return engine
+
+    def test_repeat_of_cheap_plan_inlines(self):
+        engine = self._engine()
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        first = engine.execute(q).result
+        assert first.detail["tasks_shipped"] > 0
+        assert first.detail["inlined_by_cost"] is False
+        second = engine.execute(q).result
+        assert second.detail["inlined_by_cost"] is True
+        assert second.detail["tasks_shipped"] == 0
+        # Routing is a wall-clock policy only: answers and simulated
+        # accounting are identical wherever the sweeps ran.
+        assert second.pair_set() == first.pair_set()
+        assert (second.detail["sweep_ops_total"]
+                == first.detail["sweep_ops_total"])
+        engine.close()
+
+    def test_memo_disabled_keeps_shipping(self):
+        engine = self._engine(inline_plan_ops=0)
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        engine.execute(q)
+        second = engine.execute(q).result
+        assert second.detail["inlined_by_cost"] is False
+        assert second.detail["tasks_shipped"] > 0
+        engine.close()
+
+    def test_plan_above_threshold_keeps_shipping(self):
+        engine = self._engine(inline_plan_ops=1)
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        engine.execute(q)
+        second = engine.execute(q).result
+        assert second.detail["inlined_by_cost"] is False
+        assert second.detail["tasks_shipped"] > 0
+        engine.close()
+
+    def test_new_window_inherits_full_distribution_bound(self):
+        # A windowed plan with no measurement of its own inherits the
+        # worst sweep observed over the same full distribution, so its
+        # *first* execution already routes inline on a cheap dataset.
+        engine = self._engine()
+        engine.execute(Query(relations=("a", "b"), force="pbsm-grid"))
+        win = Rect(0.1, 0.6, 0.1, 0.6, 0)
+        out = engine.execute(Query(relations=("a", "b"), window=win,
+                                   force="pbsm-grid")).result
+        assert out.detail["inlined_by_cost"] is True
+        assert out.detail["tasks_shipped"] == 0
+        serial = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, workers=1,
+            cache_capacity=0, pool_kind="serial",
+        )
+        serial.register("a", uniform_rects(400, UNIT, 0.02, seed=31),
+                        universe=UNIT)
+        serial.register("b", uniform_rects(200, UNIT, 0.03, seed=32,
+                                           id_base=100_000),
+                        universe=UNIT)
+        ref = serial.execute(Query(relations=("a", "b"), window=win,
+                                   force="pbsm-grid")).result
+        assert out.pair_set() == ref.pair_set()
+        serial.close()
+        engine.close()
+
+
 class TestLatencyMetrics:
     def test_latency_recorded_for_executions_and_hits(self):
         engine = make_engine(cache_capacity=16)

@@ -32,79 +32,17 @@ from repro.engine.shard import balanced_cuts
 from repro.geom.rect import Rect, intersection
 from repro.sim.machines import MACHINE_3
 
-from tests.conftest import TEST_SCALE, brute_reference
+from tests.conftest import (
+    GENERATORS,
+    TEST_SCALE,
+    _clustered,
+    _degenerate,
+    _skewed,
+    _uniform,
+    brute_reference,
+)
 
 UNIT = Rect(0.0, 1.0, 0.0, 1.0, 0)
-
-
-# -- seeded adversarial dataset generators (no new deps) ---------------------
-
-
-def _uniform(rng: random.Random, n: int, id_base: int = 0):
-    out = []
-    for i in range(n):
-        x, y = rng.random(), rng.random()
-        w, h = rng.random() * 0.04, rng.random() * 0.04
-        out.append(Rect(x, min(1.0, x + w), y, min(1.0, y + h),
-                        id_base + i))
-    return out
-
-
-def _clustered(rng: random.Random, n: int, id_base: int = 0):
-    """A few dense gaussian blobs — hot tiles, cold elsewhere."""
-    centers = [(rng.random(), rng.random()) for _ in range(3)]
-    out = []
-    for i in range(n):
-        cx, cy = centers[i % len(centers)]
-        x = min(0.98, max(0.0, rng.gauss(cx, 0.03)))
-        y = min(0.98, max(0.0, rng.gauss(cy, 0.03)))
-        w, h = rng.random() * 0.02, rng.random() * 0.02
-        out.append(Rect(x, x + w, y, y + h, id_base + i))
-    return out
-
-
-def _skewed(rng: random.Random, n: int, id_base: int = 0):
-    """Mass piled against x=0 — the cut balancer's stress case."""
-    out = []
-    for i in range(n):
-        x = rng.random() ** 3
-        y = rng.random()
-        w, h = rng.random() * 0.03, rng.random() * 0.03
-        out.append(Rect(x, min(1.0, x + w), y, min(1.0, y + h),
-                        id_base + i))
-    return out
-
-
-def _degenerate(rng: random.Random, n: int, id_base: int = 0):
-    """Duplicates, zero-area points, and strip-straddling slivers."""
-    out = []
-    for i in range(n):
-        rid = id_base + i
-        if out and i % 4 == 0:
-            # Exact duplicate coordinates under a fresh id.
-            prev = out[-1]
-            out.append(Rect(prev.xlo, prev.xhi, prev.ylo, prev.yhi, rid))
-        elif i % 5 == 0:
-            x, y = rng.random(), rng.random()
-            out.append(Rect(x, x, y, y, rid))  # zero-area point
-        elif i % 7 == 0:
-            # Full-width sliver: straddles every shard boundary.
-            y = rng.random() * 0.99
-            out.append(Rect(0.0, 1.0, y, y + 0.004, rid))
-        else:
-            x, y = rng.random(), rng.random()
-            w, h = rng.random() * 0.03, rng.random() * 0.03
-            out.append(Rect(x, min(1.0, x + w), y, min(1.0, y + h),
-                            rid))
-    return out
-
-
-GENERATORS = {
-    "uniform": _uniform,
-    "clustered": _clustered,
-    "skewed": _skewed,
-    "degenerate": _degenerate,
-}
 
 
 def _make_sharded(shards: int, **kw) -> ShardedEngine:
@@ -331,10 +269,10 @@ class TestShardCountInvariance:
 
 
 class TestSharedPoolLifecycle:
-    def _registered(self, pool, seed, name="a"):
+    def _registered(self, pool, seed, name="a", **kw):
         rng = random.Random(seed)
         rects = _uniform(rng, 200, seed * 1000)
-        engine = _make_single(pool=pool, pool_kind="thread")
+        engine = _make_single(pool=pool, pool_kind="thread", **kw)
         engine.register(name, rects, universe=UNIT)
         return engine, rects
 
@@ -361,8 +299,11 @@ class TestSharedPoolLifecycle:
 
     def test_client_counters_sum_to_pool_totals(self):
         pool = WorkerPool(2, kind="thread")
-        e1, _ = self._registered(pool, 3)
-        e2, _ = self._registered(pool, 4)
+        # Cost-aware dispatch off: the point here is per-client counter
+        # attribution, which needs e2's third (windowed) query to ship
+        # rather than inline off the full plan's measured cost.
+        e1, _ = self._registered(pool, 3, inline_plan_ops=0)
+        e2, _ = self._registered(pool, 4, inline_plan_ops=0)
         q = Query(relations=("a", "a"))
         e1.execute(q)
         e2.execute(q)
@@ -399,8 +340,9 @@ class TestSharedPoolLifecycle:
     def test_close_query_close_stops_recreated_executor(self):
         # A drained engine that serves again re-takes its pool ref, so
         # the lazily recreated executor is stopped by the next close
-        # instead of leaking worker threads/processes.
-        engine = _make_single(pool_kind="thread")
+        # instead of leaking worker threads/processes.  Cost-aware
+        # dispatch off: the repeat must ship to restart the pool.
+        engine = _make_single(pool_kind="thread", inline_plan_ops=0)
         engine.register("a", _uniform(random.Random(71), 200),
                         universe=UNIT)
         q = Query(relations=("a", "a"))

@@ -77,6 +77,7 @@ DATASET = "NJ"
 N_QUERIES = 30
 WORKERS = 4
 SHARDS = 2
+REPLICAS = 2
 
 #: Skewed synthetic grid: one dense corner cluster (a huge tile) plus
 #: a thin uniform spread (many tiny tiles).  The spread dominates the
@@ -130,11 +131,13 @@ def _serve(workers: int, cache_capacity: int, memory_bytes: int,
     return report
 
 
-def _serve_sharded(shards: int, memory_bytes: int) -> dict:
+def _serve_sharded(shards: int, memory_bytes: int,
+                   replicas: int = 1, faults=None) -> dict:
     scale = bench_scale()
     engine = sharded_engine_for_dataset(
         DATASET, scale, shards=shards, workers=WORKERS,
         cache_capacity=0, memory_bytes=memory_bytes,
+        replicas=replicas, faults=faults,
     )
     queries = make_workload(
         engine.universe_of("roads"), N_QUERIES, seed=7,
@@ -215,6 +218,9 @@ def _json_row(rep: dict) -> dict:
         "per_strategy": m["per_strategy"],
         "kernel": m.get("kernel", "python"),
         "shm": rep["pool"].get("shm"),
+        "replicas": m.get("replicas", 1),
+        "failovers": m.get("failovers", 0),
+        "retries": m.get("retries", 0),
     }
 
 
@@ -271,6 +277,21 @@ def test_engine_throughput():
     # Sharded catalog: scatter/gather over SHARDS engine shards, one
     # shared worker pool, a roomy budget slice per shard.
     sharded_k = _serve_sharded(SHARDS, SHARDS * roomy)
+    # Replicated shards: R=2 engines per strip on the same pool.  The
+    # healthy row prices the replication overhead (round-robin read
+    # scaling, no failures); the failover row injects one replica
+    # outage at the start of the workload and must still answer
+    # identically, with the degradation visible in the counters.
+    sharded_replicated = _serve_sharded(
+        SHARDS, SHARDS * roomy, replicas=REPLICAS,
+    )
+    from repro.engine.faults import FaultPlan, FaultRule
+    sharded_failover = _serve_sharded(
+        SHARDS, SHARDS * roomy, replicas=REPLICAS,
+        faults=FaultPlan([
+            FaultRule(site="shard.execute", kind="exception", times=1),
+        ]),
+    )
 
     reports = {
         "cold_1": cold_1, "cold_k": cold_k,
@@ -282,6 +303,8 @@ def test_engine_throughput():
         "skewed_batched_python": skewed_batched_python,
         "skewed_batched_pickled": skewed_batched_pickled,
         "sharded_k": sharded_k,
+        "sharded_replicated": sharded_replicated,
+        "sharded_failover": sharded_failover,
     }
     labels = {
         "cold_1": "cold cache, 1 worker",
@@ -296,13 +319,18 @@ def test_engine_throughput():
         "skewed_batched_pickled":
             f"skewed batched, {WORKERS} wk, pickled",
         "sharded_k": f"{SHARDS} shards, {WORKERS} workers shared",
+        "sharded_replicated":
+            f"{SHARDS} shards x {REPLICAS} replicas, healthy",
+        "sharded_failover":
+            f"{SHARDS} shards x {REPLICAS} replicas, 1 outage",
     }
 
     rows = []
     for key in ("cold_1", "cold_k", "cold_k_python", "warm_1",
                 "tight_k", "restart_warm", "skewed_per_tile",
                 "skewed_batched", "skewed_batched_python",
-                "skewed_batched_pickled", "sharded_k"):
+                "skewed_batched_pickled", "sharded_k",
+                "sharded_replicated", "sharded_failover"):
         rep = reports[key]
         m = rep["metrics"]
         rows.append([
@@ -429,6 +457,22 @@ def test_engine_throughput():
     assert sharded_k["metrics"]["shards_pruned_total"] > 0, (
         "window queries must prune non-overlapping shards"
     )
+    # The availability contract: replication changes no answers, and a
+    # replica outage is absorbed (identical pairs, failover counted).
+    assert (sharded_replicated["pairs_returned"]
+            == sharded_failover["pairs_returned"]
+            == cold_k["pairs_returned"]), (
+        "replicated sharded serving must return identical pair totals"
+    )
+    assert sharded_replicated["metrics"]["replicas"] == REPLICAS
+    assert sharded_replicated["metrics"]["failovers"] == 0
+    assert sharded_failover["metrics"]["failovers"] >= 1, (
+        "the injected replica outage must surface as a failover"
+    )
+    # By workload end the probe traffic has already healed the
+    # replica — the failure and the recovery both stay on the books.
+    assert sharded_failover["metrics"]["replica_failures"] >= 1
+    assert sharded_failover["metrics"]["replica_recoveries"] >= 1
     # Kernel parity: the ablation rows answer the same workload and
     # charge the same simulated cost — the kernels and the shipping
     # transport change wall clock only.

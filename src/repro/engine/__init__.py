@@ -22,7 +22,11 @@ the subsystem a production deployment needs:
 * :class:`~repro.engine.shard.ShardedEngine` — scatter/gather serving
   over N engine shards (spatial-strip partitioning with boundary
   replication) sharing one ref-counted
-  :class:`~repro.engine.pool.WorkerPool`.
+  :class:`~repro.engine.pool.WorkerPool`, with R replica engines per
+  shard and health-scored failover between them;
+* :class:`~repro.engine.faults.FaultPlan` — deterministic fault
+  injection (worker crashes, task exceptions, slow tasks, corrupt
+  artifacts, pool breakage) threaded through the pool and the stores.
 
 Quick start::
 
@@ -35,7 +39,7 @@ Quick start::
     print(out.result.n_pairs, engine.metrics_snapshot())
 """
 
-from repro.engine.artifacts import ArtifactStore
+from repro.engine.artifacts import ArtifactStore, ResultStore
 from repro.engine.cache import (
     ArtifactCache,
     PartitionArtifactCache,
@@ -44,6 +48,12 @@ from repro.engine.cache import (
 from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.engine import EngineResult, SpatialQueryEngine
 from repro.engine.executor import Executor
+from repro.engine.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedCrash,
+    InjectedFault,
+)
 from repro.engine.metrics import (
     EngineMetrics,
     LatencyTracker,
@@ -83,6 +93,10 @@ __all__ = [
     "EngineResult",
     "EnvMeter",
     "Executor",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedCrash",
+    "InjectedFault",
     "LatencyTracker",
     "Optimizer",
     "PartitionArtifactCache",
@@ -96,6 +110,7 @@ __all__ = [
     "ResourceBudget",
     "ResourceGrant",
     "ResultCache",
+    "ResultStore",
     "ShardedEngine",
     "SpatialQueryEngine",
     "engine_for_dataset",

@@ -44,17 +44,70 @@ import hashlib
 import json
 import os
 import sys
+import threading
 import time
 import zlib
 from array import array
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.columnar import ColumnarTile
+from repro.core.join_result import JoinResult
 from repro.engine.cache import PARTITION_KIND, SORTED_RUN_KIND
+from repro.engine.faults import FaultPlan, corrupt_file
 from repro.geom.rect import RECT_BYTES
 
 _MANIFEST = "manifest.json"
 _COLUMNS = ("xlo", "xhi", "ylo", "yhi", "rid")
+
+#: Per-shard artifact subdirectories of a sharded ``--artifact-dir``
+#: are named ``shard-XX/replica-YY`` — the marker the layout guards
+#: below use to tell a sharded root from a single-engine one.
+SHARD_DIR_PREFIX = "shard-"
+
+#: Default number of hottest artifacts a background prewarm stages.
+DEFAULT_PREWARM_LIMIT = 8
+
+#: Manifest heat bumps tolerated before the manifest is rewritten (so
+#: read-heavy serving does not rewrite the manifest on every restore).
+_HEAT_FLUSH_EVERY = 8
+
+
+def _sharded_subdirs(root: str) -> List[str]:
+    try:
+        return sorted(
+            d for d in os.listdir(root)
+            if d.startswith(SHARD_DIR_PREFIX)
+            and os.path.isdir(os.path.join(root, d))
+        )
+    except OSError:
+        return []
+
+
+def check_store_layout(root: str, sharded: bool) -> None:
+    """Refuse a genuinely conflicting on-disk artifact layout.
+
+    A sharded deployment keys each replica's store under
+    ``root/shard-XX/replica-YY``; a single engine writes its manifest
+    at ``root`` directly.  Pointing one at the other's directory would
+    silently run cold forever (tokens never match across layouts) —
+    worse, a single engine would start interleaving its files with the
+    sharded tree.  Both mistakes are caught here with a clear error;
+    an empty or same-layout directory passes.
+    """
+    manifest_here = os.path.isfile(os.path.join(root, _MANIFEST))
+    shard_dirs = _sharded_subdirs(root)
+    if sharded and manifest_here:
+        raise ValueError(
+            f"artifact dir {root!r} holds a single-engine store "
+            f"(top-level {_MANIFEST}); pick a fresh directory for a "
+            "sharded engine or point a single engine at it"
+        )
+    if not sharded and shard_dirs and not manifest_here:
+        raise ValueError(
+            f"artifact dir {root!r} holds a sharded store "
+            f"({shard_dirs[0]}/...); pick a fresh directory for a "
+            "single engine or point a sharded engine at it"
+        )
 
 
 def canonical_token(kind: str, fingerprints: Sequence[Tuple[str, int]],
@@ -121,10 +174,23 @@ class ArtifactStore:
     the store object's lifetime.
     """
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str,
+                 faults: Optional[FaultPlan] = None) -> None:
         self.root = root
         os.makedirs(root, exist_ok=True)
+        #: Optional chaos schedule (sites ``artifact.save`` /
+        #: ``artifact.load``); None in production.
+        self.faults = faults
         self._manifest: Dict[str, dict] = {}
+        # The store is read/written by the engine's coordinator thread
+        # *and* the background prewarm thread; one reentrant lock
+        # guards the manifest, the staging dict and the counters.
+        self._lock = threading.RLock()
+        #: Prewarmed payloads awaiting their first ``load``:
+        #: token -> (kind, value, logical_bytes).
+        self._staged: Dict[str, tuple] = {}
+        self._prewarm_thread: Optional[threading.Thread] = None
+        self._heat_dirty = 0
         self.saves = 0
         self.save_bytes = 0
         self.save_wall_seconds = 0.0
@@ -132,6 +198,8 @@ class ArtifactStore:
         self.restore_bytes = 0
         self.restore_wall_seconds = 0.0
         self.corrupt_drops = 0
+        self.prewarmed = 0
+        self.prewarm_bytes = 0
         self._load_manifest()
 
     # -- queries ---------------------------------------------------------
@@ -158,8 +226,14 @@ class ArtifactStore:
         Returns False when the payload contains non-columnar tiles
         (nothing to serialize) — the caller encodes first.
         """
-        if token in self._manifest:
-            return True
+        with self._lock:
+            meta = self._manifest.get(token)
+            if meta is not None:
+                # An idempotent re-save is a popularity signal: the
+                # artifact was rebuilt/re-cached again this process
+                # life, so bump its heat for the next prewarm.
+                self._bump_heat_locked(meta)
+                return True
         t0 = time.perf_counter()
         entries, blobs, n_rects = _encode(kind, value)
         if entries is None:
@@ -176,25 +250,33 @@ class ArtifactStore:
             fh.write(header)
             fh.write(body)
         os.replace(tmp, path)
-        self._manifest[token] = {
-            "kind": kind,
-            "file": os.path.basename(path),
-            "relations": list(relations),
-            "logical_bytes": n_rects * RECT_BYTES,
-            "file_bytes": len(header) + len(body),
-            "crc32": zlib.crc32(body),
-        }
-        self._write_manifest()
-        self.saves += 1
-        self.save_bytes += len(body)
-        self.save_wall_seconds += time.perf_counter() - t0
+        if self.faults is not None and self.faults.fire(
+            "artifact.save", token=token, kind=kind,
+        ) is not None:
+            corrupt_file(path)
+        with self._lock:
+            self._manifest[token] = {
+                "kind": kind,
+                "file": os.path.basename(path),
+                "relations": list(relations),
+                "logical_bytes": n_rects * RECT_BYTES,
+                "file_bytes": len(header) + len(body),
+                "crc32": zlib.crc32(body),
+                "heat": 0,
+            }
+            self._write_manifest()
+            self.saves += 1
+            self.save_bytes += len(body)
+            self.save_wall_seconds += time.perf_counter() - t0
         return True
 
     def clear(self) -> None:
         """Drop every artifact and its file (manual housekeeping)."""
-        for token in list(self._manifest):
-            self._drop(token)
-        self._write_manifest()
+        with self._lock:
+            for token in list(self._manifest):
+                self._drop(token)
+            self._staged.clear()
+            self._write_manifest()
 
     # -- reads -----------------------------------------------------------
 
@@ -204,42 +286,152 @@ class ArtifactStore:
         A missing file, checksum mismatch, foreign byte order or
         malformed header drops the manifest entry (counted under
         ``corrupt_drops``) and reports a miss — a damaged sidecar must
-        degrade to a cold run, never a wrong answer.
+        degrade to a cold run, never a wrong answer.  Payloads staged
+        by a background :meth:`prewarm` are served from memory (still
+        counted as restores — the caller's disk-restore accounting and
+        simulated-disk pricing are placement-independent).
         """
-        meta = self._manifest.get(token)
-        if meta is None:
+        with self._lock:
+            staged = self._staged.pop(token, None)
+            if staged is not None:
+                meta = self._manifest.get(token)
+                if meta is not None:
+                    self._bump_heat_locked(meta)
+                self.restores += 1
+                self.restore_bytes += staged[2]
+                return staged
+        out = self._read_payload(token)
+        if out is None:
             return None
+        t0, kind, value, logical_bytes = out
+        with self._lock:
+            meta = self._manifest.get(token)
+            if meta is not None:
+                self._bump_heat_locked(meta)
+            self.restores += 1
+            self.restore_bytes += logical_bytes
+            self.restore_wall_seconds += time.perf_counter() - t0
+        return (kind, value, logical_bytes)
+
+    def _read_payload(self, token: str):
+        """Verified read of one artifact file (no restore accounting).
+
+        Returns ``(t_start, kind, value, logical_bytes)`` or None;
+        shared by :meth:`load` and the prewarm thread.  Corruption —
+        injected or real — drops the entry here.
+        """
+        with self._lock:
+            meta = self._manifest.get(token)
+            if meta is None:
+                return None
+            path = os.path.join(self.root, meta["file"])
+            crc = meta["crc32"]
+            kind = meta["kind"]
+            logical_bytes = meta["logical_bytes"]
         t0 = time.perf_counter()
-        path = os.path.join(self.root, meta["file"])
+        if self.faults is not None and self.faults.fire(
+            "artifact.load", token=token, kind=kind,
+        ) is not None:
+            corrupt_file(path)
         try:
             with open(path, "rb") as fh:
                 header = json.loads(fh.readline().decode("utf-8"))
                 body = fh.read()
-            if (zlib.crc32(body) != meta["crc32"]
+            if (zlib.crc32(body) != crc
                     or header.get("byteorder") != sys.byteorder
-                    or header.get("kind") != meta["kind"]):
+                    or header.get("kind") != kind):
                 raise ValueError("artifact payload failed verification")
             value = _decode(header["kind"], header["entries"], body)
         except (OSError, ValueError, KeyError, json.JSONDecodeError):
-            self._drop(token)
-            self._write_manifest()
-            self.corrupt_drops += 1
+            with self._lock:
+                # The prewarm thread and a query can detect the same
+                # damage concurrently; only the one that actually
+                # removes the entry counts the drop.
+                if self._drop(token):
+                    self._write_manifest()
+                    self.corrupt_drops += 1
             return None
-        self.restores += 1
-        self.restore_bytes += meta["logical_bytes"]
-        self.restore_wall_seconds += time.perf_counter() - t0
-        return (meta["kind"], value, meta["logical_bytes"])
+        return (t0, kind, value, logical_bytes)
+
+    # -- prewarm ---------------------------------------------------------
+
+    def prewarm(self, limit: int = DEFAULT_PREWARM_LIMIT) -> int:
+        """Stage the manifest's hottest artifacts into memory now.
+
+        Ordered by persisted ``heat`` (restores + re-saves across this
+        store's whole history), ties broken by token for determinism.
+        Staged payloads are handed out by the next :meth:`load` of the
+        same token — with identical counters and caller-side pricing,
+        just without the file read on the serving path.  Returns the
+        number of artifacts staged.
+        """
+        with self._lock:
+            hottest = sorted(
+                self._manifest.items(),
+                key=lambda kv: (-int(kv[1].get("heat", 0)), kv[0]),
+            )[:max(0, limit)]
+            tokens = [t for t, _ in hottest if t not in self._staged]
+        staged = 0
+        for token in tokens:
+            out = self._read_payload(token)
+            if out is None:
+                continue
+            _t0, kind, value, logical_bytes = out
+            with self._lock:
+                if token in self._staged:
+                    continue
+                self._staged[token] = (kind, value, logical_bytes)
+                self.prewarmed += 1
+                self.prewarm_bytes += logical_bytes
+            staged += 1
+        return staged
+
+    def start_prewarm(
+        self, limit: int = DEFAULT_PREWARM_LIMIT
+    ) -> Optional[threading.Thread]:
+        """Run :meth:`prewarm` on a daemon thread (startup path).
+
+        Idempotent while a prewarm is already running.  Returns the
+        thread (joinable via :meth:`wait_prewarm`), or None when the
+        manifest is empty — nothing to warm, no thread to pay for.
+        """
+        with self._lock:
+            if not self._manifest:
+                return None
+            if (self._prewarm_thread is not None
+                    and self._prewarm_thread.is_alive()):
+                return self._prewarm_thread
+            thread = threading.Thread(
+                target=self.prewarm, args=(limit,),
+                name="artifact-prewarm", daemon=True,
+            )
+            self._prewarm_thread = thread
+        thread.start()
+        return thread
+
+    def wait_prewarm(self, timeout: Optional[float] = None) -> None:
+        """Block until a background prewarm finishes (tests, drains)."""
+        thread = self._prewarm_thread
+        if thread is not None:
+            thread.join(timeout)
 
     # -- internals -------------------------------------------------------
 
-    def _drop(self, token: str) -> None:
+    def _bump_heat_locked(self, meta: dict) -> None:
+        meta["heat"] = int(meta.get("heat", 0)) + 1
+        self._heat_dirty += 1
+        if self._heat_dirty >= _HEAT_FLUSH_EVERY:
+            self._write_manifest()
+
+    def _drop(self, token: str) -> bool:
         meta = self._manifest.pop(token, None)
         if meta is None:
-            return
+            return False
         try:
             os.remove(os.path.join(self.root, meta["file"]))
         except OSError:
             pass
+        return True
 
     def _manifest_path(self) -> str:
         return os.path.join(self.root, _MANIFEST)
@@ -258,18 +450,23 @@ class ArtifactStore:
             json.dump({"version": 1, "artifacts": self._manifest}, fh,
                       sort_keys=True, indent=1)
         os.replace(tmp, self._manifest_path())
+        self._heat_dirty = 0
 
     def snapshot(self) -> Dict[str, object]:
-        return {
-            "entries": len(self._manifest),
-            "saves": self.saves,
-            "save_bytes": self.save_bytes,
-            "save_wall_seconds": self.save_wall_seconds,
-            "restores": self.restores,
-            "restore_bytes": self.restore_bytes,
-            "restore_wall_seconds": self.restore_wall_seconds,
-            "corrupt_drops": self.corrupt_drops,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._manifest),
+                "saves": self.saves,
+                "save_bytes": self.save_bytes,
+                "save_wall_seconds": self.save_wall_seconds,
+                "restores": self.restores,
+                "restore_bytes": self.restore_bytes,
+                "restore_wall_seconds": self.restore_wall_seconds,
+                "corrupt_drops": self.corrupt_drops,
+                "prewarmed": self.prewarmed,
+                "prewarm_bytes": self.prewarm_bytes,
+                "staged": len(self._staged),
+            }
 
 
 def charge_restore(disk, logical_bytes: int) -> None:
@@ -287,6 +484,151 @@ def charge_restore(disk, logical_bytes: int) -> None:
         return
     offset = disk.allocate(logical_bytes)
     disk.env.io_read(offset, logical_bytes)
+
+
+def result_token(fingerprints: Sequence[Tuple[str, int]],
+                 canonical_query) -> str:
+    """Sidecar token of one persisted query result.
+
+    Content-addressed like every other artifact: relation content
+    fingerprints plus the query's canonical form, so a restarted
+    engine serving the same query over the same data finds the entry,
+    while any data change makes the old entry unreachable — no
+    invalidation protocol needed.
+    """
+    return canonical_token("result", fingerprints, canonical_query)
+
+
+class ResultStore:
+    """Persisted result-cache entries (one JSON file per result).
+
+    The scatter layer's top-level :class:`~repro.engine.cache.ResultCache`
+    is the hottest state a sharded deployment has — a dashboard's
+    repeat queries never touch a shard — and it used to die with the
+    process.  This store writes each cached result as a checksummed
+    JSON file under its own subdirectory of the artifact root, keyed
+    by :func:`result_token`; a restarted engine probes it on a memory
+    miss and serves the persisted pairs without scattering at all.
+
+    JSON keeps the payload inspectable; rid pairs survive the
+    round-trip exactly (ints), while ``detail``'s integer dict keys
+    become strings — provenance, not answers, so gather-identical
+    results are preserved where it matters.  A corrupt or truncated
+    file is dropped and the query re-executes (``corrupt_drops``).
+    """
+
+    def __init__(self, root: str,
+                 faults: Optional[FaultPlan] = None) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.faults = faults
+        self._lock = threading.Lock()
+        self.saves = 0
+        self.save_bytes = 0
+        self.restores = 0
+        self.corrupt_drops = 0
+
+    def _path(self, token: str) -> str:
+        return os.path.join(self.root, f"{token}.res.json")
+
+    def __len__(self) -> int:
+        try:
+            return sum(
+                1 for f in os.listdir(self.root)
+                if f.endswith(".res.json")
+            )
+        except OSError:
+            return 0
+
+    def save(self, token: str, result: JoinResult) -> bool:
+        """Persist one result; idempotent per token."""
+        path = self._path(token)
+        if os.path.exists(path):
+            return True
+        tmp = path + ".tmp"
+        try:
+            payload = json.dumps({
+                "algorithm": result.algorithm,
+                "n_pairs": result.n_pairs,
+                "pairs": (
+                    [list(p) for p in result.pairs]
+                    if result.pairs is not None else None
+                ),
+                "detail": result.detail,
+            }, sort_keys=True)
+            body = json.dumps({
+                "version": 1,
+                "crc32": zlib.crc32(payload.encode("utf-8")),
+                "result": payload,
+            })
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(body)
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError):
+            # Unserializable detail or a full disk must never fail the
+            # query — the result simply is not persisted.
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return False
+        if self.faults is not None and self.faults.fire(
+            "result.save", token=token,
+        ) is not None:
+            corrupt_file(path)
+        with self._lock:
+            self.saves += 1
+            self.save_bytes += len(body)
+        return True
+
+    def load(self, token: str) -> Optional[JoinResult]:
+        """Restore one result, or None (missing/corrupt -> re-execute)."""
+        path = self._path(token)
+        if not os.path.exists(path):
+            return None
+        if self.faults is not None and self.faults.fire(
+            "result.load", token=token,
+        ) is not None:
+            corrupt_file(path)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                wrapper = json.load(fh)
+            payload = wrapper["result"]
+            if zlib.crc32(payload.encode("utf-8")) != wrapper["crc32"]:
+                raise ValueError("result payload failed verification")
+            data = json.loads(payload)
+            pairs = (
+                [tuple(p) for p in data["pairs"]]
+                if data["pairs"] is not None else None
+            )
+            result = JoinResult(
+                algorithm=data["algorithm"],
+                n_pairs=int(data["n_pairs"]),
+                pairs=pairs,
+                detail=dict(data["detail"]),
+            )
+        except (OSError, ValueError, KeyError, TypeError,
+                json.JSONDecodeError):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            with self._lock:
+                self.corrupt_drops += 1
+            return None
+        with self._lock:
+            self.restores += 1
+        return result
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "entries": len(self),
+                "saves": self.saves,
+                "save_bytes": self.save_bytes,
+                "restores": self.restores,
+                "corrupt_drops": self.corrupt_drops,
+            }
 
 
 # -- codec -------------------------------------------------------------------

@@ -37,6 +37,20 @@ from repro.storage.stream import Stream
 GeometryMap = Dict[int, Sequence[Tuple[float, float]]]
 
 
+def rects_fingerprint(rects: Sequence[Rect]) -> int:
+    """Content identity of a rectangle sequence (CRC32 + size).
+
+    The formula behind :attr:`CatalogEntry.fingerprint`, extracted so
+    layers that never build a catalog entry for the *full* relation —
+    the sharded scatter layer keys persisted results by the unsharded
+    input — derive the identical value for identical data.
+    """
+    buf = array("d")
+    for r in rects:
+        buf.extend((r.xlo, r.xhi, r.ylo, r.yhi, float(r.rid)))
+    return (zlib.crc32(buf.tobytes()) << 20) | (len(rects) & 0xFFFFF)
+
+
 class CatalogEntry:
     """One registered relation and its lazily-built representations."""
 
@@ -108,12 +122,7 @@ class CatalogEntry:
         (entries are immutable; re-registration makes a new entry).
         """
         if self._fingerprint is None:
-            buf = array("d")
-            for r in self.rects:
-                buf.extend((r.xlo, r.xhi, r.ylo, r.yhi, float(r.rid)))
-            self._fingerprint = (
-                zlib.crc32(buf.tobytes()) << 20
-            ) | (len(self.rects) & 0xFFFFF)
+            self._fingerprint = rects_fingerprint(self.rects)
         return self._fingerprint
 
     def relation(self, universe: Optional[Rect] = None,

@@ -36,7 +36,8 @@ from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
 from repro.core.join_result import JoinResult
-from repro.engine.artifacts import ArtifactStore
+from repro.engine.artifacts import ArtifactStore, check_store_layout
+from repro.engine.faults import FaultPlan
 from repro.engine.cache import ArtifactCache, ResultCache
 from repro.engine.catalog import Catalog, GeometryMap
 from repro.engine.executor import (
@@ -155,6 +156,7 @@ class SpatialQueryEngine:
         kernel: str = "auto",
         shm_min_bytes: Optional[int] = None,
         inline_plan_ops: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.scale = scale
         self.machine = machine
@@ -195,13 +197,21 @@ class SpatialQueryEngine:
         # already has a kind).
         self.worker_pool = (
             worker_pool if worker_pool is not None
-            else WorkerPool(self.workers, kind=pool_kind)
+            else WorkerPool(self.workers, kind=pool_kind, faults=faults)
         ).client()
+        self.faults = faults
         self.artifacts = ArtifactCache(
             budget=self.budget, max_bytes=artifact_cache_bytes,
         )
+        if artifact_dir:
+            # A single engine must not be pointed at the *root* of a
+            # sharded tree (tokens would never match and the files
+            # would interleave); ShardedEngine hands its per-replica
+            # engines leaf subdirectories, which pass this check.
+            check_store_layout(artifact_dir, sharded=False)
         self.artifact_store = (
-            ArtifactStore(artifact_dir) if artifact_dir else None
+            ArtifactStore(artifact_dir, faults=faults)
+            if artifact_dir else None
         )
         self.optimizer = Optimizer(
             self.catalog, machine, scale,
@@ -294,6 +304,11 @@ class SpatialQueryEngine:
         # the workers belongs to the build phase, not to whichever
         # query happens to be the first partitioned one.
         self.worker_pool.prestart()
+        # Likewise, restore-heavy restarts should not pay the sidecar
+        # reads on the first queries: stage the manifest's hottest
+        # artifacts in the background while traffic ramps.
+        if self.artifact_store is not None:
+            self.artifact_store.start_prewarm()
 
     # -- serving ---------------------------------------------------------
 

@@ -108,6 +108,20 @@ class EngineMetrics:
     artifact_restores: int = 0
     artifact_restore_bytes: int = 0
 
+    #: Availability counters.  A single engine has no replicas to fail
+    #: over to, so these stay zero here — they exist so single-engine
+    #: and sharded snapshots stay key-compatible, and so
+    #: :func:`merge_snapshots` sums them like any physical counter.
+    #: ``replica_failures`` counts individual replica sub-query
+    #: failures, ``retries`` the re-attempts those failures triggered,
+    #: ``failovers`` the logical queries ultimately served by a
+    #: non-first-choice replica, ``replica_timeouts`` sub-queries that
+    #: exceeded the replica timeout (health-penalized post hoc).
+    failovers: int = 0
+    retries: int = 0
+    replica_failures: int = 0
+    replica_timeouts: int = 0
+
     pages_read: int = 0
     pages_written: int = 0
     bytes_read: int = 0
@@ -268,6 +282,14 @@ class EngineMetrics:
             "spill_queries": self.spill_queries,
             "artifact_restores": self.artifact_restores,
             "artifact_restore_bytes": self.artifact_restore_bytes,
+            "failovers": self.failovers,
+            "retries": self.retries,
+            "replica_failures": self.replica_failures,
+            "replica_timeouts": self.replica_timeouts,
+            "failover_rate": (
+                self.failovers / self.queries_executed
+                if self.queries_executed else 0.0
+            ),
             "pages_read": self.pages_read,
             "pages_written": self.pages_written,
             "bytes_read": self.bytes_read,
@@ -305,6 +327,7 @@ _DERIVED_RATES = (
      ("artifact_cache_hits", "artifact_cache_misses")),
     ("result_cache_hit_rate", "result_cache_hits",
      ("result_cache_hits", "result_cache_misses")),
+    ("failover_rate", "failovers", ("queries_executed",)),
 )
 
 

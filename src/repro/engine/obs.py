@@ -13,7 +13,9 @@ operator can actually consume:
   (per-strategy counts, artifact kinds, budget categories) become
   labelled series, per-shard/per-client lists become indexed series.
   A counter added to the snapshot shows up in the scrape without
-  touching this module.
+  touching this module — which is how the availability counters
+  (``failovers``, ``retries``, ``replica_failures``, per-shard
+  ``disk_restores``) reached the exposition without new code here.
 * :func:`validate_prometheus` / :func:`validate_trace` — structural
   validators for the two exported formats, shared between the test
   suite and the CI checker scripts so "valid" means one thing.
@@ -40,6 +42,7 @@ _LABELLED_DICTS = {
     "budget_high_water_by_category": "category",
     "shard_pairs": "shard",
     "shard_strategies": "shard",
+    "shard_replicas": "shard",
 }
 
 #: List-of-dict snapshot keys rendered as indexed series.

@@ -59,6 +59,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.core.columnar import ColumnarTile
+from repro.engine.faults import FaultPlan, InjectedCrash, InjectedFault
 
 try:  # pragma: no cover - stdlib, but gate like any optional backend
     from multiprocessing import resource_tracker, shared_memory
@@ -437,14 +438,42 @@ class _InlineFuture:
         return self._value
 
 
+def _faulted_task(wrapped):
+    """Run one task under an injected fault (module-level: picklable).
+
+    ``wrapped`` is ``(kind, delay_seconds, coordinator_pid, fn,
+    payload)``.  ``crash`` hard-exits the hosting process when it is a
+    real pool worker — the coordinator then observes a genuine
+    ``BrokenProcessPool`` — and raises :class:`InjectedCrash` (a
+    ``BrokenExecutor``) when the task runs on the coordinator itself
+    (thread/serial pools, inline futures), which the executor's gather
+    handles through the same broken-pool recovery path.
+    """
+    kind, delay, coordinator_pid, fn, payload = wrapped
+    if kind == "slow":
+        if delay > 0:
+            time.sleep(delay)
+        return fn(payload)
+    if kind == "crash":
+        if os.getpid() != coordinator_pid:
+            os._exit(3)
+        raise InjectedCrash("injected worker crash")
+    raise InjectedFault("injected task exception")
+
+
 class WorkerPool:
     """A long-lived process/thread pool shareable by several engines."""
 
-    def __init__(self, workers: int = 1, kind: str = "process") -> None:
+    def __init__(self, workers: int = 1, kind: str = "process",
+                 faults: Optional[FaultPlan] = None) -> None:
         if kind not in POOL_KINDS:
             raise ValueError(
                 f"pool kind must be one of {POOL_KINDS}, got {kind!r}"
             )
+        #: Optional chaos schedule consulted at ``pool.submit`` /
+        #: ``pool.task`` (see :mod:`repro.engine.faults`); None in
+        #: production.
+        self.faults = faults
         self.workers = max(1, workers)
         #: The requested kind; single-worker pools execute inline
         #: regardless (a pool of one only adds shipping overhead).
@@ -588,6 +617,32 @@ class WorkerPool:
         is process-based.  ``units`` is how many tiles the task
         carries (1 for solo tasks, the batch length for batch tasks).
         """
+        if self.faults is not None:
+            rule = self.faults.fire(
+                "pool.submit", fn=getattr(fn, "__name__", str(fn))
+            )
+            if rule is not None and rule.kind == "break":
+                # Behave exactly like a broken executor discovered at
+                # submit time: demote, tear down, recompute inline.
+                with self._lock:
+                    self.tasks_inline += 1
+                    self.tiles_inline += units
+                    self.fallbacks += 1
+                    if self.kind == "process":
+                        self.kind = "thread"
+                        self.demotions += 1
+                self.shutdown()
+                return _InlineFuture(fn, payload)
+            rule = self.faults.fire(
+                "pool.task", fn=getattr(fn, "__name__", str(fn))
+            )
+            if rule is not None:
+                # The wrapper travels to the worker; the executor's
+                # recovery tags keep the *caller's* fn/payload, so an
+                # inline replay of a crashed task is fault-free.
+                payload = (rule.kind, rule.delay_seconds, os.getpid(),
+                           fn, payload)
+                fn = _faulted_task
         executor = self._ensure_executor()
         if executor is None:
             with self._lock:
@@ -675,6 +730,10 @@ class WorkerPool:
             "pools_created": self.pools_created,
             "fallbacks": self.fallbacks,
             "demotions": self.demotions,
+            "faults": (
+                self.faults.snapshot()
+                if self.faults is not None else None
+            ),
             "shm": self.shm.snapshot(),
             "per_client": [
                 {

@@ -53,18 +53,51 @@ unrelated artifacts) and its own metrics; :meth:`ShardedEngine.metrics_snapshot`
 :func:`~repro.engine.metrics.merge_snapshots` and overrides the
 serving-level counters (one logical query is one serve, however many
 shards it scattered to).
+
+**Availability.**  ``replicas=R`` backs every strip with R identical
+engines (same slice, same budget — replicas model separate boxes) on
+the one shared pool.  Scatter picks a live replica per shard by
+round-robin over a health score; a replica whose sub-query raises is
+marked unhealthy, the failure is recorded (counters + a ``failover``
+trace span) and the sub-query retried with exponential backoff on the
+next candidate — the logical query only fails when *every* replica of
+a participating shard does.  Unhealthy replicas are re-probed every
+``PROBE_EVERY``-th selection and recover after consecutive successes.
+Semantic errors (:class:`~repro.engine.resources.AdmissionError`,
+unknown relations) are deterministic across replicas and re-raise
+immediately — failing over would just repeat them R times.
+
+**Durability.**  With ``artifact_dir`` set, every replica engine gets
+its own keyed leaf (``root/shard-XX/replica-YY``) of one artifact
+tree, so a restarted sharded engine rewarms each shard from disk
+exactly like a restarted single engine — including each store's
+background prewarm of its hottest artifacts.  Result-cache entries
+persist **per shard** (``root/shard-XX/results``, shared by the
+shard's replicas and content-addressed by the shard slice's
+fingerprints + the canonical sub-query): the scatter still runs after
+a restart, but every participating shard serves its sub-result
+straight from disk instead of re-executing, so the per-shard
+``disk_restores`` counters show the whole deployment rewarming, and a
+replica that was down when a result was first computed can still
+serve it.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import replace as _replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.histogram import SpatialHistogram
 from repro.core.join_result import JoinResult
+from repro.engine.artifacts import (
+    ResultStore,
+    check_store_layout,
+    result_token,
+)
 from repro.engine.cache import ResultCache
-from repro.engine.catalog import GeometryMap
+from repro.engine.catalog import GeometryMap, rects_fingerprint
 from repro.engine.engine import (
     MAX_CACHED_PAIRS,
     EngineResult,
@@ -77,6 +110,7 @@ from repro.engine.executor import (
     DEFAULT_MIN_SHIP_RECTS,
     DEFAULT_TILE_BATCH_BYTES,
 )
+from repro.engine.faults import FaultPlan, InjectedFault
 from repro.engine.metrics import (
     LatencyTracker,
     merge_snapshots,
@@ -86,6 +120,7 @@ from repro.engine.obs import SlowQueryLog
 from repro.engine.optimizer import effective_region
 from repro.engine.pool import WorkerPool
 from repro.engine.query import Query
+from repro.engine.resources import AdmissionError
 from repro.engine.trace import SPAN_METRIC_FIELDS, Span
 from repro.geom.rect import Rect, mbr_of
 from repro.sim.machines import MACHINE_3, MachineSpec
@@ -121,6 +156,20 @@ def balanced_cuts(rects: Sequence[Rect], universe: Rect, shards: int,
     return cuts
 
 
+#: Every this-many replica selections for a shard with unhealthy
+#: replicas, the sick ones are tried *first* — the recovery probe that
+#: lets a healed replica earn its health score back.
+PROBE_EVERY = 8
+
+#: Health scores below this are "unhealthy": skipped by normal
+#: selection, visited only by recovery probes (or when nothing
+#: healthier is left).
+HEALTH_FLOOR = 0.5
+
+#: Cap on the exponential retry backoff between failover attempts.
+MAX_BACKOFF_SECONDS = 0.25
+
+
 class _ShardMetricsView:
     """The counters :func:`run_workload` reads, summed over shards."""
 
@@ -130,12 +179,14 @@ class _ShardMetricsView:
     @property
     def sim_wall_seconds(self) -> float:
         return sum(
-            e.metrics.sim_wall_seconds for e in self._owner.engines
+            e.metrics.sim_wall_seconds for e in self._owner.all_engines
         )
 
     @property
     def spilled_rects(self) -> int:
-        return sum(e.metrics.spilled_rects for e in self._owner.engines)
+        return sum(
+            e.metrics.spilled_rects for e in self._owner.all_engines
+        )
 
 
 class _ShardArtifactsView:
@@ -146,7 +197,7 @@ class _ShardArtifactsView:
 
     def snapshot(self) -> Dict[str, object]:
         merged: Dict[str, object] = {}
-        for engine in self._owner.engines:
+        for engine in self._owner.all_engines:
             sum_counters(merged, engine.artifacts.snapshot())
         probes = merged.get("hits", 0) + merged.get("misses", 0)
         merged["hit_rate"] = (
@@ -173,7 +224,7 @@ class _ShardBudgetView:
 
     def snapshot(self) -> Dict[str, object]:
         merged: Dict[str, object] = {}
-        for engine in self._owner.engines:
+        for engine in self._owner.all_engines:
             sum_counters(merged, engine.budget.snapshot())
         return merged
 
@@ -200,43 +251,109 @@ class ShardedEngine:
         slow_threshold_seconds: float = 0.0,
         kernel: str = "auto",
         shm_min_bytes: Optional[int] = None,
+        replicas: int = 1,
+        artifact_dir: Optional[str] = None,
+        faults: Optional[FaultPlan] = None,
+        retry_backoff_seconds: float = 0.01,
+        replica_timeout_seconds: Optional[float] = None,
     ) -> None:
         self.shards = max(1, shards)
+        self.replicas = max(1, replicas)
         self.scale = scale
         self.machine = machine
         self.histogram_grid = histogram_grid
-        #: One pool for every shard; each engine below holds a client.
-        self.pool = WorkerPool(max(1, workers), kind=pool_kind)
+        self.faults = faults
+        #: Base of the exponential backoff slept between failover
+        #: attempts (0 disables sleeping; tests want speed).
+        self.retry_backoff_seconds = max(0.0, retry_backoff_seconds)
+        #: Post-hoc replica SLO: a sub-query slower than this gets a
+        #: health penalty, steering future selections away.  The
+        #: coordinator is synchronous, so an in-flight sub-query is
+        #: never cancelled — the timeout shapes *future* routing.
+        self.replica_timeout_seconds = replica_timeout_seconds
+        #: One pool for every shard and replica; each engine below
+        #: holds a ref-counted client.
+        self.pool = WorkerPool(max(1, workers), kind=pool_kind,
+                               faults=faults)
         per_shard = (
             max(1, memory_bytes // self.shards)
             if memory_bytes is not None else None
         )
+        self.artifact_dir = artifact_dir
+        if artifact_dir:
+            check_store_layout(artifact_dir, sharded=True)
+
+        def _leaf_dir(k: int, r: int) -> Optional[str]:
+            # One keyed leaf per replica engine: two live ArtifactStores
+            # must never share a manifest, and a replica's warm state
+            # is its own (replicas model separate boxes).
+            if not artifact_dir:
+                return None
+            return os.path.join(
+                artifact_dir, f"shard-{k:02d}", f"replica-{r:02d}"
+            )
+
         # Result caching happens once, at the scatter level (below):
         # verbatim repeats hit the top-level cache before any shard is
         # touched, so per-shard result caches would only store the
         # same answers a second time — shard engines run with theirs
         # disabled.  Artifact caches stay per-shard: they serve
         # *overlapping* (not just verbatim) queries.
-        self.engines = [
-            SpatialQueryEngine(
-                scale=scale, machine=machine, workers=workers,
-                cache_capacity=0,
-                histogram_grid=histogram_grid,
-                memory_bytes=per_shard, cache_bytes=None,
-                min_ship_rects=min_ship_rects,
-                artifact_cache_bytes=artifact_cache_bytes,
-                tile_batch_bytes=tile_batch_bytes,
-                worker_pool=self.pool,
-                kernel=kernel,
-                shm_min_bytes=shm_min_bytes,
-                # Shard engines trace (their span trees become shard
-                # subtrees of the scatter trace) but never keep their
-                # own slow logs — slowness is a scatter-level property.
-                trace=trace,
-                slow_log_capacity=0,
-            )
-            for _ in range(self.shards)
+        self._replica_engines: List[List[SpatialQueryEngine]] = [
+            [
+                SpatialQueryEngine(
+                    scale=scale, machine=machine, workers=workers,
+                    cache_capacity=0,
+                    histogram_grid=histogram_grid,
+                    memory_bytes=per_shard, cache_bytes=None,
+                    min_ship_rects=min_ship_rects,
+                    artifact_cache_bytes=artifact_cache_bytes,
+                    artifact_dir=_leaf_dir(k, r),
+                    tile_batch_bytes=tile_batch_bytes,
+                    worker_pool=self.pool,
+                    kernel=kernel,
+                    shm_min_bytes=shm_min_bytes,
+                    faults=faults,
+                    # Shard engines trace (their span trees become
+                    # shard subtrees of the scatter trace) but never
+                    # keep their own slow logs — slowness is a
+                    # scatter-level property.
+                    trace=trace,
+                    slow_log_capacity=0,
+                )
+                for r in range(self.replicas)
+            ]
+            for k in range(self.shards)
         ]
+        #: Back-compat view: shard k's *primary* replica, the engine
+        #: pre-replica callers indexed as ``engines[k]``.
+        self.engines = [group[0] for group in self._replica_engines]
+        #: Persisted result-cache entries, one store per *shard*
+        #: (replicas of a shard share it — any of them can save or
+        #: serve a sub-result, so durability survives replica death).
+        self.result_stores: Optional[List[ResultStore]] = (
+            [
+                ResultStore(
+                    os.path.join(artifact_dir, f"shard-{k:02d}",
+                                 "results"),
+                    faults=faults,
+                )
+                for k in range(self.shards)
+            ]
+            if artifact_dir else None
+        )
+        #: Per-relation, per-shard slice fingerprints (result tokens
+        #: are content-addressed by the shard's own subset).
+        self._fingerprints: Dict[str, List[Optional[int]]] = {}
+        # -- replica health ---------------------------------------------
+        #: Health score per (shard, replica) in [0, 1]: 1.0 healthy,
+        #: zeroed on failure, earned back in 0.5 steps by successful
+        #: probes (below HEALTH_FLOOR a replica is only probed).
+        self._health: List[List[float]] = [
+            [1.0] * self.replicas for _ in range(self.shards)
+        ]
+        self._rr = [0] * self.shards
+        self._probe_tick = [0] * self.shards
         self.kernel = self.engines[0].kernel
         self._cuts: Optional[List[float]] = None
         self._versions: Dict[str, int] = {}
@@ -260,6 +377,23 @@ class ShardedEngine:
         self.pairs_returned = 0
         self.duplicates_eliminated = 0
         self.shards_pruned_total = 0
+        # -- availability counters --------------------------------------
+        #: Logical queries in which at least one shard was served by a
+        #: non-first-choice replica (the query degraded but survived).
+        self.failovers = 0
+        #: Sub-query re-attempts launched after a replica failure.
+        self.retries = 0
+        #: Individual replica sub-query failures (each also zeroes the
+        #: replica's health score).
+        self.replica_failures = 0
+        #: Sub-queries that exceeded ``replica_timeout_seconds``.
+        self.replica_timeouts = 0
+        #: Unhealthy replicas that earned their health back via probes.
+        self.replica_recoveries = 0
+        #: Shard sub-results served from the persisted result stores
+        #: (total, plus the per-shard breakdown the snapshot reports).
+        self.result_disk_restores = 0
+        self._shard_result_restores = [0] * self.shards
         #: Per-relation boundary-replica counts (extra copies beyond
         #: one per rectangle); re-registration replaces an entry and
         #: drop removes it, so the gauge tracks the *current* catalog.
@@ -282,6 +416,21 @@ class ShardedEngine:
     def boundary_replicas(self) -> int:
         """Extra rectangle copies currently held due to replication."""
         return sum(self._replica_counts.values())
+
+    @property
+    def all_engines(self) -> List[SpatialQueryEngine]:
+        """Every engine — all replicas of all shards (facade sums)."""
+        return [e for group in self._replica_engines for e in group]
+
+    @property
+    def unhealthy_replicas(self) -> int:
+        return sum(
+            1 for row in self._health for h in row if h < HEALTH_FLOOR
+        )
+
+    def replica_health(self) -> List[List[float]]:
+        """Health scores, ``[shard][replica]`` (copies; a gauge)."""
+        return [list(row) for row in self._health]
 
     # -- sharding geometry ------------------------------------------------
 
@@ -332,38 +481,50 @@ class ShardedEngine:
             )
         was_present = self._present.get(name, [False] * self.shards)
         present = [False] * self.shards
+        fingerprints: List[Optional[int]] = [None] * self.shards
         replicas = -len(rect_list)
-        for k, engine in enumerate(self.engines):
+        for k, group in enumerate(self._replica_engines):
             lo, hi = self.strip_of(k)
             subset = [r for r in rect_list if r.xhi >= lo and r.xlo <= hi]
+            # Boundary-replica accounting counts strips, not engine
+            # replicas: R copies of one strip are availability, not
+            # extra boundary replication.
             replicas += len(subset)
+            if subset and self.result_stores is not None:
+                fingerprints[k] = rects_fingerprint(subset)
             if subset:
                 sub_geoms = (
                     {r.rid: geometries[r.rid] for r in subset
                      if r.rid in geometries}
                     if geometries is not None else None
                 )
-                engine.register(name, subset, universe=uni,
-                                geometries=sub_geoms)
+                for engine in group:
+                    engine.register(name, subset, universe=uni,
+                                    geometries=sub_geoms)
                 present[k] = True
             elif was_present[k]:
-                engine.drop(name)
+                for engine in group:
+                    engine.drop(name)
         self._replica_counts[name] = replicas
         self._present[name] = present
         self._universes[name] = uni
         self._versions[name] = self._next_version
         self._next_version += 1
+        if self.result_stores is not None:
+            self._fingerprints[name] = fingerprints
         self.cache.invalidate_relation(name)
 
     def drop(self, name: str) -> None:
         self._check_known(name)
-        for k, engine in enumerate(self.engines):
+        for k, group in enumerate(self._replica_engines):
             if self._present[name][k]:
-                engine.drop(name)
+                for engine in group:
+                    engine.drop(name)
         del self._present[name]
         del self._universes[name]
         del self._versions[name]
         del self._replica_counts[name]
+        self._fingerprints.pop(name, None)
         self.cache.invalidate_relation(name)
 
     def universe_of(self, name: str) -> Rect:
@@ -374,12 +535,19 @@ class ShardedEngine:
         return sorted(self._versions)
 
     def prepare(self, *names: str) -> None:
-        """Force-build every shard's streams/indexes/histograms now."""
+        """Force-build every replica's streams/indexes/histograms now."""
         for name in (names or self.names()):
             self._check_known(name)
-            for k, engine in enumerate(self.engines):
+            for k, group in enumerate(self._replica_engines):
                 if self._present[name][k]:
-                    engine.prepare(name)
+                    for engine in group:
+                        engine.prepare(name)
+
+    def wait_prewarm(self, timeout: Optional[float] = None) -> None:
+        """Block until every replica's background prewarm finishes."""
+        for engine in self.all_engines:
+            if engine.artifact_store is not None:
+                engine.artifact_store.wait_prewarm(timeout)
 
     def _check_known(self, name: str) -> None:
         if name not in self._versions:
@@ -417,6 +585,127 @@ class ShardedEngine:
                 continue
             participating.append(k)
         return participating, pruned
+
+    # -- replica selection / failover -------------------------------------
+
+    def _replica_order(self, k: int) -> List[int]:
+        """Candidate replicas for shard ``k``, best try first.
+
+        Healthy replicas rotate round-robin (read scaling: repeats of
+        one query spread over the replica set).  Unhealthy replicas
+        are appended as a last resort — a query is never failed while
+        an untried replica remains — and every ``PROBE_EVERY``-th
+        selection they are tried *first*, which is how a healed
+        replica gets traffic to earn its score back.
+        """
+        n = self.replicas
+        start = self._rr[k]
+        self._rr[k] = (self._rr[k] + 1) % max(1, n)
+        rotated = [(start + i) % n for i in range(n)]
+        healthy = [r for r in rotated
+                   if self._health[k][r] >= HEALTH_FLOOR]
+        sick = [r for r in rotated
+                if self._health[k][r] < HEALTH_FLOOR]
+        if not sick:
+            return healthy
+        self._probe_tick[k] += 1
+        if self._probe_tick[k] % PROBE_EVERY == 0:
+            return sick + healthy
+        return healthy + sick
+
+    def _mark_failure(self, k: int, r: int) -> None:
+        self._health[k][r] = 0.0
+        self.replica_failures += 1
+
+    def _mark_success(self, k: int, r: int, wall: float) -> None:
+        timeout = self.replica_timeout_seconds
+        if timeout is not None and wall > timeout:
+            # Served, but slower than the replica SLO: penalize the
+            # score so routing drifts away before the replica fails
+            # outright.  (The synchronous coordinator cannot cancel an
+            # in-flight sub-query; the timeout shapes future routing.)
+            self.replica_timeouts += 1
+            self._health[k][r] = max(
+                0.0, self._health[k][r] - HEALTH_FLOOR
+            )
+            return
+        before = self._health[k][r]
+        self._health[k][r] = min(1.0, before + HEALTH_FLOOR)
+        if before < HEALTH_FLOOR <= self._health[k][r]:
+            self.replica_recoveries += 1
+
+    def _execute_on_shard(self, k: int, sub: Query, analyze: bool,
+                          scatter: Optional[Span]):
+        """One shard's sub-query with replica failover.
+
+        Returns ``(EngineResult, replica, attempts)``.  Semantic
+        errors — admission rejections, unknown relations — are
+        deterministic across replicas and re-raise immediately;
+        anything else marks the replica unhealthy, records the
+        degradation (counters + a ``failover`` span) and retries the
+        next candidate after an exponential backoff.  Only when every
+        replica has failed does the query see an error.
+        """
+        order = self._replica_order(k)
+        last_exc: Optional[BaseException] = None
+        for attempt, r in enumerate(order):
+            engine = self._replica_engines[k][r]
+            if attempt > 0:
+                self.retries += 1
+                if self.retry_backoff_seconds > 0.0:
+                    time.sleep(min(
+                        MAX_BACKOFF_SECONDS,
+                        self.retry_backoff_seconds * (2 ** (attempt - 1)),
+                    ))
+            t0 = time.perf_counter()
+            try:
+                if self.faults is not None:
+                    rule = self.faults.fire(
+                        "shard.execute", shard=k, replica=r,
+                    )
+                    if rule is not None:
+                        if rule.kind == "slow":
+                            time.sleep(rule.delay_seconds)
+                        else:
+                            raise InjectedFault(
+                                f"injected replica failure "
+                                f"(shard {k} replica {r})"
+                            )
+                out = engine.execute(sub, analyze=analyze)
+            except (AdmissionError, KeyError):
+                raise
+            except Exception as exc:
+                last_exc = exc
+                self._mark_failure(k, r)
+                if scatter is not None:
+                    scatter.child(
+                        "failover", shard=k, replica=r,
+                        error=type(exc).__name__, attempt=attempt,
+                    )
+                continue
+            self._mark_success(k, r, time.perf_counter() - t0)
+            return out, r, attempt + 1
+        assert last_exc is not None
+        raise last_exc
+
+    def _shard_result_token(self, k: int, sub: Query) -> Optional[str]:
+        """Durable identity of shard ``k``'s sub-result for ``sub``.
+
+        Content-addressed by the shard's *slice* fingerprints plus the
+        canonical sub-query, so a restarted engine registering the
+        same data derives the same token while any data change makes
+        old entries unreachable — and every replica of the shard
+        derives it identically (they hold the same slice).
+        """
+        if self.result_stores is None:
+            return None
+        fps = []
+        for n in sub.relations:
+            fp = self._fingerprints.get(n, [None] * self.shards)[k]
+            if fp is None:
+                return None
+            fps.append((n, fp))
+        return result_token(tuple(fps), sub.canonical())
 
     # -- serving ----------------------------------------------------------
 
@@ -469,17 +758,51 @@ class ShardedEngine:
         sim_wall = 0.0
         shard_pairs: Dict[int, int] = {}
         shard_strategies: Dict[int, str] = {}
+        shard_replicas: Dict[int, int] = {}
         shard_plans: Dict[int, str] = {}
+        restored_shards: List[int] = []
+        degraded = False
         t_scatter = time.perf_counter()
         for k in participating:
-            out = self.engines[k].execute(sub, analyze=analyze)
+            # A persisted sub-result serves the shard's share straight
+            # from disk — no replica executes, which is how a restarted
+            # deployment rewarms every shard without recomputing.
+            token = self._shard_result_token(k, sub)
+            if token is not None:
+                restored = self.result_stores[k].load(token)
+                if restored is not None:
+                    self.result_disk_restores += 1
+                    self._shard_result_restores[k] += 1
+                    restored_shards.append(k)
+                    raw_pairs += restored.n_pairs
+                    shard_pairs[k] = restored.n_pairs
+                    shard_strategies[k] = str(
+                        restored.detail.get("strategy", "?")
+                    )
+                    merged.update(restored.pairs or ())
+                    if scatter is not None:
+                        scatter.child(
+                            "restore", shard=k, disk=True,
+                            pairs=restored.n_pairs,
+                        )
+                    continue
+            out, replica, attempts = self._execute_on_shard(
+                k, sub, analyze, scatter
+            )
+            if attempts > 1:
+                degraded = True
             sim_wall += out.sim_wall_seconds
             raw_pairs += out.result.n_pairs
             shard_pairs[k] = out.result.n_pairs
+            shard_replicas[k] = replica
             shard_strategies[k] = str(
                 out.result.detail.get("strategy", "?")
             )
             merged.update(out.result.pairs)
+            if (token is not None
+                    and out.result.pairs is not None
+                    and len(out.result.pairs) <= MAX_CACHED_PAIRS):
+                self.result_stores[k].save(token, out.result)
             if analyze and out.plan is not None:
                 shard_plans[k] = out.plan.explain()
             if scatter is not None and out.trace is not None:
@@ -488,7 +811,10 @@ class ShardedEngine:
                 sp = out.trace
                 sp.name = "shard"
                 sp.attrs["shard"] = k
+                sp.attrs["replica"] = replica
                 scatter.adopt(sp)
+        if degraded:
+            self.failovers += 1
         if scatter is not None:
             scatter.wall_seconds = time.perf_counter() - t_scatter
             for f in SPAN_METRIC_FIELDS:
@@ -512,8 +838,11 @@ class ShardedEngine:
                 "cross_shard_duplicates": raw_pairs - len(merged),
                 "shard_pairs": shard_pairs,
                 "shard_strategies": shard_strategies,
+                "shard_replicas": shard_replicas,
             },
         )
+        if restored_shards:
+            result.detail["shard_disk_restores"] = restored_shards
         if analyze:
             result.detail["shard_plans"] = shard_plans
         if trace is not None:
@@ -577,8 +906,8 @@ class ShardedEngine:
     # -- lifecycle --------------------------------------------------------
 
     def close(self) -> None:
-        """Release every shard's pool ref; the last one stops the pool."""
-        for engine in self.engines:
+        """Release every replica's pool ref; the last one stops the pool."""
+        for engine in self.all_engines:
             engine.close()
 
     def __enter__(self) -> "ShardedEngine":
@@ -601,11 +930,33 @@ class ShardedEngine:
         construction.
         """
         snap = merge_snapshots(
-            [e.metrics.snapshot() for e in self.engines]
+            [e.metrics.snapshot() for e in self.all_engines]
         )
+        return self._finish_snapshot(snap)
+
+    def _result_store_snapshot(self) -> Optional[Dict[str, object]]:
+        """Per-shard result stores merged into one counter dict."""
+        if self.result_stores is None:
+            return None
+        merged: Dict[str, object] = {}
+        for store in self.result_stores:
+            sum_counters(merged, store.snapshot())
+        return merged
+
+    def _finish_snapshot(self, snap: Dict[str, object]) -> Dict[str, object]:
         snap["kernel"] = self.kernel
+        # Per-replica disk sidecars merge into one store snapshot (None
+        # when the deployment has no artifact dir, like the single
+        # engine's key).
+        store_snap: Optional[Dict[str, object]] = None
+        if self.artifact_dir:
+            store_snap = {}
+            for e in self.all_engines:
+                if e.artifact_store is not None:
+                    sum_counters(store_snap, e.artifact_store.snapshot())
         snap.update(flatten_cache_keys(
             self.artifacts.snapshot(), self.budget.snapshot(),
+            store_snap,
         ))
         snap.update({
             "queries_served": self.queries_served,
@@ -629,41 +980,78 @@ class ShardedEngine:
             "shard_cuts": list(self._cuts or []),
             "shards_pruned_total": self.shards_pruned_total,
             "boundary_replicas": self.boundary_replicas,
+            # Availability: the scatter layer owns these (shard-engine
+            # snapshots carry them as zeros for key compatibility).
+            "replicas": self.replicas,
+            "failovers": self.failovers,
+            "retries": self.retries,
+            "replica_failures": self.replica_failures,
+            "replica_timeouts": self.replica_timeouts,
+            "replica_recoveries": self.replica_recoveries,
+            "unhealthy_replicas": self.unhealthy_replicas,
+            "replica_health": self.replica_health(),
+            "failover_rate": (
+                self.failovers / self.queries_executed
+                if self.queries_executed else 0.0
+            ),
+            "result_disk_restores": self.result_disk_restores,
+            "result_store": self._result_store_snapshot(),
             "worker_pool": self.pool.snapshot(),
             "per_shard": [
                 {
-                    "queries_served": e.metrics.queries_served,
-                    "pairs_returned": e.metrics.pairs_returned,
-                    "tasks_dispatched": e.worker_pool.tasks_dispatched,
-                    "tasks_inline": e.worker_pool.tasks_inline,
-                    "tiles_dispatched": e.worker_pool.tiles_dispatched,
-                    "tiles_inline": e.worker_pool.tiles_inline,
+                    "queries_served": sum(
+                        e.metrics.queries_served for e in group
+                    ),
+                    "pairs_returned": sum(
+                        e.metrics.pairs_returned for e in group
+                    ),
+                    "tasks_dispatched": sum(
+                        e.worker_pool.tasks_dispatched for e in group
+                    ),
+                    "tasks_inline": sum(
+                        e.worker_pool.tasks_inline for e in group
+                    ),
+                    "tiles_dispatched": sum(
+                        e.worker_pool.tiles_dispatched for e in group
+                    ),
+                    "tiles_inline": sum(
+                        e.worker_pool.tiles_inline for e in group
+                    ),
+                    # Everything this shard pulled back from disk:
+                    # artifact restores on any replica plus persisted
+                    # sub-results served for the whole shard.
+                    "disk_restores": sum(
+                        e.artifacts.snapshot()["disk_restores"]
+                        for e in group
+                    ) + self._shard_result_restores[i],
+                    "result_restores": self._shard_result_restores[i],
+                    "replica_health": list(self._health[i]),
                     "relations": [
                         n for n in self.names() if self._present[n][i]
                     ],
                 }
-                for i, e in enumerate(self.engines)
+                for i, group in enumerate(self._replica_engines)
             ],
             # Result-cache gauges are the scatter-level cache's own:
             # it is the only result cache in a sharded deployment
             # (shard engines run with theirs disabled).
             **flatten_result_cache_keys(self.cache),
             "buffer_pool_requests": sum(
-                e.pool.requests for e in self.engines
+                e.pool.requests for e in self.all_engines
             ),
             "buffer_pool_hit_rate": (
                 sum(e.pool.hit_rate * e.pool.requests
-                    for e in self.engines)
-                / max(1, sum(e.pool.requests for e in self.engines))
+                    for e in self.all_engines)
+                / max(1, sum(e.pool.requests for e in self.all_engines))
             ),
             "buffer_pool_evictions": sum(
-                e.pool.evictions for e in self.engines
+                e.pool.evictions for e in self.all_engines
             ),
             "buffer_pool_resident_pages": sum(
-                e.pool.resident_pages for e in self.engines
+                e.pool.resident_pages for e in self.all_engines
             ),
             "indexes_built": sum(
-                e.catalog.indexes_built for e in self.engines
+                e.catalog.indexes_built for e in self.all_engines
             ),
             "relations": self.names(),
         })

@@ -18,6 +18,14 @@ or the sweeps.  A :class:`Span` tree answers that question per query:
     │   └── gather            (future drain + merge)
     └── finalize              (result-cache fill)
 
+A sharded query wraps the same shape: the scatter span adopts each
+shard engine's whole ``query`` tree as a ``shard`` subtree (tagged
+with the replica that served it), and degradations appear as extra
+scatter children — a ``failover`` span per failed replica attempt
+(shard, replica, error type, attempt number) and a ``restore`` span
+when a shard's sub-result was served from the persisted result store
+instead of executing.
+
 Every span carries **wall seconds** (host clock) and the **simulated**
 story of the same stretch — io/cpu seconds on the engine's machine plus
 the raw page/byte/op deltas — so the wall-vs-sim throughput gap can be

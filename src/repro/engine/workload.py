@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.data.datasets import build_dataset
 from repro.engine.engine import SpatialQueryEngine
+from repro.engine.faults import FaultPlan
 from repro.engine.query import Query
 from repro.engine.shard import ShardedEngine
 from repro.geom.rect import Rect
@@ -53,6 +54,7 @@ def engine_for_dataset(
     slow_threshold_seconds: float = 0.0,
     kernel: str = "auto",
     shm_min_bytes: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> SpatialQueryEngine:
     """An engine with one Table 2 dataset registered as two relations.
 
@@ -80,6 +82,7 @@ def engine_for_dataset(
         pool_kind=pool_kind,
         artifact_cache_bytes=artifact_cache_bytes,
         artifact_dir=artifact_dir,
+        faults=faults,
         trace=trace,
         slow_log_capacity=slow_log_capacity,
         slow_threshold_seconds=slow_threshold_seconds,
@@ -109,12 +112,19 @@ def sharded_engine_for_dataset(
     slow_threshold_seconds: float = 0.0,
     kernel: str = "auto",
     shm_min_bytes: Optional[int] = None,
+    replicas: int = 1,
+    artifact_dir: Optional[str] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> ShardedEngine:
     """Like :func:`engine_for_dataset`, but scattered over N shards.
 
     ``memory_bytes`` here is the *total* budget, sliced evenly across
     the shards; all shards share one worker pool of ``workers``
-    workers.
+    workers.  ``replicas`` places that many identical engines on every
+    shard (scatter fails over between them), ``artifact_dir`` persists
+    per-replica artifacts and the shared result store under one root,
+    and ``faults`` threads a :class:`~repro.engine.faults.FaultPlan`
+    through the pool, the artifact stores and shard execution.
     """
     ds = build_dataset(dataset, scale)
     extra = {}
@@ -129,6 +139,9 @@ def sharded_engine_for_dataset(
         memory_bytes=memory_bytes, cache_bytes=cache_bytes,
         pool_kind=pool_kind,
         artifact_cache_bytes=artifact_cache_bytes,
+        replicas=replicas,
+        artifact_dir=artifact_dir,
+        faults=faults,
         trace=trace,
         slow_log_capacity=slow_log_capacity,
         slow_threshold_seconds=slow_threshold_seconds,

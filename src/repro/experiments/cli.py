@@ -96,6 +96,26 @@ def _parse_serve_args(argv: List[str]) -> argparse.Namespace:
         ),
     )
     parser.add_argument(
+        "--replicas", type=int, default=1,
+        help=(
+            "replica engines per shard (sharded runs only); scatter "
+            "picks a healthy replica and fails over to the survivors "
+            "when one dies mid-query (default: 1)"
+        ),
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="JSON",
+        help=(
+            "fault-injection plan: a JSON list of rule objects "
+            '(e.g. \'[{"site": "pool.task", "kind": "crash"}]\'); '
+            "see repro.engine.faults.FaultPlan.from_json"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for probabilistic fault rules (default: 0)",
+    )
+    parser.add_argument(
         "--seed", type=int, default=7,
         help="workload seed (default: 7)",
     )
@@ -134,7 +154,9 @@ def _parse_serve_args(argv: List[str]) -> argparse.Namespace:
         help=(
             "persist artifacts to this directory (content-keyed "
             "sidecar); a restarted serve-bench pointed at the same "
-            "directory restores its warm state lazily"
+            "directory restores its warm state lazily; with --shards "
+            "the root holds per-shard/per-replica subdirectories plus "
+            "a shared result store"
         ),
     )
     parser.add_argument(
@@ -299,18 +321,21 @@ def serve_bench(args: argparse.Namespace) -> int:
     )
 
     scale = _scale(args.scale)
-    if args.shards > 1:
-        if args.artifact_dir:
-            raise SystemExit(
-                "--artifact-dir is not supported with --shards yet "
-                "(the sidecar is keyed per engine)"
-            )
+    faults = None
+    if args.faults:
+        from repro.engine.faults import FaultPlan
+
+        try:
+            faults = FaultPlan.from_json(args.faults, seed=args.fault_seed)
+        except ValueError as exc:
+            raise SystemExit(f"--faults: {exc}")
     obs_kwargs = {
         "trace": args.trace,
         "slow_log_capacity": args.slow_log,
         "slow_threshold_seconds": args.slow_threshold_ms / 1000.0,
         "kernel": args.kernel,
         "shm_min_bytes": -1 if args.no_shm else args.shm_min_bytes,
+        "faults": faults,
     }
     if args.shards > 1:
         engine = sharded_engine_for_dataset(
@@ -321,6 +346,8 @@ def serve_bench(args: argparse.Namespace) -> int:
             min_ship_rects=args.min_ship_rects,
             artifact_cache_bytes=0 if args.no_artifact_cache else None,
             tile_batch_bytes=args.tile_batch_bytes,
+            replicas=max(1, args.replicas),
+            artifact_dir=args.artifact_dir,
             **obs_kwargs,
         )
     else:
@@ -386,6 +413,18 @@ def serve_bench(args: argparse.Namespace) -> int:
             f"{m['duplicates_eliminated']} boundary dups removed, "
             f"{m['shards_pruned_total']} shard-queries pruned"
         )])
+        rows.append(["replicas", (
+            f"{m['replicas']} per shard, "
+            f"{m['failovers']} failovers, "
+            f"{m['retries']} retries, "
+            f"{m['unhealthy_replicas']} unhealthy"
+        )])
+        if m.get("result_store") is not None:
+            rows.append(["result store", (
+                f"{m['result_disk_restores']} disk restores, "
+                f"{m['result_store']['saves']} saves, "
+                f"{m['result_store']['corrupt_drops']} corrupt dropped"
+            )])
     if args.spill_report:
         budget = report["budget"]
         rows += [

@@ -172,7 +172,12 @@ def assert_same_pairs():
     kind — all shards of one engine sharing one worker pool — and
     asserts bit-identical sorted pair sets throughout, plus the
     shared-pool accounting invariant (per-shard client counters sum to
-    the pool's totals).  Returns the sorted reference pairs.
+    the pool's totals).  ``replicas``/``faults`` replicate each shard
+    and inject a seeded :class:`~repro.engine.faults.FaultPlan` into
+    the sharded runs (fault rules re-arm per engine via
+    ``plan_factory``), which is how the chaos differentials assert
+    that replica failures never change pairs.  Returns the sorted
+    reference pairs.
     """
     from repro.engine import Query, ShardedEngine, SpatialQueryEngine
 
@@ -186,6 +191,9 @@ def assert_same_pairs():
         pool_kinds: Sequence[str] = ("serial", "thread"),
         workers: int = 2,
         force: Optional[str] = None,
+        replicas: int = 1,
+        plan_factory=None,
+        expect_failovers: bool = False,
     ) -> List[Tuple[int, int]]:
         self_join = rects_b is None
         if universe is None:
@@ -212,10 +220,12 @@ def assert_same_pairs():
 
         for kind in pool_kinds:
             for n_shards in shard_counts:
+                faults = plan_factory() if plan_factory else None
                 sharded = ShardedEngine(
                     shards=n_shards, scale=TEST_SCALE, machine=MACHINE_3,
                     workers=workers, pool_kind=kind, cache_capacity=0,
-                    min_ship_rects=0,
+                    min_ship_rects=0, replicas=replicas, faults=faults,
+                    retry_backoff_seconds=0.0,
                 )
                 sharded.register("a", rects_a, universe=universe)
                 if not self_join:
@@ -225,15 +235,16 @@ def assert_same_pairs():
                     f"{n_shards}-shard {kind}-pool engine diverged "
                     f"({len(got)} vs {len(ref)} pairs)"
                 )
-                # Shared-pool accounting: every shard submits through
-                # its own client, and the clients' counters must sum
-                # to the pool's totals — cross-shard traffic is never
-                # double- or under-counted.
+                # Shared-pool accounting: every engine (all replicas)
+                # submits through its own client, and the clients'
+                # counters must sum to the pool's totals —
+                # cross-shard traffic is never double- or
+                # under-counted.
                 for counter in ("tasks_dispatched", "tasks_inline",
                                 "tiles_dispatched", "tiles_inline"):
                     per_shard = sum(
                         getattr(e.worker_pool, counter)
-                        for e in sharded.engines
+                        for e in sharded.all_engines
                     )
                     assert per_shard == getattr(sharded.pool, counter), (
                         f"{counter}: shard sum {per_shard} != pool "
@@ -242,6 +253,13 @@ def assert_same_pairs():
                 snap = sharded.metrics_snapshot()
                 assert snap["queries_served"] == 1
                 assert snap["pairs_returned"] == len(ref)
+                if expect_failovers and faults is not None:
+                    fired = faults.total_injected
+                    assert snap["failovers"] >= (1 if fired else 0), (
+                        f"{n_shards}-shard {kind}-pool: "
+                        f"{fired} faults fired but no failover counted"
+                    )
+                    assert snap["retries"] >= snap["failovers"]
                 sharded.close()
                 assert sharded.pool.refs == 0
         return ref

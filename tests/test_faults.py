@@ -1,0 +1,778 @@
+"""Fault injection, replica failover, and the durable sharded layer.
+
+Chaos contract: under any injected fault — a worker crash mid-sweep, a
+replica dying mid-scatter, a flipped byte in a persisted artifact or
+result file, a broken pool — a replicated deployment must keep
+returning pair sets bit-identical to brute force, never raise to the
+caller while a survivor remains, and record every degradation in its
+counters and trace spans.  The :class:`FaultPlan` harness itself is
+pinned first (deterministic, seeded, site-validated), then each
+injection site, then the end-to-end differentials and the
+restart-rewarm story (per-shard ``disk_restores`` > 0 on every shard).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.join_result import JoinResult
+from repro.engine import (
+    FaultPlan,
+    FaultRule,
+    InjectedCrash,
+    InjectedFault,
+    Query,
+    ShardedEngine,
+    SpatialQueryEngine,
+    WorkerPool,
+    merge_snapshots,
+)
+from repro.engine.artifacts import (
+    ArtifactStore,
+    ResultStore,
+    check_store_layout,
+)
+from repro.engine.faults import corrupt_file
+from repro.engine.shard import HEALTH_FLOOR, PROBE_EVERY
+from repro.geom.rect import Rect
+from repro.sim.machines import MACHINE_3
+
+from tests.conftest import TEST_SCALE, _uniform, brute_reference
+
+UNIT = Rect(0.0, 1.0, 0.0, 1.0, 0)
+
+
+def _data(seed=1, n_a=80, n_b=60):
+    rng = random.Random(seed)
+    return _uniform(rng, n_a), _uniform(rng, n_b, id_base=100_000)
+
+
+def _single(faults=None, **kw):
+    kw.setdefault("scale", TEST_SCALE)
+    kw.setdefault("machine", MACHINE_3)
+    kw.setdefault("workers", 2)
+    kw.setdefault("cache_capacity", 0)
+    kw.setdefault("min_ship_rects", 0)
+    kw.setdefault("pool_kind", "thread")
+    a, b = _data()
+    engine = SpatialQueryEngine(faults=faults, **kw)
+    engine.register("a", a, universe=UNIT)
+    engine.register("b", b, universe=UNIT)
+    return engine, a, b
+
+
+def _sharded(faults=None, **kw):
+    kw.setdefault("shards", 2)
+    kw.setdefault("scale", TEST_SCALE)
+    kw.setdefault("machine", MACHINE_3)
+    kw.setdefault("workers", 2)
+    kw.setdefault("cache_capacity", 0)
+    kw.setdefault("min_ship_rects", 0)
+    kw.setdefault("pool_kind", "serial")
+    kw.setdefault("retry_backoff_seconds", 0.0)
+    a, b = _data()
+    engine = ShardedEngine(faults=faults, **kw)
+    engine.register("a", a, universe=UNIT)
+    engine.register("b", b, universe=UNIT)
+    return engine, a, b
+
+
+class TestFaultRuleValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultRule(site="pool.tsak", kind="crash")
+
+    def test_kind_invalid_at_site_rejected(self):
+        with pytest.raises(ValueError, match="not valid at"):
+            FaultRule(site="artifact.load", kind="crash")
+
+    def test_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="pool.task", kind="crash", times=-1)
+        with pytest.raises(ValueError):
+            FaultRule(site="pool.task", kind="crash", after=-1)
+        with pytest.raises(ValueError):
+            FaultRule(site="pool.task", kind="crash", probability=1.5)
+
+    def test_every_site_has_valid_kinds(self):
+        from repro.engine.faults import _SITE_KINDS, FAULT_SITES
+
+        assert set(_SITE_KINDS) == set(FAULT_SITES)
+
+
+class TestFaultPlan:
+    def test_after_and_times_window(self):
+        plan = FaultPlan([
+            FaultRule(site="pool.task", kind="exception",
+                      after=2, times=2),
+        ])
+        fired = [plan.fire("pool.task") is not None for _ in range(6)]
+        assert fired == [False, False, True, True, False, False]
+        assert plan.total_injected == 2
+
+    def test_first_declared_rule_wins(self):
+        plan = FaultPlan([
+            FaultRule(site="pool.task", kind="slow", times=1),
+            FaultRule(site="pool.task", kind="exception", times=1),
+        ])
+        assert plan.fire("pool.task").kind == "slow"
+        assert plan.fire("pool.task").kind == "exception"
+        assert plan.fire("pool.task") is None
+
+    def test_match_restricts_by_rendered_attrs(self):
+        plan = FaultPlan([
+            FaultRule(site="shard.execute", kind="exception",
+                      times=None, match="replica=1"),
+        ])
+        assert plan.fire("shard.execute", shard=0, replica=0) is None
+        assert plan.fire("shard.execute", shard=0, replica=1) is not None
+        assert plan.fire("shard.execute", shard=3, replica=1) is not None
+
+    def test_probability_is_seed_deterministic(self):
+        def pattern(seed):
+            plan = FaultPlan([
+                FaultRule(site="pool.task", kind="exception",
+                          times=None, probability=0.5),
+            ], seed=seed)
+            return [plan.fire("pool.task") is not None
+                    for _ in range(32)]
+
+        assert pattern(7) == pattern(7)
+        assert any(pattern(7)) and not all(pattern(7))
+
+    def test_from_json_round_trip(self):
+        plan = FaultPlan.from_json(json.dumps([
+            {"site": "pool.task", "kind": "crash", "times": 2},
+            {"site": "artifact.load", "kind": "corrupt",
+             "match": "tok"},
+        ]), seed=3)
+        assert len(plan.rules) == 2
+        assert plan.rules[0].times == 2
+        assert plan.rules[1].match == "tok"
+        assert plan.seed == 3
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ValueError, match="must be a list"):
+            FaultPlan.from_json('{"site": "pool.task"}')
+        with pytest.raises(ValueError, match="unknown fault rule keys"):
+            FaultPlan.from_json('[{"site": "pool.task", '
+                                '"kind": "crash", "sit": 1}]')
+
+    def test_snapshot_reports_seen_and_fired(self):
+        plan = FaultPlan([FaultRule(site="pool.task", kind="slow")])
+        plan.fire("pool.task")
+        plan.fire("pool.task")
+        snap = plan.snapshot()
+        assert snap["rules"][0]["seen"] == 2
+        assert snap["rules"][0]["fired"] == 1
+        assert snap["injected"] == {"pool.task:slow": 1}
+
+
+class TestCorruptFile:
+    def test_flips_last_byte(self, tmp_path):
+        p = tmp_path / "x.bin"
+        p.write_bytes(b"hello")
+        assert corrupt_file(str(p)) is True
+        assert p.read_bytes() == b"hell" + bytes([ord("o") ^ 0xFF])
+
+    def test_missing_and_empty_report_false(self, tmp_path):
+        assert corrupt_file(str(tmp_path / "absent")) is False
+        p = tmp_path / "empty"
+        p.write_bytes(b"")
+        assert corrupt_file(str(p)) is False
+
+
+class TestPoolFaults:
+    """Injection at the pool layer and the executor's recovery."""
+
+    def test_task_exception_propagates_from_future(self):
+        plan = FaultPlan([
+            FaultRule(site="pool.task", kind="exception"),
+        ])
+        pool = WorkerPool(1, kind="thread", faults=plan)
+        fut = pool.submit(len, (1, 2, 3))
+        with pytest.raises(InjectedFault):
+            fut.result()
+        assert pool.submit(len, (1, 2, 3)).result() == 3
+        pool.shutdown()
+
+    def test_task_crash_on_thread_pool_is_broken_executor(self):
+        plan = FaultPlan([FaultRule(site="pool.task", kind="crash")])
+        pool = WorkerPool(1, kind="thread", faults=plan)
+        fut = pool.submit(len, (1,))
+        with pytest.raises(InjectedCrash):
+            fut.result()
+        pool.shutdown()
+
+    def test_slow_task_still_returns(self):
+        plan = FaultPlan([
+            FaultRule(site="pool.task", kind="slow",
+                      delay_seconds=0.01),
+        ])
+        pool = WorkerPool(1, kind="thread", faults=plan)
+        assert pool.submit(len, (1, 2)).result() == 2
+        assert plan.total_injected == 1
+        pool.shutdown()
+
+    def test_worker_crash_recovers_with_identical_pairs(self):
+        # The executor's broken-pool path: the tagged future replays
+        # the *unwrapped* task inline, so the retry runs fault-free.
+        plan = FaultPlan([FaultRule(site="pool.task", kind="crash")])
+        engine, a, b = _single(faults=plan)
+        out = engine.execute(
+            Query(relations=("a", "b"), force="pbsm-grid")
+        ).result
+        assert sorted(out.pairs) == sorted(brute_reference(a, b))
+        assert plan.total_injected == 1
+        assert engine.worker_pool.fallbacks >= 1
+        engine.close()
+
+    def test_process_worker_crash_demotes_and_recovers(self):
+        # A real fork actually dies (os._exit) — genuine
+        # BrokenProcessPool, global demotion to threads, inline replay.
+        plan = FaultPlan([FaultRule(site="pool.task", kind="crash")])
+        engine, a, b = _single(faults=plan, pool_kind="process")
+        out = engine.execute(
+            Query(relations=("a", "b"), force="pbsm-grid")
+        ).result
+        assert sorted(out.pairs) == sorted(brute_reference(a, b))
+        snap = engine.worker_pool.snapshot()
+        assert snap["kind"] == "thread"
+        assert snap["demotions"] >= 1
+        engine.close()
+
+    def test_submit_break_runs_inline(self):
+        plan = FaultPlan([FaultRule(site="pool.submit", kind="break")])
+        engine, a, b = _single(faults=plan)
+        out = engine.execute(
+            Query(relations=("a", "b"), force="pbsm-grid")
+        ).result
+        assert sorted(out.pairs) == sorted(brute_reference(a, b))
+        assert plan.total_injected == 1
+        assert engine.worker_pool.tasks_inline >= 1
+        engine.close()
+
+    def test_pool_snapshot_carries_fault_plan(self):
+        plan = FaultPlan([FaultRule(site="pool.task", kind="slow")])
+        pool = WorkerPool(1, kind="serial", faults=plan)
+        assert pool.snapshot()["faults"]["rules"][0]["kind"] == "slow"
+        clean = WorkerPool(1, kind="serial")
+        assert clean.snapshot()["faults"] is None
+
+
+class TestReplicaFailover:
+    """Scatter-level availability: health, retries, probes, spans."""
+
+    def test_replica_failure_fails_over_same_pairs(self):
+        plan = FaultPlan([
+            FaultRule(site="shard.execute", kind="exception", times=1),
+        ])
+        engine, a, b = _sharded(faults=plan, replicas=2, trace=True)
+        out = engine.execute(Query(relations=("a", "b")))
+        assert sorted(out.result.pairs) == sorted(brute_reference(a, b))
+        snap = engine.metrics_snapshot()
+        assert snap["failovers"] == 1
+        assert snap["retries"] == 1
+        assert snap["replica_failures"] == 1
+        assert snap["unhealthy_replicas"] == 1
+        spans = [s.name for s in _walk(out.trace)]
+        assert "failover" in spans
+        engine.close()
+
+    def test_kill_one_replica_everywhere_never_raises(self):
+        plan = FaultPlan([
+            FaultRule(site="shard.execute", kind="exception",
+                      times=None, match="replica=0"),
+        ])
+        engine, a, b = _sharded(faults=plan, replicas=2, shards=2)
+        ref = sorted(brute_reference(a, b))
+        for _ in range(6):
+            out = engine.execute(Query(relations=("a", "b")))
+            assert sorted(out.result.pairs) == ref
+        snap = engine.metrics_snapshot()
+        assert snap["failovers"] >= 1
+        assert snap["replica_failures"] >= 2
+        # Replica 0 of each shard is pinned unhealthy; replica 1 serves.
+        for row in snap["replica_health"]:
+            assert row[0] < HEALTH_FLOOR <= row[1]
+        engine.close()
+
+    def test_all_replicas_dead_raises_to_caller(self):
+        plan = FaultPlan([
+            FaultRule(site="shard.execute", kind="exception",
+                      times=None),
+        ])
+        engine, a, b = _sharded(faults=plan, replicas=2)
+        with pytest.raises(InjectedFault):
+            engine.execute(Query(relations=("a", "b")))
+        engine.close()
+
+    def test_unknown_relation_never_retries(self):
+        engine, a, b = _sharded(replicas=2)
+        with pytest.raises(KeyError):
+            engine.execute(Query(relations=("a", "nope")))
+        assert engine.retries == 0
+        engine.close()
+
+    def test_probe_recovers_replica_health(self):
+        plan = FaultPlan([
+            FaultRule(site="shard.execute", kind="exception", times=1),
+        ])
+        engine, a, b = _sharded(faults=plan, replicas=2, shards=1)
+        q = Query(relations=("a", "b"))
+        engine.execute(q)  # fault fires, one replica marked unhealthy
+        assert engine.unhealthy_replicas == 1
+        # Sick replicas are re-probed every PROBE_EVERY-th selection;
+        # one clean success earns the health floor back.
+        for _ in range(2 * PROBE_EVERY):
+            engine.execute(q)
+        assert engine.unhealthy_replicas == 0
+        assert engine.replica_recoveries >= 1
+        engine.close()
+
+    def test_slow_replica_takes_timeout_penalty(self):
+        plan = FaultPlan([
+            FaultRule(site="shard.execute", kind="slow",
+                      delay_seconds=0.02, times=1),
+        ])
+        engine, a, b = _sharded(
+            faults=plan, replicas=2, shards=1,
+            replica_timeout_seconds=0.005,
+        )
+        out = engine.execute(Query(relations=("a", "b")))
+        assert sorted(out.result.pairs) == sorted(brute_reference(a, b))
+        assert engine.replica_timeouts == 1
+        assert engine.failovers == 0  # served, just slowly
+        engine.close()
+
+    def test_healthy_replicas_rotate_round_robin(self):
+        engine, a, b = _sharded(replicas=2, shards=1)
+        served = set()
+        for _ in range(4):
+            out = engine.execute(Query(relations=("a", "b")))
+            served.update(
+                out.result.detail["shard_replicas"].values()
+            )
+        assert served == {0, 1}
+        engine.close()
+
+    def test_worker_crash_under_sharding_recovers(self):
+        # A crashed pool worker is recovered below the scatter layer
+        # (broken-pool inline replay), so the sub-query still
+        # succeeds — the replicated answer never changes either way.
+        plan = FaultPlan([FaultRule(site="pool.task", kind="crash")])
+        engine, a, b = _sharded(
+            faults=plan, replicas=2, pool_kind="thread",
+        )
+        ref = sorted(brute_reference(a, b))
+        for _ in range(3):
+            out = engine.execute(
+                Query(relations=("a", "b"), force="pbsm-grid")
+            )
+            assert sorted(out.result.pairs) == ref
+        assert plan.total_injected == 1
+        engine.close()
+
+
+class TestDifferentialUnderFaults:
+    """The assert_same_pairs harness under seeded chaos."""
+
+    def test_replica_death_mid_scatter(self, assert_same_pairs):
+        a, b = _data(seed=5)
+        assert_same_pairs(
+            a, b, replicas=2,
+            plan_factory=lambda: FaultPlan([
+                FaultRule(site="shard.execute", kind="exception",
+                          times=1),
+            ]),
+            expect_failovers=True,
+        )
+
+    def test_windowed_replica_death(self, assert_same_pairs):
+        a, b = _data(seed=6)
+        assert_same_pairs(
+            a, b, window=Rect(0.2, 0.8, 0.1, 0.9, 0), replicas=2,
+            plan_factory=lambda: FaultPlan([
+                FaultRule(site="shard.execute", kind="exception",
+                          times=1),
+            ]),
+            expect_failovers=True,
+        )
+
+    def test_worker_crash_with_replicas(self, assert_same_pairs):
+        a, b = _data(seed=7)
+        assert_same_pairs(
+            a, b, replicas=2, pool_kinds=("thread",),
+            plan_factory=lambda: FaultPlan([
+                FaultRule(site="pool.task", kind="crash", times=1),
+            ]),
+        )
+
+    def test_broken_pool_with_replicas(self, assert_same_pairs):
+        a, b = _data(seed=8)
+        assert_same_pairs(
+            a, b, replicas=2,
+            plan_factory=lambda: FaultPlan([
+                FaultRule(site="pool.submit", kind="break", times=1),
+            ]),
+        )
+
+
+class TestArtifactFaults:
+    def _engine(self, tmp_path, a, b, faults=None):
+        engine = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, workers=2,
+            cache_capacity=0, pool_kind="serial",
+            memory_bytes=10_000_000,
+            artifact_dir=str(tmp_path), faults=faults,
+        )
+        engine.register("a", a, universe=UNIT)
+        engine.register("b", b, universe=UNIT)
+        return engine
+
+    def test_corrupt_on_save_degrades_next_restart(self, tmp_path):
+        a, b = _data(seed=9, n_a=120, n_b=80)
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        plan = FaultPlan([
+            FaultRule(site="artifact.save", kind="corrupt", times=1),
+        ])
+        first = self._engine(tmp_path, a, b, faults=plan)
+        ref = first.execute(q).result
+        assert plan.total_injected == 1
+        first.close()
+        second = self._engine(tmp_path, a, b)
+        out = second.execute(q).result
+        assert out.pair_set() == ref.pair_set()
+        assert second.artifact_store.corrupt_drops >= 1
+        second.close()
+
+    def test_corrupt_on_load_degrades_to_cold_run(self, tmp_path):
+        a, b = _data(seed=10, n_a=120, n_b=80)
+        q = Query(relations=("a", "b"), force="pbsm-grid")
+        first = self._engine(tmp_path, a, b)
+        ref = first.execute(q).result
+        first.close()
+        plan = FaultPlan([
+            FaultRule(site="artifact.load", kind="corrupt",
+                      times=None),
+        ])
+        second = self._engine(tmp_path, a, b, faults=plan)
+        out = second.execute(q).result
+        assert out.pair_set() == ref.pair_set()
+        assert out.detail["artifact_hit"] is False
+        assert second.artifact_store.corrupt_drops >= 1
+        second.close()
+
+
+class TestPrewarm:
+    def _warm_store(self, tmp_path):
+        a, b = _data(seed=11, n_a=120, n_b=80)
+        engine = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, workers=2,
+            cache_capacity=0, pool_kind="serial",
+            memory_bytes=10_000_000, artifact_dir=str(tmp_path),
+        )
+        engine.register("a", a, universe=UNIT)
+        engine.register("b", b, universe=UNIT)
+        engine.execute(Query(relations=("a", "b"), force="sssj"))
+        engine.close()
+
+    def test_prewarm_stages_and_load_pops(self, tmp_path):
+        self._warm_store(tmp_path)
+        store = ArtifactStore(str(tmp_path))
+        assert len(store) == 2  # two sorted runs
+        assert store.prewarm() == 2
+        snap = store.snapshot()
+        assert snap["prewarmed"] == 2 and snap["staged"] == 2
+        token = next(iter(store._manifest))
+        kind, value, logical = store.load(token)
+        assert logical > 0
+        # Staged payloads count as restores exactly like file reads.
+        assert store.restores == 1
+        assert store.snapshot()["staged"] == 1
+
+    def test_prewarm_limit_takes_hottest(self, tmp_path):
+        self._warm_store(tmp_path)
+        store = ArtifactStore(str(tmp_path))
+        tokens = sorted(store._manifest)
+        # Heat flushes to the manifest every _HEAT_FLUSH_EVERY bumps;
+        # eight loads guarantee the new store sees the skew.
+        for _ in range(8):
+            store.load(tokens[0])
+        store2 = ArtifactStore(str(tmp_path))
+        assert store2.prewarm(limit=1) == 1
+        assert tokens[0] in store2._staged
+
+    def test_background_prewarm_on_prepare(self, tmp_path):
+        self._warm_store(tmp_path)
+        a, b = _data(seed=11, n_a=120, n_b=80)
+        engine = SpatialQueryEngine(
+            scale=TEST_SCALE, machine=MACHINE_3, workers=2,
+            cache_capacity=0, pool_kind="serial",
+            memory_bytes=10_000_000, artifact_dir=str(tmp_path),
+        )
+        engine.register("a", a, universe=UNIT)
+        engine.register("b", b, universe=UNIT)
+        engine.prepare()
+        engine.artifact_store.wait_prewarm(5.0)
+        assert engine.artifact_store.snapshot()["prewarmed"] == 2
+        # Warm queries consume the staged payloads as disk restores.
+        out = engine.execute(
+            Query(relations=("a", "b"), force="sssj")
+        ).result
+        assert out.detail["artifact_restores"] == 2
+        engine.close()
+
+    def test_empty_store_starts_no_thread(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        assert store.start_prewarm() is None
+
+
+class TestResultStore:
+    def _result(self):
+        return JoinResult(
+            algorithm="scatter-gather", n_pairs=2,
+            pairs=[(1, 5), (2, 7)],
+            detail={"strategy": "sssj", "shard_pairs": {0: 2}},
+        )
+
+    def test_round_trip_pairs_exact(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        assert store.save("tok", self._result()) is True
+        out = store.load("tok")
+        assert out.pairs == [(1, 5), (2, 7)]
+        assert out.n_pairs == 2
+        assert out.algorithm == "scatter-gather"
+        assert store.snapshot()["restores"] == 1
+
+    def test_save_idempotent(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.save("tok", self._result())
+        store.save("tok", self._result())
+        assert store.saves == 1 and len(store) == 1
+
+    def test_count_only_round_trip(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.save("tok", JoinResult(
+            algorithm="x", n_pairs=9, pairs=None, detail={},
+        ))
+        out = store.load("tok")
+        assert out.pairs is None and out.n_pairs == 9
+
+    def test_corrupt_entry_dropped(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.save("tok", self._result())
+        corrupt_file(store._path("tok"))
+        assert store.load("tok") is None
+        assert store.corrupt_drops == 1
+        assert len(store) == 0  # dropped on detection
+
+    def test_injected_corrupt_on_load(self, tmp_path):
+        plan = FaultPlan([
+            FaultRule(site="result.load", kind="corrupt"),
+        ])
+        store = ResultStore(str(tmp_path), faults=plan)
+        store.save("tok", self._result())
+        assert store.load("tok") is None
+        assert store.corrupt_drops == 1
+
+    def test_unserializable_detail_never_fails(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        bad = JoinResult(
+            algorithm="x", n_pairs=0, pairs=[],
+            detail={"oops": object()},
+        )
+        assert store.save("tok", bad) is False
+        assert len(store) == 0
+
+
+class TestStoreLayoutGuard:
+    def test_single_engine_rejects_sharded_root(self, tmp_path):
+        (tmp_path / "shard-00").mkdir()
+        with pytest.raises(ValueError, match="sharded store"):
+            check_store_layout(str(tmp_path), sharded=False)
+        with pytest.raises(ValueError, match="sharded store"):
+            SpatialQueryEngine(
+                scale=TEST_SCALE, artifact_dir=str(tmp_path),
+            )
+
+    def test_sharded_rejects_single_engine_root(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{}")
+        with pytest.raises(ValueError, match="single-engine store"):
+            check_store_layout(str(tmp_path), sharded=True)
+        with pytest.raises(ValueError, match="single-engine store"):
+            ShardedEngine(
+                shards=2, scale=TEST_SCALE,
+                artifact_dir=str(tmp_path),
+            )
+
+    def test_empty_and_matching_roots_pass(self, tmp_path):
+        check_store_layout(str(tmp_path), sharded=True)
+        check_store_layout(str(tmp_path), sharded=False)
+        (tmp_path / "shard-00").mkdir()
+        check_store_layout(str(tmp_path), sharded=True)
+
+
+class TestShardedDurability:
+    def _engine(self, tmp_path, a, b, faults=None, replicas=2):
+        engine = ShardedEngine(
+            shards=2, replicas=replicas, scale=TEST_SCALE,
+            machine=MACHINE_3, workers=2, pool_kind="serial",
+            cache_capacity=0, min_ship_rects=0,
+            artifact_dir=str(tmp_path), faults=faults,
+            retry_backoff_seconds=0.0,
+        )
+        engine.register("a", a, universe=UNIT)
+        engine.register("b", b, universe=UNIT)
+        return engine
+
+    def test_restart_rewarms_every_shard(self, tmp_path):
+        a, b = _data(seed=12, n_a=150, n_b=100)
+        q = Query(relations=("a", "b"))
+        first = self._engine(tmp_path, a, b)
+        ref = sorted(first.execute(q).result.pairs)
+        assert first.metrics_snapshot()["result_store"]["saves"] == 2
+        first.close()
+
+        second = self._engine(tmp_path, a, b)
+        out = second.execute(q).result
+        assert sorted(out.pairs) == ref
+        assert out.detail["shard_disk_restores"] == [0, 1]
+        snap = second.metrics_snapshot()
+        assert snap["result_disk_restores"] == 2
+        for shard in snap["per_shard"]:
+            assert shard["disk_restores"] > 0
+        second.close()
+
+    def test_restored_results_identical_across_replicas(self, tmp_path):
+        # The result store is per *shard*: a sub-result computed by
+        # replica 0 is served after restart even when replica 0 is
+        # dead and replica 1 would have executed.
+        a, b = _data(seed=13, n_a=150, n_b=100)
+        q = Query(relations=("a", "b"))
+        first = self._engine(tmp_path, a, b)
+        ref = sorted(first.execute(q).result.pairs)
+        first.close()
+        plan = FaultPlan([
+            FaultRule(site="shard.execute", kind="exception",
+                      times=None),
+        ])
+        # Every replica of every shard is dead — yet the restored
+        # sub-results serve the query without executing anything.
+        second = self._engine(tmp_path, a, b, faults=plan)
+        out = second.execute(q).result
+        assert sorted(out.pairs) == ref
+        assert plan.total_injected == 0
+        second.close()
+
+    def test_corrupt_result_file_re_executes(self, tmp_path):
+        import glob
+        a, b = _data(seed=14, n_a=150, n_b=100)
+        q = Query(relations=("a", "b"))
+        first = self._engine(tmp_path, a, b)
+        ref = sorted(first.execute(q).result.pairs)
+        first.close()
+        victims = glob.glob(
+            str(tmp_path / "shard-*" / "results" / "*.res.json")
+        )
+        assert victims
+        corrupt_file(sorted(victims)[0])
+        second = self._engine(tmp_path, a, b)
+        out = second.execute(q).result
+        assert sorted(out.pairs) == ref
+        snap = second.metrics_snapshot()
+        assert snap["result_store"]["corrupt_drops"] == 1
+        assert snap["result_disk_restores"] >= 1
+        second.close()
+
+    def test_changed_data_stays_cold(self, tmp_path):
+        a, b = _data(seed=15, n_a=150, n_b=100)
+        q = Query(relations=("a", "b"))
+        first = self._engine(tmp_path, a, b)
+        first.execute(q)
+        first.close()
+        a2, _ = _data(seed=99, n_a=150, n_b=100)
+        second = self._engine(tmp_path, a2, b)
+        out = second.execute(q).result
+        assert sorted(out.pairs) == sorted(brute_reference(a2, b))
+        assert second.result_disk_restores == 0
+        second.close()
+
+    def test_replicas_do_not_share_artifact_leaves(self, tmp_path):
+        a, b = _data(seed=16)
+        engine = self._engine(tmp_path, a, b)
+        roots = {
+            e.artifact_store.root for e in engine.all_engines
+        }
+        assert len(roots) == len(engine.all_engines)
+        engine.close()
+
+
+class TestFailoverMetrics:
+    def test_merge_snapshots_sums_and_recomputes_rate(self):
+        merged = merge_snapshots([
+            {"failovers": 1, "retries": 2, "replica_failures": 2,
+             "queries_executed": 4, "failover_rate": 0.25},
+            {"failovers": 1, "retries": 1, "replica_failures": 1,
+             "queries_executed": 12, "failover_rate": 0.0833},
+        ])
+        assert merged["failovers"] == 2
+        assert merged["retries"] == 3
+        assert merged["replica_failures"] == 3
+        assert merged["failover_rate"] == pytest.approx(2 / 16)
+
+    def test_single_engine_snapshot_keeps_key_compat(self):
+        engine, a, b = _single()
+        snap = engine.metrics_snapshot()
+        for key in ("failovers", "retries", "replica_failures",
+                    "replica_timeouts", "failover_rate"):
+            assert snap[key] == 0
+        engine.close()
+
+    def test_prometheus_export_carries_failover_series(self):
+        from repro.engine.obs import (
+            render_prometheus,
+            validate_prometheus,
+        )
+
+        plan = FaultPlan([
+            FaultRule(site="shard.execute", kind="exception", times=1),
+        ])
+        engine, a, b = _sharded(faults=plan, replicas=2)
+        engine.execute(Query(relations=("a", "b")))
+        text = render_prometheus(engine.metrics_snapshot())
+        assert validate_prometheus(text) == []
+        assert "repro_engine_failovers 1" in text
+        assert "repro_engine_replica_failures 1" in text
+        assert 'repro_engine_per_shard_disk_restores{shard="0"}' in text
+        engine.close()
+
+    def test_run_workload_surfaces_failovers(self):
+        from repro.engine import make_workload, run_workload
+
+        plan = FaultPlan([
+            FaultRule(site="shard.execute", kind="exception", times=1),
+        ])
+        engine, a, b = _sharded(faults=plan, replicas=2,
+                                cache_capacity=8)
+        queries = make_workload(UNIT, 6, seed=3)
+        queries = [
+            Query(relations=("a", "b"), window=q.window)
+            for q in queries
+        ]
+        report = run_workload(engine, queries)
+        assert report["metrics"]["failovers"] >= 1
+        assert report["metrics"]["retries"] >= 1
+        engine.close()
+
+
+def _walk(span):
+    if span is None:
+        return
+    yield span
+    for child in span.children:
+        for s in _walk(child):
+            yield s

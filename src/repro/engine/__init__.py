@@ -26,7 +26,13 @@ the subsystem a production deployment needs:
   shard and health-scored failover between them;
 * :class:`~repro.engine.faults.FaultPlan` — deterministic fault
   injection (worker crashes, task exceptions, slow tasks, corrupt
-  artifacts, pool breakage) threaded through the pool and the stores.
+  artifacts, pool breakage, admission/deadline faults) threaded
+  through the pool, the stores and the serving front-end;
+* :class:`~repro.engine.serve.ServingFrontend` — the concurrent
+  admission layer: per-class budget grants with a bounded parking
+  queue, oldest-batch-first load shedding, per-query deadlines with
+  cooperative cancellation, and a stdlib HTTP endpoint
+  (:func:`~repro.engine.serve.serve_http`).
 
 Quick start::
 
@@ -74,11 +80,18 @@ from repro.engine.resources import (
     ResourceBudget,
     ResourceGrant,
 )
-from repro.engine.shard import ShardedEngine
+from repro.engine.serve import (
+    DeadlineExceeded,
+    ServeResponse,
+    ServingFrontend,
+    serve_http,
+)
+from repro.engine.shard import ShardedEngine, lpt_makespan
 from repro.engine.trace import EnvMeter, Span, span_meter
 from repro.engine.workload import (
     engine_for_dataset,
     make_workload,
+    run_concurrent_workload,
     run_workload,
     sharded_engine_for_dataset,
 )
@@ -89,6 +102,7 @@ __all__ = [
     "ArtifactStore",
     "Catalog",
     "CatalogEntry",
+    "DeadlineExceeded",
     "EngineMetrics",
     "EngineResult",
     "EnvMeter",
@@ -111,14 +125,19 @@ __all__ = [
     "ResourceGrant",
     "ResultCache",
     "ResultStore",
+    "ServeResponse",
+    "ServingFrontend",
     "ShardedEngine",
     "SpatialQueryEngine",
     "engine_for_dataset",
+    "lpt_makespan",
     "make_workload",
     "merge_snapshots",
     "render_json",
     "render_prometheus",
+    "run_concurrent_workload",
     "run_workload",
+    "serve_http",
     "sharded_engine_for_dataset",
     "span_meter",
     "validate_prometheus",

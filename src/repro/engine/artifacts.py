@@ -48,6 +48,7 @@ import threading
 import time
 import zlib
 from array import array
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.columnar import ColumnarTile
@@ -515,21 +516,91 @@ class ResultStore:
     become strings — provenance, not answers, so gather-identical
     results are preserved where it matters.  A corrupt or truncated
     file is dropped and the query re-executes (``corrupt_drops``).
+
+    ``max_bytes`` bounds the store on disk: each save past the cap
+    evicts the least-recently-used entries (restores count as use, and
+    bump the file mtime so recency survives a restart — the init scan
+    rebuilds the LRU order from mtimes).  An entry larger than the
+    whole cap is refused outright (``rejections``).  Eviction only ever
+    costs a re-execute on some future restart; it can never lose an
+    answer.
     """
 
     def __init__(self, root: str,
-                 faults: Optional[FaultPlan] = None) -> None:
+                 faults: Optional[FaultPlan] = None,
+                 max_bytes: Optional[int] = None) -> None:
         self.root = root
         os.makedirs(root, exist_ok=True)
         self.faults = faults
+        self.max_bytes = max_bytes
         self._lock = threading.Lock()
         self.saves = 0
         self.save_bytes = 0
         self.restores = 0
         self.corrupt_drops = 0
+        self.evictions = 0
+        self.evicted_bytes = 0
+        self.rejections = 0
+        #: token -> file bytes, least-recently-used first.  Rebuilt
+        #: from the directory at init (mtime order), maintained live
+        #: afterwards.
+        self._index: "OrderedDict[str, int]" = OrderedDict()
+        self._total_bytes = 0
+        self._scan()
+
+    def _scan(self) -> None:
+        entries = []
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".res.json"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            entries.append((st.st_mtime, name[:-len(".res.json")],
+                            st.st_size))
+        for _, token, size in sorted(entries):
+            self._index[token] = size
+            self._total_bytes += size
 
     def _path(self, token: str) -> str:
         return os.path.join(self.root, f"{token}.res.json")
+
+    @property
+    def bytes(self) -> int:
+        return self._total_bytes
+
+    def _touch_locked(self, token: str) -> None:
+        if token in self._index:
+            self._index.move_to_end(token)
+            try:
+                os.utime(self._path(token))
+            except OSError:
+                pass
+
+    def _evict_locked(self, keep: Optional[str] = None) -> None:
+        if self.max_bytes is None:
+            return
+        while self._total_bytes > self.max_bytes and self._index:
+            victim = next(iter(self._index))
+            if victim == keep:
+                if len(self._index) == 1:
+                    break
+                self._index.move_to_end(victim)
+                continue
+            size = self._index.pop(victim)
+            self._total_bytes -= size
+            try:
+                os.remove(self._path(victim))
+            except OSError:
+                pass
+            self.evictions += 1
+            self.evicted_bytes += size
 
     def __len__(self) -> int:
         try:
@@ -544,6 +615,8 @@ class ResultStore:
         """Persist one result; idempotent per token."""
         path = self._path(token)
         if os.path.exists(path):
+            with self._lock:
+                self._touch_locked(token)
             return True
         tmp = path + ".tmp"
         try:
@@ -561,12 +634,22 @@ class ResultStore:
                 "crc32": zlib.crc32(payload.encode("utf-8")),
                 "result": payload,
             })
+        except (TypeError, ValueError):
+            # Unserializable detail must never fail the query — the
+            # result simply is not persisted.
+            return False
+        if self.max_bytes is not None and len(body) > self.max_bytes:
+            # Larger than the whole store: saving it would evict
+            # everything and then be evicted itself on the next save.
+            with self._lock:
+                self.rejections += 1
+            return False
+        try:
             with open(tmp, "w", encoding="utf-8") as fh:
                 fh.write(body)
             os.replace(tmp, path)
-        except (OSError, TypeError, ValueError):
-            # Unserializable detail or a full disk must never fail the
-            # query — the result simply is not persisted.
+        except OSError:
+            # A full disk must never fail the query either.
             try:
                 os.remove(tmp)
             except OSError:
@@ -579,6 +662,10 @@ class ResultStore:
         with self._lock:
             self.saves += 1
             self.save_bytes += len(body)
+            self._index[token] = len(body)
+            self._index.move_to_end(token)
+            self._total_bytes += len(body)
+            self._evict_locked(keep=token)
         return True
 
     def load(self, token: str) -> Optional[JoinResult]:
@@ -615,19 +702,27 @@ class ResultStore:
                 pass
             with self._lock:
                 self.corrupt_drops += 1
+                size = self._index.pop(token, 0)
+                self._total_bytes -= size
             return None
         with self._lock:
             self.restores += 1
+            self._touch_locked(token)
         return result
 
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
             return {
                 "entries": len(self),
+                "bytes": self._total_bytes,
+                "max_bytes": self.max_bytes,
                 "saves": self.saves,
                 "save_bytes": self.save_bytes,
                 "restores": self.restores,
                 "corrupt_drops": self.corrupt_drops,
+                "evictions": self.evictions,
+                "evicted_bytes": self.evicted_bytes,
+                "rejections": self.rejections,
             }
 
 

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.join_result import JoinResult
 from repro.engine.artifacts import ArtifactStore, check_store_layout
@@ -312,7 +312,14 @@ class SpatialQueryEngine:
 
     # -- serving ---------------------------------------------------------
 
-    def execute(self, query: Query, analyze: bool = False) -> EngineResult:
+    def execute(self, query: Query, analyze: bool = False,
+                cancel: Optional[Callable[[], None]] = None,
+                ) -> EngineResult:
+        # ``cancel`` is a cooperative cancellation checkpoint (see
+        # ShardedEngine.execute); the single engine only honours it at
+        # entry — one sub-query is the unit of non-preemptible work.
+        if cancel is not None:
+            cancel()
         t_start = time.perf_counter()
         trace = (
             Span("query", query=query.describe(), engine="single")

@@ -39,6 +39,16 @@ Sites and the fault kinds they honour:
     the query degrades to a cold run (never a wrong answer).
 ``result.save`` / ``result.load``
     Same, for persisted result-cache entries.
+``serve.queue``
+    Consulted when the serving front-end admits one query.
+    ``exception`` fails the admission (the caller sees an error
+    response, never a hang); ``slow`` delays the grant attempt, which
+    under load turns into real queueing pressure.
+``serve.deadline``
+    Consulted when a granted query is about to dispatch.  ``exception``
+    forces the deadline-expired path (grant released, query never
+    reaches the engine); ``slow`` burns queue-to-dispatch time first,
+    the way a stalled event loop would.
 
 Rules fire deterministically: each rule counts the calls that reach
 its site (``seen``), skips the first ``after`` of them, then fires up
@@ -66,6 +76,8 @@ FAULT_SITES = (
     "artifact.load",
     "result.save",
     "result.load",
+    "serve.queue",
+    "serve.deadline",
 )
 
 FAULT_KINDS = ("exception", "crash", "slow", "break", "corrupt")
@@ -80,6 +92,8 @@ _SITE_KINDS = {
     "artifact.load": ("corrupt",),
     "result.save": ("corrupt",),
     "result.load": ("corrupt",),
+    "serve.queue": ("exception", "slow"),
+    "serve.deadline": ("exception", "slow"),
 }
 
 

@@ -158,6 +158,26 @@ class ResourceBudget:
             self._charge_locked(category, granted)
         return ResourceGrant(self, category, granted)
 
+    def try_acquire(self, category: str,
+                    nbytes: int) -> Optional[ResourceGrant]:
+        """Grant exactly ``nbytes``, or None when they are not free.
+
+        The refusal-capable sibling of :meth:`acquire`: no clamping, no
+        overcommit.  An admission *queue* uses this to decide whether a
+        query can run now or must park until a grant is released —
+        parking replaces both the overcommit (which would let load melt
+        the budget) and the hard :class:`AdmissionError` (which would
+        refuse serveable work).
+        """
+        if nbytes < 0:
+            raise ValueError("grant sizes cannot be negative")
+        with self._lock:
+            if nbytes > self.total_bytes - self._in_use:
+                return None
+            self.grants_issued += 1
+            self._charge_locked(category, nbytes)
+        return ResourceGrant(self, category, nbytes)
+
     # -- reading ---------------------------------------------------------
 
     @property

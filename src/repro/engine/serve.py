@@ -1,0 +1,620 @@
+"""Concurrent serving front-end: admission queueing, deadlines, shedding.
+
+The engines below this layer answer one blocking call at a time and
+protect themselves with a hard gate: a query whose minimum grant cannot
+fit raises :class:`~repro.engine.resources.AdmissionError`.  That is
+the right contract for a library call and the wrong one for a server —
+under a traffic burst, "refuse anything that does not fit right now"
+rejects work the deployment could have served a few milliseconds later.
+
+:class:`ServingFrontend` turns the blocking engine into a bounded
+concurrent service with three production behaviours:
+
+**Admission queue.**  Every query declares a class (``interactive`` or
+``batch``) and is admitted by taking a per-class byte grant from a
+serve-level :class:`~repro.engine.resources.ResourceBudget` via
+``try_acquire`` — the refusal-capable sibling of ``acquire``.  When the
+grant is not free the query *parks* in a FIFO queue instead of failing;
+each released grant pumps the queue head.  The queue is bounded: past
+``queue_depth`` the front-end load-sheds, evicting the **oldest batch**
+waiter first (batch traffic absorbs overload so dashboards stay up) and
+only shedding interactive work when no batch waiter is left.
+
+**Deadlines.**  A query may carry a deadline.  While parked it expires
+via the queue future's timeout; once running, a cooperative cancel
+checkpoint (threaded into ``ShardedEngine.execute``'s entry, per-shard
+dispatch and gather boundaries) raises :class:`DeadlineExceeded` between
+shard sub-queries, so an expired query frees its grant and its pool
+slots instead of running to completion.  Expiry never corrupts shared
+state — checkpoints only fire between whole sub-queries.
+
+**Graceful degradation.**  Overload produces ``shed`` and ``expired``
+responses with correct counters, never unbounded queue growth and never
+a surprise ``AdmissionError`` (oversized singletons still get a clean
+``rejected``).  Every outcome is a first-class state in
+:meth:`ServingFrontend.snapshot`, which rides the engine's metrics
+snapshot into the Prometheus/JSON exporters unchanged.
+
+The fault plan participates: ``serve.queue`` rules fire at admission
+(``exception`` fails the admission, ``slow`` delays the grant attempt)
+and ``serve.deadline`` rules fire at dispatch (``exception`` forces the
+deadline-expired path, ``slow`` burns queue-to-dispatch time), so chaos
+tests cover the queue and deadline paths the same way they cover
+replica failover.
+
+:func:`serve_http` exposes the front-end over a thin stdlib HTTP
+endpoint (``POST /query``, ``GET /metrics``, ``GET /healthz``) — no
+framework dependency, one connection per request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.engine.engine import EngineResult
+from repro.engine.faults import FaultPlan, InjectedFault
+from repro.engine.query import Query
+from repro.engine.resources import AdmissionError, ResourceBudget
+from repro.geom.rect import Rect
+
+QUERY_CLASSES = ("interactive", "batch")
+
+#: Admission charge per in-flight query, by class.  Batch queries are
+#: billed more: they tend to be full overlays, and a bigger charge
+#: means fewer of them run concurrently — the budget itself becomes
+#: the concurrency limiter for heavy traffic.
+DEFAULT_GRANT_BYTES = {
+    "interactive": 1 << 20,
+    "batch": 4 << 20,
+}
+
+#: Default admission budget: eight interactive grants' worth.
+DEFAULT_ADMISSION_BYTES = 8 << 20
+
+DEFAULT_QUEUE_DEPTH = 64
+
+#: Threads executing blocking engine calls (the true in-flight cap).
+DEFAULT_MAX_CONCURRENCY = 8
+
+
+class DeadlineExceeded(RuntimeError):
+    """Raised at a cooperative checkpoint once a query's deadline passed."""
+
+
+@dataclass
+class ServeResponse:
+    """One query's fate at the front-end.
+
+    ``status`` is one of ``ok`` (served; ``degraded`` marks a reply
+    that needed replica failover), ``shed`` (evicted from a full
+    queue), ``expired`` (deadline passed while queued or running),
+    ``rejected`` (could never be admitted — grant larger than the
+    whole budget), or ``error`` (the engine or an injected fault
+    raised).
+    """
+
+    status: str
+    query_class: str
+    wall_seconds: float
+    queue_seconds: float
+    pairs: Optional[int] = None
+    degraded: bool = False
+    error: Optional[str] = None
+    result: Optional[EngineResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, object]:
+        body: Dict[str, object] = {
+            "status": self.status,
+            "class": self.query_class,
+            "wall_ms": round(self.wall_seconds * 1e3, 3),
+            "queue_ms": round(self.queue_seconds * 1e3, 3),
+        }
+        if self.pairs is not None:
+            body["pairs"] = self.pairs
+        if self.degraded:
+            body["degraded"] = True
+        if self.error is not None:
+            body["error"] = self.error
+        return body
+
+
+class _Waiter:
+    """One parked query: its class and the future its grant arrives on."""
+
+    __slots__ = ("query_class", "nbytes", "future", "enqueued_at")
+
+    def __init__(self, query_class: str, nbytes: int,
+                 future: "asyncio.Future", enqueued_at: float) -> None:
+        self.query_class = query_class
+        self.nbytes = nbytes
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+class ServingFrontend:
+    """Bounded concurrent admission over one (sharded) engine.
+
+    All queue and counter state is owned by the event loop — `submit`
+    is a coroutine and every mutation happens between awaits, so no
+    lock is needed.  Blocking engine calls run on a dedicated thread
+    pool of ``max_concurrency`` workers; the admission budget decides
+    how many queries may *hold grants* at once, the thread pool decides
+    how many actually execute.
+    """
+
+    def __init__(self, engine, *,
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 admission_bytes: int = DEFAULT_ADMISSION_BYTES,
+                 grant_bytes: Optional[Dict[str, int]] = None,
+                 default_deadline_seconds: Optional[float] = None,
+                 max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
+                 faults: Optional[FaultPlan] = None) -> None:
+        if queue_depth < 1:
+            raise ValueError("queue depth must be at least 1")
+        if max_concurrency < 1:
+            raise ValueError("max concurrency must be at least 1")
+        self.engine = engine
+        self.queue_depth = queue_depth
+        self.admission = ResourceBudget(admission_bytes)
+        self.grant_bytes = dict(DEFAULT_GRANT_BYTES)
+        if grant_bytes:
+            unknown = set(grant_bytes) - set(QUERY_CLASSES)
+            if unknown:
+                raise ValueError(
+                    f"unknown query classes: {sorted(unknown)}"
+                )
+            self.grant_bytes.update(grant_bytes)
+        self.default_deadline_seconds = default_deadline_seconds
+        # One plan governs the deployment: absent an explicit plan the
+        # front-end joins the engine's, so serve.* rules in an engine
+        # fault plan reach the admission/deadline sites.
+        if faults is None:
+            faults = getattr(engine, "faults", None)
+        self.faults = faults
+        self._queue: list = []  # FIFO of _Waiter (small; O(n) ops fine)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_concurrency, thread_name_prefix="serve"
+        )
+        self.max_concurrency = max_concurrency
+        # -- counters (event-loop owned) -----------------------------------
+        self.submitted = 0
+        self.served_ok = 0
+        self.served_degraded = 0
+        self.queued_total = 0
+        self.shed = 0
+        self.expired = 0
+        self.rejected = 0
+        self.errors = 0
+        self.in_flight = 0
+        self.in_flight_high_water = 0
+        self.queue_high_water = 0
+        self.queue_wait_seconds = 0.0
+        self.per_class: Dict[str, Dict[str, int]] = {
+            c: {"submitted": 0, "ok": 0, "shed": 0, "expired": 0,
+                "rejected": 0, "errors": 0}
+            for c in QUERY_CLASSES
+        }
+
+    # -- admission ---------------------------------------------------------
+
+    def _shed_for(self, incoming_class: str) -> bool:
+        """Make room in a full queue; False if *incoming* must shed.
+
+        Oldest-batch-first: batch waiters absorb overload before any
+        interactive waiter is touched.  A batch arrival into a queue
+        of interactive waiters sheds itself — it must not evict more
+        latency-sensitive work.
+        """
+        for i, waiter in enumerate(self._queue):
+            if waiter.query_class == "batch":
+                self._resolve_shed(i)
+                return True
+        if incoming_class == "batch":
+            return False
+        if self._queue:  # all waiters interactive: oldest one sheds
+            self._resolve_shed(0)
+            return True
+        return False
+
+    def _resolve_shed(self, index: int) -> None:
+        waiter = self._queue.pop(index)
+        if not waiter.future.done():
+            waiter.future.set_result(None)
+
+    def _pump(self) -> None:
+        """Grant queue heads while the admission budget has room."""
+        while self._queue:
+            waiter = self._queue[0]
+            if waiter.future.done():  # expired while parked
+                self._queue.pop(0)
+                continue
+            grant = self.admission.try_acquire(
+                waiter.query_class, waiter.nbytes
+            )
+            if grant is None:
+                return
+            self._queue.pop(0)
+            waiter.future.set_result(grant)
+
+    async def _admit(self, query_class: str, nbytes: int,
+                     deadline: Optional[float], t0: float):
+        """A grant for this query, or None when it shed/expired.
+
+        Raises :class:`AdmissionError` for queries that could never be
+        admitted and :class:`InjectedFault` when a ``serve.queue``
+        chaos rule fires.
+        """
+        if nbytes > self.admission.total_bytes:
+            raise AdmissionError(
+                f"a {query_class} grant of {nbytes} bytes exceeds the "
+                f"admission budget of {self.admission.total_bytes}"
+            )
+        if self.faults is not None:
+            rule = self.faults.fire("serve.queue",
+                                    query_class=query_class)
+            if rule is not None:
+                if rule.kind == "exception":
+                    raise InjectedFault(
+                        "injected admission failure (serve.queue)"
+                    )
+                await asyncio.sleep(rule.delay_seconds)
+        # FIFO fairness: nobody barges past parked waiters.
+        if not self._queue:
+            grant = self.admission.try_acquire(query_class, nbytes)
+            if grant is not None:
+                return grant
+        if len(self._queue) >= self.queue_depth:
+            if not self._shed_for(query_class):
+                return None  # incoming query sheds itself
+        future = asyncio.get_running_loop().create_future()
+        waiter = _Waiter(query_class, nbytes, future, t0)
+        self._queue.append(waiter)
+        self.queued_total += 1
+        self.queue_high_water = max(
+            self.queue_high_water, len(self._queue)
+        )
+        timeout = (deadline - time.monotonic()
+                   if deadline is not None else None)
+        try:
+            grant = await asyncio.wait_for(
+                asyncio.shield(future), timeout
+            )
+        except asyncio.TimeoutError:
+            # Expired while parked.  The pump may still have resolved
+            # the future concurrently — hand that grant straight back.
+            if future.done() and future.result() is not None:
+                future.result().release()
+                self._pump()
+            else:
+                future.cancel()
+            if waiter in self._queue:
+                self._queue.remove(waiter)
+            raise DeadlineExceeded("deadline passed while queued")
+        self.queue_wait_seconds += time.monotonic() - waiter.enqueued_at
+        return grant  # a ResourceGrant, or None when shed
+
+    # -- serving -----------------------------------------------------------
+
+    async def submit(self, query: Query,
+                     query_class: str = "interactive",
+                     deadline_seconds: Optional[float] = None,
+                     ) -> ServeResponse:
+        """Serve one query through admission, returning its fate."""
+        if query_class not in QUERY_CLASSES:
+            raise ValueError(
+                f"unknown query class {query_class!r}; expected one "
+                f"of {QUERY_CLASSES}"
+            )
+        t0 = time.monotonic()
+        self.submitted += 1
+        self.per_class[query_class]["submitted"] += 1
+        if deadline_seconds is None:
+            deadline_seconds = self.default_deadline_seconds
+        deadline = (t0 + deadline_seconds
+                    if deadline_seconds is not None else None)
+        nbytes = self.grant_bytes[query_class]
+
+        def finish(status: str, queue_seconds: float,
+                   **kw) -> ServeResponse:
+            return ServeResponse(
+                status=status, query_class=query_class,
+                wall_seconds=time.monotonic() - t0,
+                queue_seconds=queue_seconds, **kw,
+            )
+
+        try:
+            grant = await self._admit(query_class, nbytes, deadline, t0)
+        except DeadlineExceeded:
+            self.expired += 1
+            self.per_class[query_class]["expired"] += 1
+            return finish("expired", time.monotonic() - t0,
+                          error="deadline passed while queued")
+        except AdmissionError as exc:
+            self.rejected += 1
+            self.per_class[query_class]["rejected"] += 1
+            return finish("rejected", 0.0, error=str(exc))
+        except InjectedFault as exc:
+            self.errors += 1
+            self.per_class[query_class]["errors"] += 1
+            return finish("error", 0.0, error=str(exc))
+        if grant is None:
+            self.shed += 1
+            self.per_class[query_class]["shed"] += 1
+            return finish("shed", time.monotonic() - t0,
+                          error="load shed: admission queue full")
+        queue_seconds = time.monotonic() - t0
+        try:
+            if self.faults is not None:
+                rule = self.faults.fire("serve.deadline",
+                                        query_class=query_class)
+                if rule is not None:
+                    if rule.kind == "exception":
+                        raise DeadlineExceeded(
+                            "injected deadline expiry (serve.deadline)"
+                        )
+                    await asyncio.sleep(rule.delay_seconds)
+            if deadline is not None and time.monotonic() > deadline:
+                raise DeadlineExceeded(
+                    "deadline passed before dispatch"
+                )
+
+            def checkpoint() -> None:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise DeadlineExceeded(
+                        "deadline passed at a scatter checkpoint"
+                    )
+
+            self.in_flight += 1
+            self.in_flight_high_water = max(
+                self.in_flight_high_water, self.in_flight
+            )
+            try:
+                out = await asyncio.get_running_loop().run_in_executor(
+                    self._executor,
+                    lambda: self.engine.execute(query, cancel=checkpoint),
+                )
+            finally:
+                self.in_flight -= 1
+            degraded = bool(out.result.detail.get("degraded"))
+            self.served_ok += 1
+            if degraded:
+                self.served_degraded += 1
+            self.per_class[query_class]["ok"] += 1
+            return finish("ok", queue_seconds,
+                          pairs=out.result.n_pairs, degraded=degraded,
+                          result=out)
+        except DeadlineExceeded as exc:
+            self.expired += 1
+            self.per_class[query_class]["expired"] += 1
+            return finish("expired", queue_seconds, error=str(exc))
+        except AdmissionError as exc:
+            # The engine's own gate (a per-query grant below this
+            # layer): surfaced as a rejection, not an exception.
+            self.rejected += 1
+            self.per_class[query_class]["rejected"] += 1
+            return finish("rejected", queue_seconds, error=str(exc))
+        except Exception as exc:  # noqa: BLE001 — fate, not crash
+            self.errors += 1
+            self.per_class[query_class]["errors"] += 1
+            return finish("error", queue_seconds,
+                          error=f"{type(exc).__name__}: {exc}")
+        finally:
+            grant.release()
+            self._pump()
+
+    # -- observability / lifecycle -----------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "served_ok": self.served_ok,
+            "served_degraded": self.served_degraded,
+            "queued_total": self.queued_total,
+            "queue_length": len(self._queue),
+            "queue_depth": self.queue_depth,
+            "queue_high_water": self.queue_high_water,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "shed": self.shed,
+            "expired": self.expired,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "in_flight": self.in_flight,
+            "in_flight_high_water": self.in_flight_high_water,
+            "max_concurrency": self.max_concurrency,
+            "admission": self.admission.snapshot(),
+            "per_class": {
+                c: dict(v) for c, v in self.per_class.items()
+            },
+        }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The engine's snapshot with the serve layer nested under it.
+
+        The Prometheus walker flattens unknown nested dicts, so every
+        serve counter lands in the exporter as ``repro_serve_*`` with
+        no exporter changes.
+        """
+        snap = self.engine.metrics_snapshot()
+        snap["serve"] = self.snapshot()
+        return snap
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ServingFrontend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- HTTP endpoint ---------------------------------------------------------
+
+_STATUS_HTTP = {
+    "ok": 200,
+    "shed": 503,
+    "expired": 504,
+    "rejected": 413,
+    "error": 500,
+}
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            500: "Internal Server Error", 503: "Service Unavailable",
+            504: "Gateway Timeout"}
+
+
+def _http_response(code: int, body: bytes,
+                   content_type: str = "application/json") -> bytes:
+    reason = _REASONS.get(code, "OK")
+    head = (f"HTTP/1.1 {code} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("ascii") + body
+
+
+def parse_query_body(body: bytes) -> Dict[str, object]:
+    """Decode one POST /query body into ``submit`` keyword arguments.
+
+    Accepted JSON keys: ``relations`` (list of names, required),
+    ``window`` (``[xlo, xhi, ylo, yhi]``), ``count_only`` (bool),
+    ``class`` (``interactive``/``batch``), ``deadline_ms`` (number).
+    Raises ``ValueError`` on anything malformed — the endpoint turns
+    that into a 400, never a served query.
+    """
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"invalid JSON body: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ValueError("query body must be a JSON object")
+    allowed = {"relations", "window", "count_only", "class",
+               "deadline_ms"}
+    unknown = set(data) - allowed
+    if unknown:
+        raise ValueError(f"unknown query keys: {sorted(unknown)}")
+    relations = data.get("relations")
+    if (not isinstance(relations, list) or len(relations) < 2
+            or not all(isinstance(r, str) for r in relations)):
+        raise ValueError(
+            "relations must be a list of at least two names"
+        )
+    window = None
+    if data.get("window") is not None:
+        w = data["window"]
+        if (not isinstance(w, list) or len(w) != 4
+                or not all(isinstance(v, (int, float)) for v in w)):
+            raise ValueError("window must be [xlo, xhi, ylo, yhi]")
+        window = Rect(float(w[0]), float(w[1]),
+                      float(w[2]), float(w[3]), 0)
+    query_class = data.get("class", "interactive")
+    if query_class not in QUERY_CLASSES:
+        raise ValueError(
+            f"class must be one of {list(QUERY_CLASSES)}"
+        )
+    deadline_seconds = None
+    if data.get("deadline_ms") is not None:
+        ms = data["deadline_ms"]
+        if not isinstance(ms, (int, float)) or ms <= 0:
+            raise ValueError("deadline_ms must be a positive number")
+        deadline_seconds = float(ms) / 1e3
+    query = Query(
+        relations=tuple(relations), window=window,
+        collect_pairs=not bool(data.get("count_only", False)),
+    )
+    return {"query": query, "query_class": query_class,
+            "deadline_seconds": deadline_seconds}
+
+
+async def _read_request(reader) -> Optional[Dict[str, object]]:
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) < 2:
+        return None
+    method, path = parts[0].upper(), parts[1]
+    length = 0
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = header.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                length = int(value.strip())
+            except ValueError:
+                length = 0
+    body = await reader.readexactly(length) if length else b""
+    return {"method": method, "path": path, "body": body}
+
+
+async def serve_http(frontend: ServingFrontend,
+                     host: str = "127.0.0.1", port: int = 0):
+    """Serve the front-end over HTTP; returns the asyncio server.
+
+    ``POST /query`` runs a query (JSON body, see
+    :func:`parse_query_body`); ``GET /metrics`` renders the merged
+    engine+serve snapshot in Prometheus exposition format;
+    ``GET /healthz`` answers liveness probes.  One request per
+    connection — load drivers open many short connections, which is
+    exactly the regime the admission queue exists for.
+    """
+    from repro.engine.obs import render_prometheus
+
+    async def handle(reader, writer) -> None:
+        try:
+            req = await _read_request(reader)
+            if req is None:
+                return
+            if req["path"] == "/healthz" and req["method"] == "GET":
+                out = _http_response(200, b'{"status": "ok"}\n')
+            elif req["path"] == "/metrics" and req["method"] == "GET":
+                text = render_prometheus(frontend.metrics_snapshot())
+                out = _http_response(
+                    200, text.encode("utf-8"),
+                    content_type="text/plain; version=0.0.4",
+                )
+            elif req["path"] == "/query":
+                if req["method"] != "POST":
+                    out = _http_response(
+                        405, b'{"error": "use POST"}\n'
+                    )
+                else:
+                    try:
+                        kwargs = parse_query_body(req["body"])
+                    except ValueError as exc:
+                        out = _http_response(
+                            400,
+                            json.dumps(
+                                {"error": str(exc)}
+                            ).encode("utf-8") + b"\n",
+                        )
+                    else:
+                        resp = await frontend.submit(**kwargs)
+                        out = _http_response(
+                            _STATUS_HTTP[resp.status],
+                            json.dumps(
+                                resp.to_dict()
+                            ).encode("utf-8") + b"\n",
+                        )
+            else:
+                out = _http_response(404, b'{"error": "not found"}\n')
+            writer.write(out)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(handle, host, port)

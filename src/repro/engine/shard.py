@@ -84,10 +84,13 @@ serve it.
 
 from __future__ import annotations
 
+import heapq
 import os
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace as _replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.histogram import SpatialHistogram
 from repro.core.join_result import JoinResult
@@ -169,18 +172,59 @@ HEALTH_FLOOR = 0.5
 #: Cap on the exponential retry backoff between failover attempts.
 MAX_BACKOFF_SECONDS = 0.25
 
+#: A healthy replica whose observed-latency EWMA exceeds the fastest
+#: sibling's by this factor is deprioritized (still served, last) —
+#: health says *up or down*, the EWMA says *fast or slow*.
+SLOW_REPLICA_FACTOR = 1.5
+
+#: Smoothing factor for the per-replica observed-latency EWMA.
+EWMA_ALPHA = 0.3
+
+#: Most coordinator threads one scatter fan-out will use; the real
+#: bound is min(participating shards, this, pool workers are shared
+#: anyway so more buys nothing).
+MAX_SCATTER_THREADS = 8
+
+
+def lpt_makespan(walls: Sequence[float], lanes: int) -> float:
+    """Makespan of ``walls`` LPT-scheduled onto ``lanes`` lanes.
+
+    The scatter critical path: participating shards run *concurrently*
+    on one shared worker pool, so the simulated cost of a scattered
+    query is not the sum of its shard walls but the makespan of the
+    best greedy (longest-processing-time-first) placement onto the
+    pool's parallel lanes.  One lane degenerates to the sum; at least
+    as many lanes as shards degenerates to the max.
+    """
+    if not walls:
+        return 0.0
+    lanes = max(1, int(lanes))
+    if lanes == 1:
+        return float(sum(walls))
+    loads = [0.0] * min(lanes, len(walls))
+    for w in sorted(walls, reverse=True):
+        # loads[0] is the least-loaded lane (min-heap invariant).
+        heapq.heapreplace(loads, loads[0] + float(w))
+    return max(loads)
+
 
 class _ShardMetricsView:
-    """The counters :func:`run_workload` reads, summed over shards."""
+    """The counters :func:`run_workload` reads, summed over shards.
+
+    ``sim_wall_seconds`` is the exception: shards execute concurrently
+    on one shared pool, so the deployment's simulated serving time is
+    the scatter layer's accumulated *critical path*
+    (:func:`lpt_makespan` per query), not the sum of every engine's
+    wall — summing would bill a 4-shard scatter as if the shards ran
+    back to back.
+    """
 
     def __init__(self, owner: "ShardedEngine") -> None:
         self._owner = owner
 
     @property
     def sim_wall_seconds(self) -> float:
-        return sum(
-            e.metrics.sim_wall_seconds for e in self._owner.all_engines
-        )
+        return self._owner.sim_wall_total
 
     @property
     def spilled_rects(self) -> int:
@@ -256,6 +300,8 @@ class ShardedEngine:
         faults: Optional[FaultPlan] = None,
         retry_backoff_seconds: float = 0.01,
         replica_timeout_seconds: Optional[float] = None,
+        result_store_bytes: Optional[int] = None,
+        scatter_threads: Optional[int] = None,
     ) -> None:
         self.shards = max(1, shards)
         self.replicas = max(1, replicas)
@@ -337,6 +383,7 @@ class ShardedEngine:
                     os.path.join(artifact_dir, f"shard-{k:02d}",
                                  "results"),
                     faults=faults,
+                    max_bytes=result_store_bytes,
                 )
                 for k in range(self.shards)
             ]
@@ -352,8 +399,40 @@ class ShardedEngine:
         self._health: List[List[float]] = [
             [1.0] * self.replicas for _ in range(self.shards)
         ]
+        #: Observed sub-query latency EWMA per (shard, replica); None
+        #: until the replica has served.  Drives *weighted* selection:
+        #: a replica markedly slower than its fastest healthy sibling
+        #: is deprioritized without being marked down.
+        self._latency_ewma: List[List[Optional[float]]] = [
+            [None] * self.replicas for _ in range(self.shards)
+        ]
         self._rr = [0] * self.shards
         self._probe_tick = [0] * self.shards
+        # -- concurrency ------------------------------------------------
+        #: Guards every piece of coordinator state that concurrent
+        #: scatters (and concurrent callers of ``execute``) share:
+        #: replica health/rotation, serving counters, the top-level
+        #: result cache and latency tracker, and the sim critical-path
+        #: accumulator.  Never held across a shard engine's execution.
+        self._lock = threading.Lock()
+        #: One lock per replica engine: ``SpatialQueryEngine.execute``
+        #: is not reentrant, so two concurrent logical queries landing
+        #: on the same replica serialize there (distinct replicas and
+        #: distinct shards overlap freely).
+        self._engine_locks: List[List[threading.Lock]] = [
+            [threading.Lock() for _ in range(self.replicas)]
+            for _ in range(self.shards)
+        ]
+        #: Coordinator-side threads that overlap the per-shard scatter;
+        #: lazily created on the first multi-shard query.
+        self._scatter_threads = (
+            scatter_threads if scatter_threads is not None
+            else min(self.shards, MAX_SCATTER_THREADS)
+        )
+        self._scatter_pool: Optional[ThreadPoolExecutor] = None
+        #: Accumulated scatter critical path (LPT makespan per query)
+        #: — the deployment's simulated serving clock.
+        self.sim_wall_total = 0.0
         self.kernel = self.engines[0].kernel
         self._cuts: Optional[List[float]] = None
         self._versions: Dict[str, int] = {}
@@ -390,6 +469,9 @@ class ShardedEngine:
         self.replica_timeouts = 0
         #: Unhealthy replicas that earned their health back via probes.
         self.replica_recoveries = 0
+        #: Selections in which latency weighting demoted a healthy-but-
+        #: slow replica behind faster siblings.
+        self.weighted_reroutes = 0
         #: Shard sub-results served from the persisted result stores
         #: (total, plus the per-shard breakdown the snapshot reports).
         self.result_disk_restores = 0
@@ -592,11 +674,17 @@ class ShardedEngine:
         """Candidate replicas for shard ``k``, best try first.
 
         Healthy replicas rotate round-robin (read scaling: repeats of
-        one query spread over the replica set).  Unhealthy replicas
-        are appended as a last resort — a query is never failed while
-        an untried replica remains — and every ``PROBE_EVERY``-th
-        selection they are tried *first*, which is how a healed
-        replica gets traffic to earn its score back.
+        one query spread over the replica set), then latency weighting
+        reorders the rotation: a replica whose observed-latency EWMA
+        exceeds the fastest healthy sibling's by
+        :data:`SLOW_REPLICA_FACTOR` is moved behind the comparable
+        ones (counted in ``weighted_reroutes``).  Replicas with no
+        observations yet rank with the fast set, so fresh replicas get
+        traffic.  Unhealthy replicas are appended as a last resort — a
+        query is never failed while an untried replica remains — and
+        every ``PROBE_EVERY``-th selection they are tried *first*,
+        which is how a healed replica gets traffic to earn its score
+        back.  Called under ``self._lock``.
         """
         n = self.replicas
         start = self._rr[k]
@@ -606,6 +694,20 @@ class ShardedEngine:
                    if self._health[k][r] >= HEALTH_FLOOR]
         sick = [r for r in rotated
                 if self._health[k][r] < HEALTH_FLOOR]
+        if len(healthy) > 1:
+            observed = [
+                self._latency_ewma[k][r] for r in healthy
+                if self._latency_ewma[k][r] is not None
+            ]
+            if observed:
+                cutoff = min(observed) * SLOW_REPLICA_FACTOR
+                fast = [r for r in healthy
+                        if self._latency_ewma[k][r] is None
+                        or self._latency_ewma[k][r] <= cutoff]
+                slow = [r for r in healthy if r not in fast]
+                if slow:
+                    self.weighted_reroutes += 1
+                    healthy = fast + slow
         if not sick:
             return healthy
         self._probe_tick[k] += 1
@@ -614,44 +716,57 @@ class ShardedEngine:
         return healthy + sick
 
     def _mark_failure(self, k: int, r: int) -> None:
-        self._health[k][r] = 0.0
-        self.replica_failures += 1
+        with self._lock:
+            self._health[k][r] = 0.0
+            self.replica_failures += 1
 
     def _mark_success(self, k: int, r: int, wall: float) -> None:
-        timeout = self.replica_timeout_seconds
-        if timeout is not None and wall > timeout:
-            # Served, but slower than the replica SLO: penalize the
-            # score so routing drifts away before the replica fails
-            # outright.  (The synchronous coordinator cannot cancel an
-            # in-flight sub-query; the timeout shapes future routing.)
-            self.replica_timeouts += 1
-            self._health[k][r] = max(
-                0.0, self._health[k][r] - HEALTH_FLOOR
+        with self._lock:
+            ewma = self._latency_ewma[k][r]
+            self._latency_ewma[k][r] = (
+                wall if ewma is None
+                else (1.0 - EWMA_ALPHA) * ewma + EWMA_ALPHA * wall
             )
-            return
-        before = self._health[k][r]
-        self._health[k][r] = min(1.0, before + HEALTH_FLOOR)
-        if before < HEALTH_FLOOR <= self._health[k][r]:
-            self.replica_recoveries += 1
+            timeout = self.replica_timeout_seconds
+            if timeout is not None and wall > timeout:
+                # Served, but slower than the replica SLO: penalize the
+                # score so routing drifts away before the replica fails
+                # outright.  (An in-flight sub-query is never cancelled
+                # by the coordinator; the timeout shapes future
+                # routing.)
+                self.replica_timeouts += 1
+                self._health[k][r] = max(
+                    0.0, self._health[k][r] - HEALTH_FLOOR
+                )
+                return
+            before = self._health[k][r]
+            self._health[k][r] = min(1.0, before + HEALTH_FLOOR)
+            if before < HEALTH_FLOOR <= self._health[k][r]:
+                self.replica_recoveries += 1
 
-    def _execute_on_shard(self, k: int, sub: Query, analyze: bool,
-                          scatter: Optional[Span]):
+    def _execute_on_shard(self, k: int, sub: Query, analyze: bool):
         """One shard's sub-query with replica failover.
 
-        Returns ``(EngineResult, replica, attempts)``.  Semantic
-        errors — admission rejections, unknown relations — are
-        deterministic across replicas and re-raise immediately;
+        Returns ``(EngineResult, replica, attempts, failover_events)``.
+        Semantic errors — admission rejections, unknown relations —
+        are deterministic across replicas and re-raise immediately;
         anything else marks the replica unhealthy, records the
-        degradation (counters + a ``failover`` span) and retries the
-        next candidate after an exponential backoff.  Only when every
-        replica has failed does the query see an error.
+        degradation and retries the next candidate after an
+        exponential backoff.  Only when every replica has failed does
+        the query see an error.  Failovers are returned as plain
+        events (not spans): shards execute concurrently, and the
+        coordinator turns events into ``failover`` spans in shard
+        order so trace shape stays deterministic.
         """
-        order = self._replica_order(k)
+        with self._lock:
+            order = self._replica_order(k)
+        events: List[Dict[str, object]] = []
         last_exc: Optional[BaseException] = None
         for attempt, r in enumerate(order):
             engine = self._replica_engines[k][r]
             if attempt > 0:
-                self.retries += 1
+                with self._lock:
+                    self.retries += 1
                 if self.retry_backoff_seconds > 0.0:
                     time.sleep(min(
                         MAX_BACKOFF_SECONDS,
@@ -671,20 +786,20 @@ class ShardedEngine:
                                 f"injected replica failure "
                                 f"(shard {k} replica {r})"
                             )
-                out = engine.execute(sub, analyze=analyze)
+                with self._engine_locks[k][r]:
+                    out = engine.execute(sub, analyze=analyze)
             except (AdmissionError, KeyError):
                 raise
             except Exception as exc:
                 last_exc = exc
                 self._mark_failure(k, r)
-                if scatter is not None:
-                    scatter.child(
-                        "failover", shard=k, replica=r,
-                        error=type(exc).__name__, attempt=attempt,
-                    )
+                events.append({
+                    "shard": k, "replica": r,
+                    "error": type(exc).__name__, "attempt": attempt,
+                })
                 continue
             self._mark_success(k, r, time.perf_counter() - t0)
-            return out, r, attempt + 1
+            return out, r, attempt + 1, events
         assert last_exc is not None
         raise last_exc
 
@@ -709,8 +824,47 @@ class ShardedEngine:
 
     # -- serving ----------------------------------------------------------
 
-    def execute(self, query: Query, analyze: bool = False) -> EngineResult:
+    @property
+    def scatter_lanes(self) -> int:
+        """Parallel lanes the sim critical path is scheduled onto.
+
+        The shards share one worker pool, so a scatter can overlap at
+        most ``min(coordinator scatter threads, pool workers)``
+        sub-queries' worth of simulated hardware.  One lane makes
+        :func:`lpt_makespan` degenerate to the old sum — a one-worker
+        deployment really does serve shards back to back.
+        """
+        return max(1, min(self._scatter_threads, self.pool.workers))
+
+    def _scatter_executor(self) -> Optional[ThreadPoolExecutor]:
+        if self._scatter_threads <= 1:
+            return None
+        with self._lock:
+            if self._scatter_pool is None:
+                self._scatter_pool = ThreadPoolExecutor(
+                    max_workers=self._scatter_threads,
+                    thread_name_prefix="scatter",
+                )
+            return self._scatter_pool
+
+    def execute(self, query: Query, analyze: bool = False,
+                cancel: Optional[Callable[[], None]] = None,
+                ) -> EngineResult:
+        """Serve one logical query (cache -> scatter -> gather).
+
+        Thread-safe: many callers (a concurrent serving front-end's
+        in-flight queries) may execute at once; coordinator state is
+        lock-guarded and each replica engine serializes its own
+        sub-queries.  ``cancel`` is a cooperative cancellation
+        checkpoint — called on entry, before each shard dispatch and
+        at gather; raising from it (e.g.
+        :class:`~repro.engine.serve.DeadlineExceeded`) abandons the
+        query between shard boundaries without corrupting any shared
+        state.
+        """
         t_start = time.perf_counter()
+        if cancel is not None:
+            cancel()
         trace = (
             Span("query", query=query.describe(), engine="sharded")
             if self.tracing else None
@@ -719,15 +873,17 @@ class ShardedEngine:
             self._check_known(name)
         key = (query.canonical(),
                tuple((n, self._versions[n]) for n in query.relations))
-        cached = self.cache.get(key)
+        with self._lock:
+            cached = self.cache.get(key)
         if cached is not None:
             result = _copy_result(cached)
             result.detail["cache_hit"] = True
             wall = time.perf_counter() - t_start
-            self.queries_served += 1
-            self.cache_hits += 1
-            self.pairs_returned += cached.n_pairs
-            self.latency.record(wall)
+            with self._lock:
+                self.queries_served += 1
+                self.cache_hits += 1
+                self.pairs_returned += cached.n_pairs
+                self.latency.record(wall)
             if trace is not None:
                 lookup = trace.child("lookup", hit=True)
                 lookup.wall_seconds = wall
@@ -753,17 +909,10 @@ class ShardedEngine:
         # collect pairs even when the caller only wants a count.
         sub = (query if query.collect_pairs
                else _replace(query, collect_pairs=True))
-        merged: set = set()
-        raw_pairs = 0
-        sim_wall = 0.0
-        shard_pairs: Dict[int, int] = {}
-        shard_strategies: Dict[int, str] = {}
-        shard_replicas: Dict[int, int] = {}
-        shard_plans: Dict[int, str] = {}
-        restored_shards: List[int] = []
-        degraded = False
-        t_scatter = time.perf_counter()
-        for k in participating:
+
+        def run_shard(k: int) -> Dict[str, object]:
+            if cancel is not None:
+                cancel()
             # A persisted sub-result serves the shard's share straight
             # from disk — no replica executes, which is how a restarted
             # deployment rewarms every shard without recomputing.
@@ -771,38 +920,90 @@ class ShardedEngine:
             if token is not None:
                 restored = self.result_stores[k].load(token)
                 if restored is not None:
-                    self.result_disk_restores += 1
-                    self._shard_result_restores[k] += 1
-                    restored_shards.append(k)
-                    raw_pairs += restored.n_pairs
-                    shard_pairs[k] = restored.n_pairs
-                    shard_strategies[k] = str(
-                        restored.detail.get("strategy", "?")
-                    )
-                    merged.update(restored.pairs or ())
-                    if scatter is not None:
-                        scatter.child(
-                            "restore", shard=k, disk=True,
-                            pairs=restored.n_pairs,
-                        )
-                    continue
-            out, replica, attempts = self._execute_on_shard(
-                k, sub, analyze, scatter
+                    with self._lock:
+                        self.result_disk_restores += 1
+                        self._shard_result_restores[k] += 1
+                    return {"shard": k, "restored": restored}
+            out, replica, attempts, events = self._execute_on_shard(
+                k, sub, analyze
             )
-            if attempts > 1:
-                degraded = True
-            sim_wall += out.sim_wall_seconds
-            raw_pairs += out.result.n_pairs
-            shard_pairs[k] = out.result.n_pairs
-            shard_replicas[k] = replica
-            shard_strategies[k] = str(
-                out.result.detail.get("strategy", "?")
-            )
-            merged.update(out.result.pairs)
             if (token is not None
                     and out.result.pairs is not None
                     and len(out.result.pairs) <= MAX_CACHED_PAIRS):
                 self.result_stores[k].save(token, out.result)
+            return {"shard": k, "out": out, "replica": replica,
+                    "attempts": attempts, "events": events}
+
+        t_scatter = time.perf_counter()
+        executor = (
+            self._scatter_executor() if len(participating) > 1 else None
+        )
+        if executor is None:
+            outcomes = [run_shard(k) for k in participating]
+        else:
+            # Overlapped scatter: all participating shards dispatch at
+            # once onto the shared pool; results are gathered in shard
+            # order so merge and trace adoption stay deterministic.
+            futures = [executor.submit(run_shard, k)
+                       for k in participating]
+            outcomes = []
+            first_exc: Optional[BaseException] = None
+            for f in futures:
+                if first_exc is None:
+                    try:
+                        outcomes.append(f.result())
+                    except BaseException as exc:
+                        first_exc = exc
+                        for g in futures:
+                            g.cancel()
+                else:
+                    try:  # drain so no worker still runs on re-raise
+                        f.result()
+                    except BaseException:
+                        pass
+            if first_exc is not None:
+                raise first_exc
+
+        merged: set = set()
+        raw_pairs = 0
+        shard_walls: List[float] = []
+        shard_pairs: Dict[int, int] = {}
+        shard_strategies: Dict[int, str] = {}
+        shard_replicas: Dict[int, int] = {}
+        shard_plans: Dict[int, str] = {}
+        restored_shards: List[int] = []
+        degraded = False
+        for oc in outcomes:
+            k = oc["shard"]
+            if "restored" in oc:
+                restored = oc["restored"]
+                restored_shards.append(k)
+                raw_pairs += restored.n_pairs
+                shard_pairs[k] = restored.n_pairs
+                shard_strategies[k] = str(
+                    restored.detail.get("strategy", "?")
+                )
+                merged.update(restored.pairs or ())
+                if scatter is not None:
+                    scatter.child(
+                        "restore", shard=k, disk=True,
+                        pairs=restored.n_pairs,
+                    )
+                continue
+            out = oc["out"]
+            if scatter is not None:
+                for ev in oc["events"]:
+                    scatter.child("failover", **ev)
+            if oc["attempts"] > 1:
+                degraded = True
+            shard_walls.append(out.sim_wall_seconds)
+            raw_pairs += out.result.n_pairs
+            shard_pairs[k] = out.result.n_pairs
+            shard_replicas[k] = oc["replica"]
+            shard_strategies[k] = str(
+                out.result.detail.get("strategy", "?")
+            )
+            merged.update(out.result.pairs)
             if analyze and out.plan is not None:
                 shard_plans[k] = out.plan.explain()
             if scatter is not None and out.trace is not None:
@@ -811,10 +1012,19 @@ class ShardedEngine:
                 sp = out.trace
                 sp.name = "shard"
                 sp.attrs["shard"] = k
-                sp.attrs["replica"] = replica
+                sp.attrs["replica"] = oc["replica"]
                 scatter.adopt(sp)
+        if cancel is not None:
+            cancel()
+        # The scatter critical path: shards ran concurrently on the
+        # shared pool, so the query's simulated cost is the LPT
+        # makespan of the shard walls over the pool's lanes, not their
+        # sum.  Restored shards cost no simulated execution (as
+        # before).
+        sim_wall = lpt_makespan(shard_walls, self.scatter_lanes)
         if degraded:
-            self.failovers += 1
+            with self._lock:
+                self.failovers += 1
         if scatter is not None:
             scatter.wall_seconds = time.perf_counter() - t_scatter
             for f in SPAN_METRIC_FIELDS:
@@ -843,6 +1053,10 @@ class ShardedEngine:
         )
         if restored_shards:
             result.detail["shard_disk_restores"] = restored_shards
+        if degraded:
+            # Served, but only after replica failover — the serving
+            # front-end surfaces this as a degraded (not failed) reply.
+            result.detail["degraded"] = True
         if analyze:
             result.detail["shard_plans"] = shard_plans
         if trace is not None:
@@ -852,12 +1066,14 @@ class ShardedEngine:
             )
             gather.wall_seconds = time.perf_counter() - t_gather
         wall = time.perf_counter() - t_start
-        self.queries_served += 1
-        self.queries_executed += 1
-        self.pairs_returned += result.n_pairs
-        self.duplicates_eliminated += raw_pairs - result.n_pairs
-        self.shards_pruned_total += len(pruned)
-        self.latency.record(wall)
+        with self._lock:
+            self.queries_served += 1
+            self.queries_executed += 1
+            self.pairs_returned += result.n_pairs
+            self.duplicates_eliminated += raw_pairs - result.n_pairs
+            self.shards_pruned_total += len(pruned)
+            self.sim_wall_total += sim_wall
+            self.latency.record(wall)
         if trace is not None:
             trace.wall_seconds = wall
             for f in SPAN_METRIC_FIELDS:
@@ -873,7 +1089,8 @@ class ShardedEngine:
         # Same rule as the single engine: count-only results (no pair
         # list) always cache; collected results cache up to the bound.
         if result.pairs is None or len(result.pairs) <= MAX_CACHED_PAIRS:
-            self.cache.put(key, _copy_result(result))
+            with self._lock:
+                self.cache.put(key, _copy_result(result))
         return EngineResult(
             query=query, result=result, plan=None, from_cache=False,
             wall_seconds=wall, sim_wall_seconds=sim_wall, trace=trace,
@@ -907,6 +1124,9 @@ class ShardedEngine:
 
     def close(self) -> None:
         """Release every replica's pool ref; the last one stops the pool."""
+        if self._scatter_pool is not None:
+            self._scatter_pool.shutdown(wait=True)
+            self._scatter_pool = None
         for engine in self.all_engines:
             engine.close()
 
@@ -958,7 +1178,19 @@ class ShardedEngine:
             self.artifacts.snapshot(), self.budget.snapshot(),
             store_snap,
         ))
+        # Physical shard execution time still sums (real work billed to
+        # the simulated hardware), but the deployment's serving clock is
+        # the accumulated scatter critical path over the pool's lanes.
+        snap["sim_wall_shard_sum_seconds"] = snap.get(
+            "sim_wall_seconds", 0.0
+        )
         snap.update({
+            "sim_wall_seconds": self.sim_wall_total,
+            "scatter_lanes": self.scatter_lanes,
+            "weighted_reroutes": self.weighted_reroutes,
+            "replica_latency_ewma": [
+                list(r) for r in self._latency_ewma
+            ],
             "queries_served": self.queries_served,
             "cache_hits": self.cache_hits,
             "cache_hit_rate": (

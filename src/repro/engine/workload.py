@@ -13,6 +13,7 @@ both the ``serve-bench`` CLI subcommand and
 
 from __future__ import annotations
 
+import asyncio
 import random
 import time
 from typing import Dict, List, Optional, Union
@@ -21,6 +22,7 @@ from repro.data.datasets import build_dataset
 from repro.engine.engine import SpatialQueryEngine
 from repro.engine.faults import FaultPlan
 from repro.engine.query import Query
+from repro.engine.serve import ServingFrontend
 from repro.engine.shard import ShardedEngine
 from repro.geom.rect import Rect
 from repro.sim.machines import MACHINE_3, MachineSpec
@@ -115,6 +117,8 @@ def sharded_engine_for_dataset(
     replicas: int = 1,
     artifact_dir: Optional[str] = None,
     faults: Optional[FaultPlan] = None,
+    result_store_bytes: Optional[int] = None,
+    scatter_threads: Optional[int] = None,
 ) -> ShardedEngine:
     """Like :func:`engine_for_dataset`, but scattered over N shards.
 
@@ -142,6 +146,8 @@ def sharded_engine_for_dataset(
         replicas=replicas,
         artifact_dir=artifact_dir,
         faults=faults,
+        result_store_bytes=result_store_bytes,
+        scatter_threads=scatter_threads,
         trace=trace,
         slow_log_capacity=slow_log_capacity,
         slow_threshold_seconds=slow_threshold_seconds,
@@ -252,4 +258,142 @@ def run_workload(engine: ServingEngine,
         report["trace"] = last_trace.to_dict()
     if slow_log is not None:
         report["slow_queries"] = slow_log.entries()
+    return report
+
+
+def assign_classes(n_queries: int, batch_share: float = 0.25,
+                   seed: int = 11) -> List[str]:
+    """A deterministic interactive/batch class per query."""
+    rng = random.Random(seed)
+    return ["batch" if rng.random() < batch_share else "interactive"
+            for _ in range(n_queries)]
+
+
+def run_concurrent_workload(
+    engine: ServingEngine,
+    queries: List[Query],
+    clients: int = 8,
+    batch_share: float = 0.25,
+    deadline_seconds: Optional[float] = None,
+    open_loop_qps: Optional[float] = None,
+    queue_depth: Optional[int] = None,
+    admission_bytes: Optional[int] = None,
+    grant_bytes: Optional[Dict[str, int]] = None,
+    max_concurrency: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
+    seed: int = 11,
+) -> Dict[str, object]:
+    """Serve ``queries`` through a concurrent front-end and report.
+
+    The concurrent sibling of :func:`run_workload`: the same report
+    keys (so the bench JSON rows stay comparable), measured through a
+    :class:`~repro.engine.serve.ServingFrontend` driven by ``clients``
+    concurrent callers.  **Closed loop** (the default): each client
+    pulls the next unserved query as soon as its previous one resolves
+    — aggregate throughput under sustained concurrency.  **Open loop**
+    (``open_loop_qps``): queries arrive on a fixed schedule regardless
+    of completions — the saturation regime where arrival rate exceeds
+    service rate and the front-end must shed rather than queue without
+    bound.
+
+    Queries are deterministically classed interactive/batch
+    (``batch_share``, ``seed``); latency percentiles cover *served*
+    queries only, while shed/expired/rejected/error fates are counted
+    in the ``serve`` block.  ``pairs_returned`` likewise sums served
+    queries — differential checks against a serial run must compare
+    runs where every query was served.
+    """
+    classes = assign_classes(len(queries), batch_share, seed)
+    fe_kwargs: Dict[str, object] = {"faults": faults}
+    if queue_depth is not None:
+        fe_kwargs["queue_depth"] = queue_depth
+    if admission_bytes is not None:
+        fe_kwargs["admission_bytes"] = admission_bytes
+    if grant_bytes is not None:
+        fe_kwargs["grant_bytes"] = grant_bytes
+    fe_kwargs["max_concurrency"] = (
+        max_concurrency if max_concurrency is not None else max(1, clients)
+    )
+    frontend = ServingFrontend(engine, **fe_kwargs)
+
+    async def closed_loop() -> List[object]:
+        responses: List[object] = [None] * len(queries)
+        cursor = {"next": 0}
+
+        async def client() -> None:
+            while cursor["next"] < len(queries):
+                i = cursor["next"]
+                cursor["next"] = i + 1
+                responses[i] = await frontend.submit(
+                    queries[i], classes[i], deadline_seconds
+                )
+
+        await asyncio.gather(*(client() for _ in range(clients)))
+        return responses
+
+    async def open_loop() -> List[object]:
+        interval = 1.0 / open_loop_qps
+
+        async def one(i: int) -> object:
+            await asyncio.sleep(i * interval)
+            return await frontend.submit(
+                queries[i], classes[i], deadline_seconds
+            )
+
+        return await asyncio.gather(
+            *(one(i) for i in range(len(queries)))
+        )
+
+    sim_before = engine.metrics.sim_wall_seconds
+    spilled_before = engine.metrics.spilled_rects
+    pool_before = engine.worker_pool.snapshot()
+    art_before = engine.artifacts.snapshot()
+    t0 = time.perf_counter()
+    try:
+        responses = asyncio.run(
+            open_loop() if open_loop_qps else closed_loop()
+        )
+    finally:
+        frontend.close()
+    wall = time.perf_counter() - t0
+    served = [r for r in responses if r.ok]
+    latencies = sorted(r.wall_seconds for r in served)
+    total_pairs = sum(r.pairs or 0 for r in served)
+    sim_wall = engine.metrics.sim_wall_seconds - sim_before
+    pool = engine.worker_pool.snapshot()
+    for key in ("tasks_dispatched", "tasks_inline", "tiles_dispatched",
+                "tiles_inline", "pools_created", "fallbacks",
+                "demotions"):
+        pool[key] -= pool_before[key]
+    artifacts = engine.artifacts.snapshot()
+    for key in ("hits", "misses", "puts", "evictions", "invalidations",
+                "rejections", "disk_restores", "disk_restore_bytes"):
+        artifacts[key] -= art_before[key]
+    probes = artifacts["hits"] + artifacts["misses"]
+    artifacts["hit_rate"] = artifacts["hits"] / probes if probes else 0.0
+    serve_snap = frontend.snapshot()
+    report: Dict[str, object] = {
+        "queries": len(queries),
+        "served": len(served),
+        "clients": clients,
+        "open_loop_qps": open_loop_qps,
+        "pairs_returned": total_pairs,
+        "wall_seconds": wall,
+        "sim_wall_seconds": sim_wall,
+        "queries_per_sec_wall": (
+            len(served) / wall if wall > 0 else 0.0
+        ),
+        "queries_per_sec_sim": (
+            len(served) / sim_wall if sim_wall > 0 else float("inf")
+        ),
+        "spilled_rects": engine.metrics.spilled_rects - spilled_before,
+        "budget": engine.budget.snapshot(),
+        "pool": pool,
+        "artifacts": artifacts,
+        "latency_p50_seconds": _quantile(latencies, 0.50),
+        "latency_p95_seconds": _quantile(latencies, 0.95),
+        "latency_max_seconds": latencies[-1] if latencies else 0.0,
+        "serve": serve_snap,
+        "metrics": frontend.metrics_snapshot(),
+    }
     return report

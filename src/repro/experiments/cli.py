@@ -221,6 +221,108 @@ def _parse_serve_args(argv: List[str]) -> argparse.Namespace:
         "--json", action="store_true",
         help="emit the serving report as one JSON object",
     )
+    _add_serve_args(parser)
+    parser.add_argument(
+        "--clients", type=int, default=1,
+        help=(
+            "concurrent closed-loop clients driving the workload "
+            "through the admission front-end (default: 1, the classic "
+            "serial driver with no front-end)"
+        ),
+    )
+    parser.add_argument(
+        "--open-loop-qps", type=float, default=None,
+        help=(
+            "drive the workload open-loop at this arrival rate instead "
+            "of closed-loop clients (saturation testing; implies the "
+            "concurrent front-end)"
+        ),
+    )
+    parser.add_argument(
+        "--batch-share", type=float, default=0.25,
+        help=(
+            "share of queries submitted in the 'batch' class "
+            "(concurrent driver only; default: 0.25)"
+        ),
+    )
+    return parser.parse_args(argv)
+
+
+def _add_serve_args(parser: argparse.ArgumentParser) -> None:
+    """Front-end knobs shared by serve-bench and the serve endpoint."""
+    parser.add_argument(
+        "--queue-depth", type=int, default=None,
+        help=(
+            "admission queue bound; past it the front-end load-sheds "
+            "oldest-batch-first (default: 64)"
+        ),
+    )
+    parser.add_argument(
+        "--admission-bytes", type=int, default=None,
+        help=(
+            "serve-level admission budget in bytes; per-class grants "
+            "are taken from it and queries park when none are free "
+            "(default: 8 MiB)"
+        ),
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help=(
+            "per-query deadline; expired queries free their grant and "
+            "pool slots at the next cancellation checkpoint "
+            "(default: none)"
+        ),
+    )
+    parser.add_argument(
+        "--max-concurrency", type=int, default=None,
+        help=(
+            "threads executing admitted queries on the engine "
+            "(default: the client count for serve-bench, 8 for serve)"
+        ),
+    )
+    parser.add_argument(
+        "--result-store-bytes", type=int, default=None,
+        help=(
+            "byte cap per shard result store (with --shards and "
+            "--artifact-dir); oldest entries evict LRU past it "
+            "(default: unbounded)"
+        ),
+    )
+
+
+def _parse_http_args(argv: List[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments serve",
+        description=(
+            "Serve the engine over HTTP through the concurrent "
+            "admission front-end (POST /query, GET /metrics, "
+            "GET /healthz)."
+        ),
+    )
+    parser.add_argument(
+        "--dataset", choices=DATASET_ORDER, default="NJ",
+        help="Table 2 dataset registered as roads/hydro (default: NJ)",
+    )
+    parser.add_argument(
+        "--scale", choices=("default", "quick"), default="default",
+        help="1/256 of the paper's sizes (default) or 1/1024 (quick)",
+    )
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--shards", type=int, default=1)
+    parser.add_argument("--replicas", type=int, default=1)
+    parser.add_argument(
+        "--pool-kind", choices=("process", "thread", "serial"),
+        default="process",
+    )
+    parser.add_argument("--artifact-dir", default=None)
+    parser.add_argument("--faults", default=None, metavar="JSON")
+    parser.add_argument("--fault-seed", type=int, default=0)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port (default: 8642; 0 picks a free port)",
+    )
+    _add_serve_args(parser)
     return parser.parse_args(argv)
 
 
@@ -316,6 +418,7 @@ def serve_bench(args: argparse.Namespace) -> int:
     from repro.engine.workload import (
         engine_for_dataset,
         make_workload,
+        run_concurrent_workload,
         run_workload,
         sharded_engine_for_dataset,
     )
@@ -348,6 +451,7 @@ def serve_bench(args: argparse.Namespace) -> int:
             tile_batch_bytes=args.tile_batch_bytes,
             replicas=max(1, args.replicas),
             artifact_dir=args.artifact_dir,
+            result_store_bytes=args.result_store_bytes,
             **obs_kwargs,
         )
     else:
@@ -364,7 +468,24 @@ def serve_bench(args: argparse.Namespace) -> int:
     queries = make_workload(
         engine.universe_of("roads"), args.queries, seed=args.seed,
     )
-    report = run_workload(engine, queries)
+    concurrent = args.clients > 1 or args.open_loop_qps is not None
+    if concurrent:
+        report = run_concurrent_workload(
+            engine, queries,
+            clients=max(1, args.clients),
+            batch_share=args.batch_share,
+            deadline_seconds=(
+                args.deadline_ms / 1e3
+                if args.deadline_ms is not None else None
+            ),
+            open_loop_qps=args.open_loop_qps,
+            queue_depth=args.queue_depth,
+            admission_bytes=args.admission_bytes,
+            max_concurrency=args.max_concurrency,
+            faults=faults,
+        )
+    else:
+        report = run_workload(engine, queries)
     engine.close()
     if args.metrics_out:
         _write_metrics(report["metrics"], args.metrics_out)
@@ -425,6 +546,22 @@ def serve_bench(args: argparse.Namespace) -> int:
                 f"{m['result_store']['saves']} saves, "
                 f"{m['result_store']['corrupt_drops']} corrupt dropped"
             )])
+    if "serve" in report:
+        s = report["serve"]
+        rows.append(["front-end", (
+            f"{report['clients']} clients"
+            + (f" (open loop {report['open_loop_qps']:g} q/s)"
+               if report.get("open_loop_qps") else "")
+            + f", {s['queued_total']} queued "
+            f"(peak {s['queue_high_water']}), {s['shed']} shed, "
+            f"{s['expired']} expired, {s['rejected']} rejected, "
+            f"{s['errors']} errors, {s['served_degraded']} degraded"
+        )])
+        rows.append(["admission", (
+            f"{s['admission']['in_use_bytes']} B in use of "
+            f"{s['admission']['total_bytes']} B, "
+            f"{s['admission']['grants_issued']} grants issued"
+        )])
     if args.spill_report:
         budget = report["budget"]
         rows += [
@@ -443,6 +580,69 @@ def serve_bench(args: argparse.Namespace) -> int:
         + (f", {args.shards} shards" if args.shards > 1 else "")
     )
     print(format_table(["Metric", "Value"], rows, title=title))
+    return 0
+
+
+def serve_cmd(args: argparse.Namespace) -> int:
+    """Run the HTTP serving endpoint until interrupted."""
+    import asyncio
+
+    from repro.engine.serve import ServingFrontend, serve_http
+    from repro.engine.workload import (
+        engine_for_dataset,
+        sharded_engine_for_dataset,
+    )
+
+    scale = _scale(args.scale)
+    faults = None
+    if args.faults:
+        from repro.engine.faults import FaultPlan
+
+        try:
+            faults = FaultPlan.from_json(args.faults, seed=args.fault_seed)
+        except ValueError as exc:
+            raise SystemExit(f"--faults: {exc}")
+    if args.shards > 1:
+        engine = sharded_engine_for_dataset(
+            args.dataset, scale, shards=args.shards,
+            workers=max(1, args.workers), pool_kind=args.pool_kind,
+            replicas=max(1, args.replicas),
+            artifact_dir=args.artifact_dir,
+            result_store_bytes=args.result_store_bytes,
+            faults=faults,
+        )
+    else:
+        engine = engine_for_dataset(
+            args.dataset, scale, workers=max(1, args.workers),
+            pool_kind=args.pool_kind, artifact_dir=args.artifact_dir,
+            faults=faults,
+        )
+    fe_kwargs = {"faults": faults}
+    if args.queue_depth is not None:
+        fe_kwargs["queue_depth"] = args.queue_depth
+    if args.admission_bytes is not None:
+        fe_kwargs["admission_bytes"] = args.admission_bytes
+    if args.max_concurrency is not None:
+        fe_kwargs["max_concurrency"] = args.max_concurrency
+    if args.deadline_ms is not None:
+        fe_kwargs["default_deadline_seconds"] = args.deadline_ms / 1e3
+    frontend = ServingFrontend(engine, **fe_kwargs)
+
+    async def run() -> None:
+        server = await serve_http(frontend, args.host, args.port)
+        addr = server.sockets[0].getsockname()
+        print(f"serving {args.dataset} on http://{addr[0]}:{addr[1]} "
+              f"(POST /query, GET /metrics, GET /healthz)")
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        frontend.close()
+        engine.close()
     return 0
 
 
@@ -488,6 +688,8 @@ def main(argv: List[str] = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "serve-bench":
         return serve_bench(_parse_serve_args(argv[1:]))
+    if argv and argv[0] == "serve":
+        return serve_cmd(_parse_http_args(argv[1:]))
     if argv and argv[0] == "metrics":
         return metrics_cmd(_parse_metrics_args(argv[1:]))
     args = _parse_args(argv)

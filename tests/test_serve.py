@@ -1,0 +1,712 @@
+"""Concurrent serving front-end: admission, deadlines, shedding, chaos.
+
+The serving layer's contract has three legs, each tested here:
+
+* **Liveness under load** — queries park in a bounded queue instead of
+  failing with :class:`AdmissionError`; every released grant pumps the
+  queue; overload sheds oldest-batch-first; the incoming batch query
+  sheds itself rather than evicting interactive work.
+* **Deadlines are cooperative, not corrupting** — expiry fires at
+  queue and scatter checkpoints only, so an expired query frees its
+  admission grant and leaves every shared structure (caches, budget,
+  result stores) consistent; the chaos differential run asserts zero
+  budget leak after a thousand mixed-fate queries.
+* **Accounting** — the LPT critical-path sim model
+  (:func:`lpt_makespan`), the latency-weighted replica ordering and
+  the LRU-capped :class:`ResultStore` are pinned with exact numbers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+
+import pytest
+
+from repro.core.join_result import JoinResult
+from repro.engine import (
+    DeadlineExceeded,
+    FaultPlan,
+    FaultRule,
+    Query,
+    ResourceBudget,
+    ResultStore,
+    ServingFrontend,
+    ShardedEngine,
+    lpt_makespan,
+    run_concurrent_workload,
+    run_workload,
+    serve_http,
+)
+from repro.engine.serve import parse_query_body
+from repro.geom.rect import Rect
+from repro.sim.machines import MACHINE_3
+
+from tests.conftest import TEST_SCALE, _uniform
+
+UNIT = Rect(0.0, 1.0, 0.0, 1.0, 0)
+
+KiB = 1024
+
+
+def _make_sharded(shards: int = 2, **kw) -> ShardedEngine:
+    kw.setdefault("scale", TEST_SCALE)
+    kw.setdefault("machine", MACHINE_3)
+    kw.setdefault("workers", 2)
+    kw.setdefault("pool_kind", "serial")
+    kw.setdefault("cache_capacity", 0)
+    kw.setdefault("min_ship_rects", 0)
+    return ShardedEngine(shards=shards, **kw)
+
+
+def _registered(shards: int = 2, n: int = 120, seed: int = 3,
+                **kw) -> ShardedEngine:
+    engine = _make_sharded(shards, **kw)
+    rng = random.Random(seed)
+    engine.register("a", _uniform(rng, n), universe=UNIT)
+    engine.register("b", _uniform(rng, n, 10_000), universe=UNIT)
+    return engine
+
+
+def _frontend(engine, **kw) -> ServingFrontend:
+    kw.setdefault("admission_bytes", 8 << 20)
+    return ServingFrontend(engine, **kw)
+
+
+# -- try_acquire -------------------------------------------------------------
+
+
+class TestTryAcquire:
+    def test_grants_exactly_or_refuses(self):
+        budget = ResourceBudget(100)
+        g = budget.try_acquire("q", 60)
+        assert g is not None and g.bytes == 60
+        assert budget.try_acquire("q", 50) is None, (
+            "try_acquire must refuse rather than overcommit"
+        )
+        assert budget.in_use_bytes == 60
+        g2 = budget.try_acquire("q", 40)
+        assert g2 is not None
+        g.release()
+        g2.release()
+        assert budget.in_use_bytes == 0
+
+    def test_negative_rejected(self):
+        budget = ResourceBudget(10)
+        with pytest.raises(ValueError):
+            budget.try_acquire("q", -1)
+
+    def test_zero_bytes_always_granted(self):
+        budget = ResourceBudget(1)
+        g = budget.try_acquire("q", 1)
+        assert budget.try_acquire("q", 0) is not None
+        g.release()
+
+
+# -- LPT critical path -------------------------------------------------------
+
+
+class TestLptMakespan:
+    def test_pinned_two_lane_schedule(self):
+        # LPT on 2 lanes: 4 | 3+2 -> then 2 joins lane 0 (4+2=6),
+        # 1 joins lane 1 (5+1=6): makespan 6, not the 12 a serial
+        # sum would bill.
+        assert lpt_makespan([4, 3, 2, 2, 1], 2) == pytest.approx(6.0)
+
+    def test_one_lane_degenerates_to_sum(self):
+        assert lpt_makespan([4, 3, 2], 1) == pytest.approx(9.0)
+
+    def test_more_lanes_than_shards_is_max(self):
+        assert lpt_makespan([4.0, 3.0], 8) == pytest.approx(4.0)
+
+    def test_empty_is_zero(self):
+        assert lpt_makespan([], 4) == 0.0
+
+    def test_sharded_sim_accounting_is_critical_path(self):
+        """Regression: scatter sim must equal the LPT makespan of the
+        per-shard engine deltas, never their sum."""
+        engine = _registered(shards=3, n=200)
+        walls_before = [e.metrics.sim_wall_seconds
+                        for e in engine.engines]
+        out = engine.execute(Query(relations=("a", "b")))
+        walls = [
+            e.metrics.sim_wall_seconds - b
+            for e, b in zip(engine.engines, walls_before)
+        ]
+        walls = [w for w in walls if w > 0]
+        assert len(walls) == 3, "a full overlay scatters to every shard"
+        assert out.sim_wall_seconds == pytest.approx(
+            lpt_makespan(walls, engine.scatter_lanes)
+        )
+        assert out.sim_wall_seconds < sum(walls), (
+            "the critical path must be cheaper than the serial sum"
+        )
+        assert engine.sim_wall_total == pytest.approx(
+            out.sim_wall_seconds
+        )
+        engine.close()
+
+    def test_single_worker_deployment_bills_the_sum(self):
+        engine = _registered(shards=2, workers=1)
+        assert engine.scatter_lanes == 1
+        walls_before = [e.metrics.sim_wall_seconds
+                        for e in engine.engines]
+        out = engine.execute(Query(relations=("a", "b")))
+        walls = [
+            e.metrics.sim_wall_seconds - b
+            for e, b in zip(engine.engines, walls_before)
+        ]
+        assert out.sim_wall_seconds == pytest.approx(sum(walls))
+        engine.close()
+
+
+# -- weighted replica selection ----------------------------------------------
+
+
+class TestWeightedReplicaSelection:
+    def test_slow_replica_demoted_behind_fast_ones(self):
+        engine = _registered(shards=2, replicas=2)
+        # Shard 0: replica 0 is observed 100x slower than replica 1.
+        engine._latency_ewma[0][0] = 0.5
+        engine._latency_ewma[0][1] = 0.005
+        order = engine._replica_order(0)
+        assert order[0] == 1, "the fast replica must be tried first"
+        assert 0 in order, "the slow replica stays as fallback"
+        assert engine.weighted_reroutes >= 1
+        engine.close()
+
+    def test_comparable_replicas_keep_rotating(self):
+        engine = _registered(shards=2, replicas=2)
+        engine._latency_ewma[0][0] = 0.010
+        engine._latency_ewma[0][1] = 0.011  # within 1.5x: both fast
+        reroutes = engine.weighted_reroutes
+        seen_first = {engine._replica_order(0)[0] for _ in range(4)}
+        assert seen_first == {0, 1}, (
+            "comparable replicas must still round-robin"
+        )
+        assert engine.weighted_reroutes == reroutes
+        engine.close()
+
+    def test_ewma_recorded_on_success(self):
+        engine = _registered(shards=2, replicas=2)
+        for q in (Query(relations=("a", "b")),
+                  Query(relations=("a", "a"))):
+            engine.execute(q)
+        observed = [
+            ew for shard in engine._latency_ewma
+            for ew in shard if ew is not None
+        ]
+        assert observed, "serving must record latency EWMAs"
+        snap = engine.metrics_snapshot()
+        assert snap["replica_latency_ewma"] == engine._latency_ewma
+        engine.close()
+
+
+# -- ResultStore LRU cap -----------------------------------------------------
+
+
+def _result(tag: int, n_pairs: int = 40) -> JoinResult:
+    pairs = [(tag * 10_000 + i, tag * 10_000 + i + 1)
+             for i in range(n_pairs)]
+    return JoinResult(algorithm="t", n_pairs=len(pairs), pairs=pairs,
+                      detail={"strategy": "t"})
+
+
+class TestResultStoreCap:
+    def test_lru_eviction_keeps_store_under_cap(self, tmp_path):
+        store = ResultStore(str(tmp_path), max_bytes=4 * KiB)
+        for i in range(8):
+            assert store.save(f"t{i}", _result(i))
+        assert store.bytes <= 4 * KiB
+        assert store.evictions > 0
+        assert store.evicted_bytes > 0
+        # The newest entries survive; the oldest were evicted.
+        assert store.load("t7") is not None
+        assert store.load("t0") is None
+
+    def test_restore_counts_as_recent_use(self, tmp_path):
+        store = ResultStore(str(tmp_path), max_bytes=3 * KiB)
+        store.save("old", _result(1))
+        store.save("mid", _result(2))
+        assert store.load("old") is not None  # bump recency
+        # Fill past the cap: "mid" (least recently used) must go
+        # before "old".
+        store.save("new1", _result(3))
+        store.save("new2", _result(4))
+        assert store.load("mid") is None
+        assert store.load("old") is not None or store.evictions >= 2
+
+    def test_oversized_entry_rejected_not_thrashed(self, tmp_path):
+        store = ResultStore(str(tmp_path), max_bytes=512)
+        store.save("small", _result(1, n_pairs=2))
+        assert not store.save("huge", _result(2, n_pairs=400))
+        assert store.rejections == 1
+        assert store.load("small") is not None, (
+            "an oversized save must not evict the resident entries"
+        )
+
+    def test_mtime_order_survives_restart(self, tmp_path):
+        store = ResultStore(str(tmp_path), max_bytes=64 * KiB)
+        for i in range(4):
+            store.save(f"t{i}", _result(i))
+        assert store.load("t0") is not None  # freshest by mtime now
+        reopened = ResultStore(str(tmp_path), max_bytes=64 * KiB)
+        assert next(iter(reopened._index)) != "t0", (
+            "the restart scan must rebuild LRU order from mtimes"
+        )
+        snap = reopened.snapshot()
+        assert snap["bytes"] == store.bytes
+        assert snap["max_bytes"] == 64 * KiB
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        for i in range(10):
+            store.save(f"t{i}", _result(i))
+        assert store.evictions == 0
+        assert len(store) == 10
+
+
+# -- front-end fates ---------------------------------------------------------
+
+
+def _submit_all(frontend, coros):
+    async def gather():
+        return await asyncio.gather(*coros)
+
+    return asyncio.run(gather())
+
+
+class TestFrontendFates:
+    def test_single_query_ok(self):
+        engine = _registered()
+        with _frontend(engine) as fe:
+            resp = asyncio.run(
+                fe.submit(Query(relations=("a", "b")))
+            )
+            assert resp.ok and resp.status == "ok"
+            assert resp.pairs == resp.result.result.n_pairs > 0
+            assert fe.served_ok == 1
+            assert fe.admission.in_use_bytes == 0
+        engine.close()
+
+    def test_contention_queues_instead_of_admission_error(self):
+        engine = _registered()
+        # One interactive grant's worth of budget: 6 concurrent
+        # queries must serialize through the queue, not fail.
+        with _frontend(engine, admission_bytes=1 << 20) as fe:
+            responses = _submit_all(fe, [
+                fe.submit(Query(relations=("a", "b")))
+                for _ in range(6)
+            ])
+            assert all(r.ok for r in responses)
+            assert fe.queued_total >= 5
+            assert fe.queue_high_water >= 1
+            assert fe.admission.in_use_bytes == 0
+        engine.close()
+
+    def test_oversized_class_is_rejected_cleanly(self):
+        engine = _registered()
+        with _frontend(engine, admission_bytes=1 << 20) as fe:
+            resp = asyncio.run(
+                fe.submit(Query(relations=("a", "b")), "batch")
+            )  # batch grant (4 MiB) exceeds the whole budget
+            assert resp.status == "rejected"
+            assert fe.rejected == 1
+            assert fe.admission.in_use_bytes == 0
+        engine.close()
+
+    def test_overload_sheds_oldest_batch_first(self):
+        engine = _registered()
+
+        async def overload(fe):
+            first = asyncio.ensure_future(
+                fe.submit(Query(relations=("a", "b"))))
+            await asyncio.sleep(0)  # let it take the only grant
+            # Queue depth 2 fills with one batch + one interactive.
+            parked = [
+                asyncio.ensure_future(
+                    fe.submit(Query(relations=("a", "a")), "batch")),
+                asyncio.ensure_future(
+                    fe.submit(Query(relations=("b", "b")))),
+            ]
+            await asyncio.sleep(0)
+            # The next arrival overflows the queue: the parked batch
+            # query is the shed victim, not either interactive one.
+            extra = asyncio.ensure_future(
+                fe.submit(Query(relations=("a", "b"))))
+            return await asyncio.gather(first, *parked, extra)
+
+        with _frontend(engine, admission_bytes=4,
+                       grant_bytes={"interactive": 3, "batch": 4},
+                       queue_depth=2) as fe:
+            first, batch, inter, extra = asyncio.run(overload(fe))
+            assert batch.status == "shed"
+            assert first.ok and inter.ok and extra.ok
+            assert fe.shed == 1
+            assert fe.per_class["batch"]["shed"] == 1
+            assert fe.admission.in_use_bytes == 0
+        engine.close()
+
+    def test_incoming_batch_sheds_itself_over_interactive(self):
+        engine = _registered()
+
+        async def overload(fe):
+            first = asyncio.ensure_future(
+                fe.submit(Query(relations=("a", "b"))))
+            await asyncio.sleep(0)
+            parked = asyncio.ensure_future(
+                fe.submit(Query(relations=("b", "b"))))
+            await asyncio.sleep(0)
+            late_batch = asyncio.ensure_future(
+                fe.submit(Query(relations=("a", "a")), "batch"))
+            return await asyncio.gather(first, parked, late_batch)
+
+        with _frontend(engine, admission_bytes=4,
+                       grant_bytes={"interactive": 3, "batch": 4},
+                       queue_depth=1) as fe:
+            first, parked, late_batch = asyncio.run(overload(fe))
+            assert late_batch.status == "shed", (
+                "a batch arrival must not evict interactive waiters"
+            )
+            assert first.ok and parked.ok
+        engine.close()
+
+    def test_queued_deadline_expires_and_releases_nothing(self):
+        engine = _registered()
+
+        async def scenario(fe):
+            first = asyncio.ensure_future(
+                fe.submit(Query(relations=("a", "b"))))
+            await asyncio.sleep(0)
+            doomed = asyncio.ensure_future(
+                fe.submit(Query(relations=("a", "a")),
+                          deadline_seconds=1e-4))
+            return await asyncio.gather(first, doomed)
+
+        with _frontend(engine, admission_bytes=1 << 20) as fe:
+            first, doomed = asyncio.run(scenario(fe))
+            assert first.ok
+            assert doomed.status == "expired"
+            assert fe.expired == 1
+            assert fe.admission.in_use_bytes == 0
+        engine.close()
+
+    def test_degraded_reply_marks_failover(self):
+        engine = _registered(
+            replicas=2,
+            faults=FaultPlan([
+                FaultRule(site="shard.execute", kind="exception",
+                          times=1),
+            ]),
+        )
+        with _frontend(engine) as fe:
+            resp = asyncio.run(
+                fe.submit(Query(relations=("a", "b")))
+            )
+            assert resp.ok
+            assert resp.degraded, (
+                "a failover reply must be flagged degraded"
+            )
+            assert fe.served_degraded == 1
+        engine.close()
+
+    def test_unknown_class_raises(self):
+        engine = _registered()
+        with _frontend(engine) as fe:
+            with pytest.raises(ValueError, match="query class"):
+                asyncio.run(
+                    fe.submit(Query(relations=("a", "b")), "bulk")
+                )
+        engine.close()
+
+
+# -- fault sites -------------------------------------------------------------
+
+
+class TestServeFaultSites:
+    def test_queue_exception_fails_admission(self):
+        engine = _registered()
+        plan = FaultPlan([
+            FaultRule(site="serve.queue", kind="exception", times=1),
+        ])
+        with _frontend(engine, faults=plan) as fe:
+            bad = asyncio.run(fe.submit(Query(relations=("a", "b"))))
+            ok = asyncio.run(fe.submit(Query(relations=("a", "b"))))
+            assert bad.status == "error"
+            assert "injected" in bad.error
+            assert ok.ok, "the fault fires once, service resumes"
+            assert fe.errors == 1
+            assert fe.admission.in_use_bytes == 0
+        assert plan.injected["serve.queue:exception"] == 1
+        engine.close()
+
+    def test_deadline_exception_forces_expiry_and_frees_grant(self):
+        engine = _registered()
+        plan = FaultPlan([
+            FaultRule(site="serve.deadline", kind="exception", times=1),
+        ])
+        with _frontend(engine, faults=plan) as fe:
+            bad = asyncio.run(fe.submit(Query(relations=("a", "b"))))
+            assert bad.status == "expired"
+            assert fe.expired == 1
+            assert fe.admission.in_use_bytes == 0, (
+                "the forced expiry must release its grant"
+            )
+            assert engine.queries_served == 0, (
+                "the query must never reach the engine"
+            )
+        engine.close()
+
+    def test_slow_rules_delay_but_serve(self):
+        engine = _registered()
+        plan = FaultPlan([
+            FaultRule(site="serve.queue", kind="slow",
+                      delay_seconds=0.001, times=1),
+            FaultRule(site="serve.deadline", kind="slow",
+                      delay_seconds=0.001, times=1),
+        ])
+        with _frontend(engine, faults=plan) as fe:
+            resp = asyncio.run(fe.submit(Query(relations=("a", "b"))))
+            assert resp.ok
+        assert plan.total_injected == 2
+        engine.close()
+
+
+# -- chaos differential ------------------------------------------------------
+
+
+class TestChaosDifferential:
+    def test_mixed_fate_thousand_queries_leak_nothing(self):
+        """1k queries with every fate in play: queued, shed, expired,
+        injected faults, failovers — answers stay correct and not one
+        admission byte leaks."""
+        queries = [
+            Query(relations=("a", "b")),
+            Query(relations=("a", "a")),
+            Query(relations=("a", "b"),
+                  window=Rect(0.0, 0.5, 0.0, 0.5, 0)),
+            Query(relations=("b", "b"),
+                  window=Rect(0.3, 0.9, 0.3, 0.9, 0)),
+        ]
+        # Serial ground truth from an identical fault-free deployment.
+        clean = _registered(replicas=2, cache_capacity=64)
+        expected = {
+            i: clean.execute(q).result.n_pairs
+            for i, q in enumerate(queries)
+        }
+        clean.close()
+        engine = _registered(
+            replicas=2, cache_capacity=64,
+            faults=FaultPlan([
+                FaultRule(site="serve.queue", kind="exception",
+                          times=5, after=10),
+                FaultRule(site="serve.deadline", kind="exception",
+                          times=5, after=20),
+                FaultRule(site="shard.execute", kind="exception",
+                          times=1, after=5),
+            ]),
+        )
+        rng = random.Random(97)
+
+        async def storm(fe):
+            sem = asyncio.Semaphore(16)
+
+            async def one(j):
+                i = j % len(queries)
+                deadline = 1e-4 if rng.random() < 0.1 else None
+                cls = "batch" if rng.random() < 0.3 else "interactive"
+                async with sem:
+                    resp = await fe.submit(queries[i], cls, deadline)
+                return i, resp
+
+            return await asyncio.gather(
+                *(one(j) for j in range(1000))
+            )
+
+        with _frontend(engine, admission_bytes=6 << 20,
+                       queue_depth=8, max_concurrency=4) as fe:
+            outcomes = asyncio.run(storm(fe))
+            fates = {}
+            for i, resp in outcomes:
+                fates[resp.status] = fates.get(resp.status, 0) + 1
+                if resp.ok:
+                    assert resp.pairs == expected[i], (
+                        "a served answer must never be corrupted by "
+                        "shed/expired/faulted neighbours"
+                    )
+            assert fe.submitted == 1000
+            assert fates["ok"] > 0
+            assert fates.get("error", 0) >= 1, "queue faults fired"
+            assert fates.get("expired", 0) >= 1
+            assert sum(fates.values()) == 1000
+            # The robustness bottom line: nothing leaked.
+            assert fe.admission.in_use_bytes == 0
+            assert fe.in_flight == 0
+            assert len(fe._queue) == 0
+        # Engine-side, only the long-lived artifact-cache grants may
+        # remain (reclaimed on close); every query-scoped grant must
+        # have been released.
+        held = {
+            cat: n
+            for cat, n in engine.budget.snapshot()["by_category"].items()
+            if n
+        }
+        assert set(held) <= {"artifacts"}, held
+        engine.close()
+
+
+# -- concurrent workload driver ----------------------------------------------
+
+
+class TestConcurrentWorkloadDriver:
+    def test_closed_loop_matches_serial_pairs(self):
+        from repro.engine import make_workload
+
+        engine = _registered(n=150)
+        queries = make_workload(UNIT, 24, seed=7)
+        # make_workload names relations roads/hydro; remap onto ours.
+        queries = [
+            Query(relations=("a", "b"), window=q.window)
+            for q in queries
+        ]
+        serial = run_workload(engine, queries)
+        engine.close()
+        engine = _registered(n=150)
+        report = run_concurrent_workload(
+            engine, queries, clients=6, admission_bytes=6 << 20,
+        )
+        engine.close()
+        assert report["served"] == report["queries"] == 24
+        assert report["pairs_returned"] == serial["pairs_returned"]
+        assert report["serve"]["shed"] == 0
+        assert report["serve"]["admission"]["in_use_bytes"] == 0
+        assert report["serve"]["queued_total"] >= 0
+        assert report["latency_p95_seconds"] >= (
+            report["latency_p50_seconds"]
+        )
+        assert "sim_wall_seconds" in report
+
+    def test_open_loop_saturation_sheds_not_errors(self):
+        engine = _registered(n=150)
+        queries = [Query(relations=("a", "b"))] * 40
+        report = run_concurrent_workload(
+            engine, queries, clients=8, open_loop_qps=20_000.0,
+            queue_depth=2, admission_bytes=4 << 20,
+            max_concurrency=1, batch_share=0.5,
+        )
+        engine.close()
+        s = report["serve"]
+        assert s["shed"] > 0, "a 20k q/s burst into queue=2 must shed"
+        assert s["rejected"] == 0
+        assert s["errors"] == 0
+        assert s["admission"]["in_use_bytes"] == 0
+        assert report["served"] == s["served_ok"] > 0
+
+
+# -- HTTP endpoint -----------------------------------------------------------
+
+
+async def _http(port: int, method: str, path: str,
+                body: bytes = b"") -> tuple:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    head = (f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n")
+    writer.write(head.encode("ascii") + body)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ")[1])
+    return status, payload
+
+
+class TestHttpEndpoint:
+    def test_query_metrics_and_health(self):
+        engine = _registered()
+
+        async def scenario(fe):
+            server = await serve_http(fe, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            health = await _http(port, "GET", "/healthz")
+            ok = await _http(
+                port, "POST", "/query",
+                json.dumps({"relations": ["a", "b"],
+                            "count_only": True}).encode(),
+            )
+            bad = await _http(port, "POST", "/query", b"not json")
+            missing = await _http(port, "GET", "/nope")
+            wrong_method = await _http(port, "GET", "/query")
+            metrics = await _http(port, "GET", "/metrics")
+            server.close()
+            await server.wait_closed()
+            return health, ok, bad, missing, wrong_method, metrics
+
+        with _frontend(engine) as fe:
+            (health, ok, bad, missing, wrong_method,
+             metrics) = asyncio.run(scenario(fe))
+        assert health[0] == 200
+        assert ok[0] == 200
+        served = json.loads(ok[1])
+        assert served["status"] == "ok" and served["pairs"] > 0
+        assert bad[0] == 400
+        assert missing[0] == 404
+        assert wrong_method[0] == 405
+        assert metrics[0] == 200
+        assert b"repro_engine_serve_submitted 1" in metrics[1]
+        engine.close()
+
+    def test_parse_query_body_validation(self):
+        good = parse_query_body(json.dumps({
+            "relations": ["a", "b"],
+            "window": [0.0, 0.5, 0.0, 0.5],
+            "class": "batch",
+            "deadline_ms": 250,
+        }).encode())
+        assert good["query"].relations == ("a", "b")
+        assert good["query"].window == Rect(0.0, 0.5, 0.0, 0.5, 0)
+        assert good["query_class"] == "batch"
+        assert good["deadline_seconds"] == pytest.approx(0.25)
+        for payload in (
+            {"relations": ["a"]},
+            {"relations": ["a", "b"], "window": [1, 2, 3]},
+            {"relations": ["a", "b"], "class": "bulk"},
+            {"relations": ["a", "b"], "deadline_ms": -5},
+            {"relations": ["a", "b"], "bogus": 1},
+        ):
+            with pytest.raises(ValueError):
+                parse_query_body(json.dumps(payload).encode())
+
+
+# -- cancellation checkpoints ------------------------------------------------
+
+
+class TestCancellationCheckpoints:
+    def test_cancel_raises_between_shards_not_mid_answer(self):
+        engine = _registered()
+        calls = {"n": 0}
+
+        def cancel():
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise DeadlineExceeded("expired mid-scatter")
+
+        with pytest.raises(DeadlineExceeded):
+            engine.execute(Query(relations=("a", "b")), cancel=cancel)
+        # The abandoned query must leave the deployment serviceable
+        # and its accounting clean.
+        out = engine.execute(Query(relations=("a", "b")))
+        assert out.result.n_pairs > 0
+        assert engine.budget.snapshot()["in_use_bytes"] == 0
+        engine.close()
+
+    def test_cancel_noop_when_never_raising(self):
+        engine = _registered()
+        seen = []
+        out = engine.execute(Query(relations=("a", "b")),
+                             cancel=lambda: seen.append(1))
+        assert out.result.n_pairs > 0
+        assert len(seen) >= 2, (
+            "entry and gather checkpoints must both fire"
+        )
+        engine.close()

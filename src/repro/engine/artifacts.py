@@ -612,13 +612,22 @@ class ResultStore:
             return 0
 
     def save(self, token: str, result: JoinResult) -> bool:
-        """Persist one result; idempotent per token."""
+        """Persist one result; idempotent per token.
+
+        Safe under concurrent saves of the same token (two identical
+        queries scattered to one shard): each writer uses its own tmp
+        file, ``os.replace`` makes the publish atomic, and the index
+        update is delta-based, so duplicate writers can never corrupt
+        the file or double-count ``_total_bytes``.
+        """
         path = self._path(token)
         if os.path.exists(path):
             with self._lock:
                 self._touch_locked(token)
             return True
-        tmp = path + ".tmp"
+        # Per-writer tmp name: two threads saving the same token must
+        # not interleave writes into one tmp file.
+        tmp = f"{path}.{os.getpid()}.{threading.get_ident()}.tmp"
         try:
             payload = json.dumps({
                 "algorithm": result.algorithm,
@@ -662,9 +671,12 @@ class ResultStore:
         with self._lock:
             self.saves += 1
             self.save_bytes += len(body)
+            # Delta-based: a concurrent duplicate save replaces the
+            # index entry instead of inflating the byte total (which
+            # would trigger premature LRU evictions forever after).
+            prior = self._index.pop(token, 0)
             self._index[token] = len(body)
-            self._index.move_to_end(token)
-            self._total_bytes += len(body)
+            self._total_bytes += len(body) - prior
             self._evict_locked(keep=token)
         return True
 

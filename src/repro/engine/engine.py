@@ -134,6 +134,12 @@ class EngineResult:
 class SpatialQueryEngine:
     """A persistent spatial-join serving layer over the repro stack."""
 
+    #: ``execute`` is not reentrant: the env page counter, metrics and
+    #: result cache are mutated without locks.  Concurrent deployments
+    #: must serialize calls (the serving front-end does) or shard
+    #: (``ShardedEngine`` holds one lock per replica engine).
+    execute_thread_safe = False
+
     def __init__(
         self,
         scale: ScaleConfig = DEFAULT_SCALE,

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -149,6 +150,16 @@ class ServingFrontend:
     pool of ``max_concurrency`` workers; the admission budget decides
     how many queries may *hold grants* at once, the thread pool decides
     how many actually execute.
+
+    Engines advertise concurrent execution with an
+    ``execute_thread_safe`` attribute (``ShardedEngine`` sets it: its
+    coordinator state is lock-guarded and each replica serializes its
+    own sub-queries).  An engine without it — a bare
+    ``SpatialQueryEngine``, whose ``execute`` is not reentrant — has
+    its calls serialized under a front-end lock: concurrency still
+    helps (admission, queueing and deadlines overlap), but only one
+    query touches the engine at a time, so the env counters, metrics
+    and result cache never race.
     """
 
     def __init__(self, engine, *,
@@ -181,6 +192,12 @@ class ServingFrontend:
             faults = getattr(engine, "faults", None)
         self.faults = faults
         self._queue: list = []  # FIFO of _Waiter (small; O(n) ops fine)
+        #: Engines that do not declare ``execute_thread_safe`` get
+        #: their blocking calls serialized here (see class docstring).
+        self._engine_lock = (
+            None if getattr(engine, "execute_thread_safe", False)
+            else threading.Lock()
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=max_concurrency, thread_name_prefix="serve"
         )
@@ -289,10 +306,20 @@ class ServingFrontend:
                 asyncio.shield(future), timeout
             )
         except asyncio.TimeoutError:
-            # Expired while parked.  The pump may still have resolved
-            # the future concurrently — hand that grant straight back.
-            if future.done() and future.result() is not None:
-                future.result().release()
+            # Expired while parked.  Whatever fate won the race, the
+            # time this waiter spent queued is queue wait.
+            self.queue_wait_seconds += (
+                time.monotonic() - waiter.enqueued_at
+            )
+            if future.done():
+                resolved = future.result()
+                if resolved is None:
+                    # Shed in the same tick the deadline fired: the
+                    # shed decision already removed the waiter and
+                    # charged nothing — report it as shed.
+                    return None
+                # The pump granted concurrently — hand it straight back.
+                resolved.release()
                 self._pump()
             else:
                 future.cancel()
@@ -377,10 +404,18 @@ class ServingFrontend:
             self.in_flight_high_water = max(
                 self.in_flight_high_water, self.in_flight
             )
+            def call() -> EngineResult:
+                if self._engine_lock is None:
+                    return self.engine.execute(query, cancel=checkpoint)
+                with self._engine_lock:
+                    # The wait for the engine counts against the
+                    # deadline like any other checkpoint.
+                    checkpoint()
+                    return self.engine.execute(query, cancel=checkpoint)
+
             try:
                 out = await asyncio.get_running_loop().run_in_executor(
-                    self._executor,
-                    lambda: self.engine.execute(query, cancel=checkpoint),
+                    self._executor, call,
                 )
             finally:
                 self.in_flight -= 1
@@ -448,6 +483,18 @@ class ServingFrontend:
         return snap
 
     def close(self) -> None:
+        # Resolve parked waiters as shed first: a submit coroutine
+        # still awaiting its queue future must not hang forever when
+        # close() is called from inside a live event loop.
+        while self._queue:
+            waiter = self._queue.pop(0)
+            if not waiter.future.done():
+                try:
+                    waiter.future.set_result(None)
+                except RuntimeError:
+                    # The future's loop already closed (close() after
+                    # asyncio.run): nobody is waiting on it anymore.
+                    pass
         self._executor.shutdown(wait=True)
 
     def __enter__(self) -> "ServingFrontend":
@@ -536,6 +583,13 @@ def parse_query_body(body: bytes) -> Dict[str, object]:
             "deadline_seconds": deadline_seconds}
 
 
+#: Largest request body the endpoint will buffer.  Query bodies are a
+#: few hundred bytes; anything near the cap is abuse or a bug, and an
+#: unbounded Content-Length must not let one connection claim
+#: arbitrary memory.
+MAX_BODY_BYTES = 1 << 20
+
+
 async def _read_request(reader) -> Optional[Dict[str, object]]:
     line = await reader.readline()
     if not line:
@@ -555,6 +609,13 @@ async def _read_request(reader) -> Optional[Dict[str, object]]:
                 length = int(value.strip())
             except ValueError:
                 length = 0
+    length = max(0, length)
+    if length > MAX_BODY_BYTES:
+        # Don't read the body — the connection closes after the
+        # response anyway, and draining it would buffer what the cap
+        # exists to refuse.
+        return {"method": method, "path": path, "body": b"",
+                "too_large": True}
     body = await reader.readexactly(length) if length else b""
     return {"method": method, "path": path, "body": body}
 
@@ -577,7 +638,11 @@ async def serve_http(frontend: ServingFrontend,
             req = await _read_request(reader)
             if req is None:
                 return
-            if req["path"] == "/healthz" and req["method"] == "GET":
+            if req.get("too_large"):
+                out = _http_response(
+                    413, b'{"error": "request body too large"}\n'
+                )
+            elif req["path"] == "/healthz" and req["method"] == "GET":
                 out = _http_response(200, b'{"status": "ok"}\n')
             elif req["path"] == "/metrics" and req["method"] == "GET":
                 text = render_prometheus(frontend.metrics_snapshot())
@@ -612,7 +677,10 @@ async def serve_http(frontend: ServingFrontend,
                 out = _http_response(404, b'{"error": "not found"}\n')
             writer.write(out)
             await writer.drain()
-        except (ConnectionError, asyncio.IncompleteReadError):
+        except (ConnectionError, asyncio.IncompleteReadError,
+                ValueError):
+            # ValueError covers malformed reads (e.g. readexactly on a
+            # bogus length): drop the connection rather than the task.
             pass
         finally:
             writer.close()

@@ -276,6 +276,12 @@ class _ShardBudgetView:
 class ShardedEngine:
     """N engine shards, one shared worker pool, exact scatter/gather."""
 
+    #: ``execute`` tolerates concurrent callers (coordinator state is
+    #: lock-guarded, replica engines serialize their own sub-queries).
+    #: The serving front-end reads this to decide whether it must
+    #: serialize engine calls itself.
+    execute_thread_safe = True
+
     def __init__(
         self,
         shards: int = 2,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import random
 
 import pytest
@@ -34,6 +35,7 @@ from repro.engine import (
     ResultStore,
     ServingFrontend,
     ShardedEngine,
+    SpatialQueryEngine,
     lpt_makespan,
     run_concurrent_workload,
     run_workload,
@@ -72,6 +74,19 @@ def _registered(shards: int = 2, n: int = 120, seed: int = 3,
 def _frontend(engine, **kw) -> ServingFrontend:
     kw.setdefault("admission_bytes", 8 << 20)
     return ServingFrontend(engine, **kw)
+
+
+def _registered_single(n: int = 120, seed: int = 3,
+                       **kw) -> SpatialQueryEngine:
+    kw.setdefault("scale", TEST_SCALE)
+    kw.setdefault("machine", MACHINE_3)
+    kw.setdefault("pool_kind", "serial")
+    kw.setdefault("cache_capacity", 0)
+    engine = SpatialQueryEngine(**kw)
+    rng = random.Random(seed)
+    engine.register("a", _uniform(rng, n), universe=UNIT)
+    engine.register("b", _uniform(rng, n, 10_000), universe=UNIT)
+    return engine
 
 
 # -- try_acquire -------------------------------------------------------------
@@ -266,6 +281,34 @@ class TestResultStoreCap:
         assert store.evictions == 0
         assert len(store) == 10
 
+    def test_concurrent_duplicate_saves_count_bytes_once(self, tmp_path):
+        import threading
+
+        store = ResultStore(str(tmp_path), max_bytes=64 * KiB)
+        barrier = threading.Barrier(4)
+
+        def save():
+            barrier.wait()
+            store.save("dup", _result(1))
+
+        threads = [threading.Thread(target=save) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # However many writers raced past the exists check, the index
+        # holds one entry and _total_bytes matches it exactly — an
+        # overcount here would trigger premature evictions forever.
+        assert list(store._index) == ["dup"]
+        assert store.bytes == store._index["dup"]
+        assert store.load("dup") is not None, (
+            "racing writers must never publish a corrupt file"
+        )
+        assert store.corrupt_drops == 0
+        leftovers = [f for f in os.listdir(store.root)
+                     if f.endswith(".tmp")]
+        assert not leftovers
+
 
 # -- front-end fates ---------------------------------------------------------
 
@@ -409,6 +452,28 @@ class TestFrontendFates:
                 "a failover reply must be flagged degraded"
             )
             assert fe.served_degraded == 1
+        engine.close()
+
+    def test_close_resolves_parked_waiters_as_shed(self):
+        engine = _registered()
+        fe = _frontend(engine, admission_bytes=1 << 20)
+
+        async def scenario():
+            # Hold the whole budget so the submit must park.
+            hold = fe.admission.try_acquire("hold", 1 << 20)
+            task = asyncio.create_task(
+                fe.submit(Query(relations=("a", "b")))
+            )
+            await asyncio.sleep(0.02)
+            assert len(fe._queue) == 1
+            fe.close()  # must resolve the waiter, not strand it
+            resp = await asyncio.wait_for(task, timeout=2.0)
+            hold.release()
+            return resp
+
+        resp = asyncio.run(scenario())
+        assert resp.status == "shed"
+        assert fe.shed == 1
         engine.close()
 
     def test_unknown_class_raises(self):
@@ -604,6 +669,59 @@ class TestConcurrentWorkloadDriver:
         assert report["served"] == s["served_ok"] > 0
 
 
+# -- single-engine serialization ---------------------------------------------
+
+
+class TestSingleEngineSerialization:
+    def test_lock_present_only_for_non_thread_safe_engines(self):
+        single = _registered_single()
+        sharded = _registered()
+        fe_single = _frontend(single)
+        fe_sharded = _frontend(sharded)
+        try:
+            assert fe_single._engine_lock is not None, (
+                "SpatialQueryEngine.execute is not reentrant; the "
+                "front-end must serialize calls to it"
+            )
+            assert fe_sharded._engine_lock is None, (
+                "ShardedEngine declares execute_thread_safe; "
+                "serializing it would defeat the concurrent scatter"
+            )
+        finally:
+            fe_single.close()
+            fe_sharded.close()
+            single.close()
+            sharded.close()
+
+    def test_concurrent_single_engine_matches_serial_accounting(self):
+        from repro.engine import make_workload
+
+        queries = [
+            Query(relations=("a", "b"), window=q.window)
+            for q in make_workload(UNIT, 24, seed=7)
+        ]
+        engine = _registered_single(n=150)
+        serial = run_workload(engine, queries)
+        engine.close()
+        engine = _registered_single(n=150)
+        report = run_concurrent_workload(
+            engine, queries, clients=8, admission_bytes=8 << 20,
+        )
+        engine.close()
+        assert report["served"] == report["queries"] == 24
+        assert report["serve"]["errors"] == 0
+        # With execute serialized the env page counter deltas and
+        # metrics cannot interleave: totals match the serial run bit
+        # for bit (a race here shows up as corrupted sums).
+        assert report["pairs_returned"] == serial["pairs_returned"]
+        assert report["metrics"]["pages_read"] == (
+            serial["metrics"]["pages_read"]
+        )
+        assert report["sim_wall_seconds"] == pytest.approx(
+            serial["sim_wall_seconds"]
+        )
+
+
 # -- HTTP endpoint -----------------------------------------------------------
 
 
@@ -654,6 +772,45 @@ class TestHttpEndpoint:
         assert wrong_method[0] == 405
         assert metrics[0] == 200
         assert b"repro_engine_serve_submitted 1" in metrics[1]
+        engine.close()
+
+    def test_hostile_content_length_gets_a_response(self):
+        engine = _registered()
+
+        async def raw(port: int, head: str) -> int:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            writer.write(head.encode("ascii"))
+            await writer.drain()
+            data = await asyncio.wait_for(reader.read(), timeout=2.0)
+            writer.close()
+            assert data, "the server must answer, not kill the task"
+            return int(data.split(b" ")[1])
+
+        async def scenario(fe):
+            server = await serve_http(fe, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            # Negative length: clamped to no body -> invalid JSON, 400.
+            negative = await raw(
+                port,
+                "POST /query HTTP/1.1\r\nHost: t\r\n"
+                "Content-Length: -7\r\n\r\n",
+            )
+            # Absurd length: refused outright, never buffered.
+            huge = await raw(
+                port,
+                "POST /query HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Length: {64 << 20}\r\n\r\n",
+            )
+            server.close()
+            await server.wait_closed()
+            return negative, huge
+
+        with _frontend(engine) as fe:
+            negative, huge = asyncio.run(scenario(fe))
+        assert negative == 400
+        assert huge == 413
         engine.close()
 
     def test_parse_query_body_validation(self):

@@ -272,7 +272,8 @@ def _json_row(rep: dict) -> dict:
                 "submitted", "served_ok", "served_degraded",
                 "queued_total", "queue_high_water",
                 "queue_wait_seconds", "shed", "expired", "rejected",
-                "errors", "in_flight_high_water",
+                "errors", "in_flight_high_water", "aged_promotions",
+                "queue_age_max_seconds",
             )
         }
         row["admission_in_use_bytes"] = s["admission"]["in_use_bytes"]
@@ -597,6 +598,15 @@ def test_engine_throughput():
     assert saturated_serve["serve"]["admission"]["in_use_bytes"] == 0
     assert saturated_serve["latency_p95_seconds"] < 1.0, (
         "served p95 under saturation must stay bounded"
+    )
+    # Starvation gate: priority aging bounds how long a parked batch
+    # query can sit in the queue.  Every waiter resolves within the
+    # 0.25 s deadline (grant, shed, or expiry), so a batch max queue
+    # age anywhere near a second means aging stopped working.
+    batch_age = saturated_serve["serve"]["queue_age_max_seconds"]["batch"]
+    assert batch_age < 1.0, (
+        f"batch queue age must stay bounded under saturation "
+        f"(got {batch_age:.3f}s)"
     )
     if scale.name == PRE_KERNEL_BASELINE_SCALE:
         # Multiplexing eight clients must not tax the front-end: even

@@ -49,7 +49,7 @@ from repro.engine.executor import (
 from repro.engine.metrics import EngineMetrics
 from repro.engine.obs import SlowQueryLog
 from repro.engine.optimizer import Optimizer, PhysicalPlan, PlanActuals
-from repro.engine.pool import WorkerPool
+from repro.engine.pool import DeadlineExceeded, WorkerPool
 from repro.engine.query import Query
 from repro.engine.resources import AdmissionError, ResourceBudget
 from repro.engine.trace import Span, span_meter
@@ -322,8 +322,10 @@ class SpatialQueryEngine:
                 cancel: Optional[Callable[[], None]] = None,
                 ) -> EngineResult:
         # ``cancel`` is a cooperative cancellation checkpoint (see
-        # ShardedEngine.execute); the single engine only honours it at
-        # entry — one sub-query is the unit of non-preemptible work.
+        # ShardedEngine.execute), honoured at entry and forwarded into
+        # the executor, whose partitioned path checks it per gathered
+        # task — and ships a CancelToken inside every pool payload so
+        # workers stop at tile boundaries too.
         if cancel is not None:
             cancel()
         t_start = time.perf_counter()
@@ -380,8 +382,13 @@ class SpatialQueryEngine:
             )
         with span_meter(self.env, self.machine, trace, "execute",
                         strategy=plan.strategy) as espan:
-            result = self.executor.execute(plan, self.catalog,
-                                           trace=espan)
+            try:
+                result = self.executor.execute(plan, self.catalog,
+                                               trace=espan,
+                                               cancel=cancel)
+            except DeadlineExceeded:
+                self.metrics.record_cancellation()
+                raise
         wall = time.perf_counter() - t0
 
         d_pages_r = self.env.page_reads - before[0]

@@ -93,7 +93,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import BrokenExecutor
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.columnar import ColumnarTile, SortedRunView
 from repro.core.join_result import JoinResult
@@ -125,6 +125,8 @@ from repro.engine.cache import (
 from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.optimizer import PhysicalPlan
 from repro.engine.pool import (
+    CancelToken,
+    DeadlineExceeded,
     PoolClient,
     ShmTileRef,
     WorkerPool,
@@ -239,10 +241,15 @@ class Executor:
     # -- public ----------------------------------------------------------
 
     def execute(self, plan: PhysicalPlan, catalog: Catalog,
-                trace: Optional[Span] = None) -> JoinResult:
+                trace: Optional[Span] = None,
+                cancel: Optional[Callable[[], None]] = None) -> JoinResult:
         """Run one plan.  ``trace``, when given, is the parent span the
         executor hangs its phase spans under (zero overhead when None —
-        every trace call site is guarded)."""
+        every trace call site is guarded).  ``cancel``, when given, is
+        checked at gather checkpoints on the partitioned path; a
+        :class:`~repro.engine.pool.CancelToken` additionally ships
+        inside every pool payload so workers observe cancellation at
+        tile boundaries."""
         query = plan.query
         env = self.disk.env
         entries = [catalog.get(n) for n in query.relations]
@@ -257,7 +264,8 @@ class Executor:
                             strategy="multiway"):
                 result = self._execute_multiway(plan, entries)
         elif plan.mode == "partitioned":
-            result = self._execute_partitioned(plan, entries, trace)
+            result = self._execute_partitioned(plan, entries, trace,
+                                               cancel)
         else:
             with span_meter(env, self.machine, trace, "join",
                             strategy=plan.strategy):
@@ -429,6 +437,7 @@ class Executor:
     def _execute_partitioned(
         self, plan: PhysicalPlan, entries: List[CatalogEntry],
         trace: Optional[Span] = None,
+        cancel: Optional[Callable[[], None]] = None,
     ) -> JoinResult:
         env = self.disk.env
         query = plan.query
@@ -541,8 +550,13 @@ class Executor:
             and prior_ops is not None
             and prior_ops <= self.inline_plan_ops
         )
+        # Only a CancelToken travels inside payloads (it pickles;
+        # arbitrary cancel callables do not) — workers then observe
+        # cancellation at tile boundaries.  Any callable still gates
+        # the gather loop below.
+        token = cancel if isinstance(cancel, CancelToken) else None
         shipper = _TaskShipper(self, traced=trace is not None,
-                               inline_all=inline_all)
+                               inline_all=inline_all, cancel=token)
         grant = None
         spilled_rects = spill_partitions = 0
         parts_to_free: List[SpillablePartition] = []
@@ -574,7 +588,7 @@ class Executor:
                 gmeter = EnvMeter(env, self.machine,
                                   trace.child("gather"))
                 gmeter.__enter__()
-            outcomes = self._gather(submitted)
+            outcomes = self._gather(submitted, cancel)
         finally:
             for p in parts_to_free:
                 p.free()
@@ -715,15 +729,32 @@ class Executor:
             n_parts, window,
         )
 
-    def _gather(self, submitted: List[tuple]) -> List[tuple]:
+    def _gather(self, submitted: List[tuple],
+                cancel: Optional[Callable[[], None]] = None
+                ) -> List[tuple]:
         outcomes = []
         for fut, shipped, _size, _tiles in submitted:
-            if not shipped:
-                outcomes.append(fut.result())
-                continue
+            if cancel is not None:
+                try:
+                    cancel()
+                except DeadlineExceeded:
+                    self._reclaim_cancelled(submitted[len(outcomes):], 0)
+                    raise
             try:
                 outcomes.append(fut.result())
+            except DeadlineExceeded:
+                # A worker (or inline sweep) observed the shipped token
+                # at a tile boundary: that task *was* reclaimed
+                # mid-flight, so it counts alongside the unstarted tail.
+                self._reclaim_cancelled(
+                    submitted[len(outcomes) + 1:], 1
+                )
+                raise
             except BrokenExecutor:
+                if not shipped:
+                    # Inline task-body exceptions propagate with their
+                    # real origin (there is no pool to recover here).
+                    raise
                 # The pool died under this task (sandboxed fork,
                 # killed worker).  Recompute inline and demote the
                 # pool so the remaining queries keep flowing.  Task-body
@@ -735,6 +766,28 @@ class Executor:
                     )
                 )
         return outcomes
+
+    def _reclaim_cancelled(self, remaining: List[tuple],
+                           observed: int) -> None:
+        """A deadline fired mid-gather: reclaim the unfinished tail.
+
+        Shipped futures not yet picked up by a worker are cancelled
+        outright; tasks already running observe the in-payload token at
+        their next tile boundary (solo tasks past their entry check run
+        to completion — abandoning them reclaims no CPU, so they are
+        not counted).  ``observed`` is 1 when the triggering task's own
+        sweep raised :class:`DeadlineExceeded` — cancelled mid-flight,
+        counted too.  Inline futures already ran at submit time;
+        nothing to reclaim there.
+        """
+        reclaimed = observed
+        for fut, shipped, _size, _tiles in remaining:
+            if not shipped:
+                continue
+            cancel_fut = getattr(fut, "cancel", None)
+            if cancel_fut is not None and cancel_fut():
+                reclaimed += 1
+        self.worker_pool.note_cancelled(reclaimed)
 
     def _submit_cached(
         self, cached: List[tuple], grid_spec: tuple,
@@ -971,11 +1024,15 @@ class _TaskShipper:
 
     def __init__(self, executor: "Executor",
                  traced: bool = False,
-                 inline_all: bool = False) -> None:
+                 inline_all: bool = False,
+                 cancel: Optional[CancelToken] = None) -> None:
         self.ex = executor
         self.pool = executor.worker_pool
         self.traced = traced
         self.inline_all = inline_all
+        #: Per-query cancel token appended to every task payload
+        #: (element 8), so workers check it at tile boundaries.
+        self.cancel = cancel
         self._solo_fn = (
             sweep_tile_task_traced if traced else sweep_tile_task
         )
@@ -996,6 +1053,8 @@ class _TaskShipper:
         )
 
     def add(self, payload: tuple, size: int) -> None:
+        if self.cancel is not None:
+            payload = payload + (self.cancel,)
         if self.pool.kind == "serial" or self.inline_all:
             self._inline(payload, size)
             return
@@ -1144,8 +1203,12 @@ def sweep_tile_task(payload: tuple) -> Tuple[int, Optional[List[Tuple[int, int]]
     dedup)`` — op counts bit-identical to the per-pair-callback path.
 
     The payload's optional eighth element names the sweep kernel
-    (``"python"`` when absent — old payloads stay valid).  Tile sides
-    may arrive as :class:`ShmTileRef` handles, resolved here into
+    (``"python"`` when absent — old payloads stay valid); the optional
+    ninth is the query's :class:`~repro.engine.pool.CancelToken`,
+    checked before the sweep so a deadline-doomed task stops at the
+    tile boundary instead of finishing a pointless sweep (batch tasks
+    inherit one check per tile from their per-payload loop).  Tile
+    sides may arrive as :class:`ShmTileRef` handles, resolved here into
     zero-copy views over the coordinator's shared segment.  The numpy
     kernel runs the whole tile body vectorized when the tile is big
     enough to pay its fixed cost; anything smaller — and any input
@@ -1156,6 +1219,9 @@ def sweep_tile_task(payload: tuple) -> Tuple[int, Optional[List[Tuple[int, int]]
         payload[:7]
     )
     kernel = payload[7] if len(payload) > 7 else "python"
+    cancel = payload[8] if len(payload) > 8 else None
+    if cancel is not None:
+        cancel()  # raises DeadlineExceeded past the deadline
     if isinstance(side_a, ShmTileRef):
         side_a = resolve_shm_tile(side_a)
     if isinstance(side_b, ShmTileRef):

@@ -93,6 +93,10 @@ class EngineMetrics:
     queries_executed: int = 0
     #: Queries refused by admission control (minimum grant > budget).
     queries_rejected: int = 0
+    #: Executions abandoned mid-flight by deadline cancellation — the
+    #: executor raised :class:`~repro.engine.pool.DeadlineExceeded`
+    #: from a scatter/gather checkpoint or a worker tile boundary.
+    queries_cancelled: int = 0
 
     #: Tile spill traffic from budget-governed partitioned execution.
     spilled_rects: int = 0
@@ -222,6 +226,10 @@ class EngineMetrics:
         """A query refused by admission control (never executed)."""
         self.queries_rejected += 1
 
+    def record_cancellation(self) -> None:
+        """An execution abandoned at a deadline checkpoint."""
+        self.queries_cancelled += 1
+
     def record_execution(
         self,
         strategy: str,
@@ -277,6 +285,7 @@ class EngineMetrics:
             "cache_hit_rate": self.cache_hit_rate,
             "queries_executed": self.queries_executed,
             "queries_rejected": self.queries_rejected,
+            "queries_cancelled": self.queries_cancelled,
             "spilled_rects": self.spilled_rects,
             "spilled_bytes": self.spilled_bytes,
             "spill_queries": self.spill_queries,

@@ -40,6 +40,7 @@ _LABELLED_DICTS = {
     "artifact_kinds": "kind",
     "high_water_by_category": "category",
     "budget_high_water_by_category": "category",
+    "observed_high_water_by_category": "category",
     "shard_pairs": "shard",
     "shard_strategies": "shard",
     "shard_replicas": "shard",
@@ -231,8 +232,16 @@ def render_json(snapshot: Dict[str, object],
                       default=str)
 
 
-def validate_prometheus(text: str) -> List[str]:
-    """Structural errors in exposition-format ``text`` (empty == valid)."""
+def validate_prometheus(text: str,
+                        prefix: Optional[str] = None) -> List[str]:
+    """Structural errors in exposition-format ``text`` (empty == valid).
+
+    With ``prefix`` given, every sample name must start with
+    ``<prefix>_`` — pinning the namespace an exporter actually emits
+    (the engine's is ``repro_engine``, so serve counters surface as
+    ``repro_engine_serve_*``), so documentation claims about metric
+    names are checkable instead of aspirational.
+    """
     errors: List[str] = []
     seen_samples = 0
     for n, line in enumerate(text.splitlines(), start=1):
@@ -246,6 +255,12 @@ def validate_prometheus(text: str) -> List[str]:
             continue
         if not _SAMPLE_RE.match(line):
             errors.append(f"line {n}: malformed sample: {line!r}")
+            continue
+        if prefix is not None and not line.startswith(prefix + "_"):
+            errors.append(
+                f"line {n}: sample outside the {prefix!r} namespace: "
+                f"{line!r}"
+            )
             continue
         seen_samples += 1
     if seen_samples == 0:

@@ -70,6 +70,64 @@ except ImportError:  # pragma: no cover
 POOL_KINDS = ("process", "thread", "serial")
 
 
+class DeadlineExceeded(RuntimeError):
+    """A query ran past its deadline and was cancelled mid-flight."""
+
+
+class CancelToken:
+    """A picklable per-query cancellation token.
+
+    The serving layer hands one of these to ``engine.execute`` as the
+    ``cancel=`` callable; the executor appends it to every shipped
+    payload so workers can observe cancellation at tile boundaries.
+    Two sources of truth, checked on every call:
+
+    * an absolute ``time.monotonic()`` deadline — CLOCK_MONOTONIC is
+      system-wide on Linux, so the same instant is comparable in forked
+      pool workers without any cross-process signalling;
+    * an explicit :class:`threading.Event` flag for coordinator-side
+      cancellation (tests, client disconnects).  The event does not
+      cross the process boundary — pickling keeps only its *current*
+      value — which is fine: worker-side checks exist to stop
+      deadline-doomed work, and the deadline travels exactly.
+    """
+
+    __slots__ = ("deadline", "_flag")
+
+    def __init__(self, deadline: Optional[float] = None) -> None:
+        #: Absolute ``time.monotonic()`` instant; ``None`` = no deadline.
+        self.deadline = deadline
+        self._flag = threading.Event()
+
+    def cancel(self) -> None:
+        """Flag the token cancelled (coordinator-side only)."""
+        self._flag.set()
+
+    @property
+    def cancelled(self) -> bool:
+        if self._flag.is_set():
+            return True
+        return (self.deadline is not None
+                and time.monotonic() >= self.deadline)
+
+    def __call__(self) -> None:
+        """Checkpoint: raise :class:`DeadlineExceeded` once cancelled."""
+        if self.cancelled:
+            raise DeadlineExceeded(
+                "deadline passed at a scatter checkpoint"
+            )
+
+    # Events hold OS state and do not pickle; ship the flag's value.
+    def __getstate__(self):
+        return (self.deadline, self._flag.is_set())
+
+    def __setstate__(self, state) -> None:
+        self.deadline, flagged = state
+        self._flag = threading.Event()
+        if flagged:
+            self._flag.set()
+
+
 class ShmTileRef(NamedTuple):
     """A pointer to one packed tile inside a shared-memory segment.
 
@@ -494,6 +552,10 @@ class WorkerPool:
         #: process->thread kind demotions (a subset of ``fallbacks``:
         #: only the fallbacks that permanently changed the pool kind).
         self.demotions = 0
+        #: Shipped tasks reclaimed by deadline cancellation: futures
+        #: cancelled before a worker picked them up plus in-flight
+        #: tasks that observed the token at a tile boundary.
+        self.pool_tasks_cancelled = 0
         #: Every client ever attached, weakly held, so the snapshot can
         #: report per-client dispatch splits without the pool keeping
         #: dead engines alive.
@@ -709,6 +771,13 @@ class WorkerPool:
         self.shutdown()
         return fn(payload)
 
+    def note_cancelled(self, n: int = 1) -> None:
+        """Count ``n`` shipped tasks reclaimed by cancellation."""
+        if n <= 0:
+            return
+        with self._lock:
+            self.pool_tasks_cancelled += n
+
     # -- observability ---------------------------------------------------
 
     @property
@@ -730,6 +799,7 @@ class WorkerPool:
             "pools_created": self.pools_created,
             "fallbacks": self.fallbacks,
             "demotions": self.demotions,
+            "pool_tasks_cancelled": self.pool_tasks_cancelled,
             "faults": (
                 self.faults.snapshot()
                 if self.faults is not None else None
@@ -840,6 +910,9 @@ class PoolClient:
 
     def recover(self, fn: Callable[[Any], Any], payload: Any) -> Any:
         return self.pool.recover(fn, payload)
+
+    def note_cancelled(self, n: int = 1) -> None:
+        self.pool.note_cancelled(n)
 
     # -- lifecycle -------------------------------------------------------
 

@@ -10,23 +10,39 @@ rejects work the deployment could have served a few milliseconds later.
 :class:`ServingFrontend` turns the blocking engine into a bounded
 concurrent service with three production behaviours:
 
-**Admission queue.**  Every query declares a class (``interactive`` or
-``batch``) and is admitted by taking a per-class byte grant from a
-serve-level :class:`~repro.engine.resources.ResourceBudget` via
-``try_acquire`` — the refusal-capable sibling of ``acquire``.  When the
-grant is not free the query *parks* in a FIFO queue instead of failing;
-each released grant pumps the queue head.  The queue is bounded: past
-``queue_depth`` the front-end load-sheds, evicting the **oldest batch**
-waiter first (batch traffic absorbs overload so dashboards stay up) and
-only shedding interactive work when no batch waiter is left.
+**Admission queue with priority aging.**  Every query declares a class
+(``interactive`` or ``batch``) and is admitted by taking a per-class
+byte grant from a serve-level
+:class:`~repro.engine.resources.ResourceBudget` via ``try_acquire`` —
+the refusal-capable sibling of ``acquire``.  When the grant is not
+free the query *parks* in a FIFO queue instead of failing; each
+released grant pumps the queue head.  The queue is bounded: past
+``queue_depth`` the front-end load-sheds, evicting the **oldest
+un-aged batch** waiter first (batch traffic absorbs overload so
+dashboards stay up).  A batch waiter parked longer than
+``aging_seconds`` is *promoted* — it accrues interactive-equivalent
+priority and sheds only under the oldest-first rule that governs
+interactive waiters — so oldest-batch-first shedding can never become
+batch starvation under sustained interactive pressure
+(``aged_promotions`` counts the promotions;
+``queue_age_max_seconds`` bounds the starvation story per class).
 
-**Deadlines.**  A query may carry a deadline.  While parked it expires
-via the queue future's timeout; once running, a cooperative cancel
-checkpoint (threaded into ``ShardedEngine.execute``'s entry, per-shard
-dispatch and gather boundaries) raises :class:`DeadlineExceeded` between
-shard sub-queries, so an expired query frees its grant and its pool
-slots instead of running to completion.  Expiry never corrupts shared
-state — checkpoints only fire between whole sub-queries.
+**Deadlines, propagated into the pool.**  A query may carry a
+deadline.  While parked it expires via the queue future's timeout;
+once running, its :class:`~repro.engine.pool.CancelToken` is threaded
+through ``ShardedEngine.execute`` into every replica's partitioned
+executor and — riding inside each shipped pool payload — down to the
+workers themselves: not-yet-started pool tasks are dropped
+(``pool_tasks_cancelled`` counts the reclaimed CPU) and in-flight ones
+stop at tile boundaries.  Expiry never corrupts shared state —
+checkpoints fire only between whole units of work.
+
+**Adaptive admission.**  With ``adaptive_grants`` on, per-class grant
+sizes track the *observed* per-class memory high-water that served
+queries report (``ResourceBudget.note_observation``) instead of the
+static configured bytes — a deployment whose interactive queries
+measure 200 KiB stops billing them 1 MiB, and one whose batch overlays
+measure 6 MiB stops letting two of them melt an 8 MiB budget.
 
 **Graceful degradation.**  Overload produces ``shed`` and ``expired``
 responses with correct counters, never unbounded queue growth and never
@@ -44,7 +60,10 @@ replica failover.
 
 :func:`serve_http` exposes the front-end over a thin stdlib HTTP
 endpoint (``POST /query``, ``GET /metrics``, ``GET /healthz``) — no
-framework dependency, one connection per request.
+framework dependency.  Connections are persistent by default
+(HTTP/1.1 keep-alive with sequential pipelined request handling);
+``Connection:`` headers are honoured and per-connection request and
+concurrent-connection limits bound the exposure.
 """
 
 from __future__ import annotations
@@ -55,13 +74,23 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.engine.engine import EngineResult
 from repro.engine.faults import FaultPlan, InjectedFault
+from repro.engine.pool import CancelToken, DeadlineExceeded
 from repro.engine.query import Query
 from repro.engine.resources import AdmissionError, ResourceBudget
 from repro.geom.rect import Rect
+
+__all__ = [
+    "CancelToken",
+    "DeadlineExceeded",
+    "ServeResponse",
+    "ServingFrontend",
+    "parse_query_body",
+    "serve_http",
+]
 
 QUERY_CLASSES = ("interactive", "batch")
 
@@ -82,9 +111,14 @@ DEFAULT_QUEUE_DEPTH = 64
 #: Threads executing blocking engine calls (the true in-flight cap).
 DEFAULT_MAX_CONCURRENCY = 8
 
+#: A batch waiter parked at least this long is promoted to
+#: interactive-equivalent shed priority (see ``_shed_for``).  ``<= 0``
+#: disables aging (the pre-aging oldest-batch-first behaviour).
+DEFAULT_AGING_SECONDS = 0.5
 
-class DeadlineExceeded(RuntimeError):
-    """Raised at a cooperative checkpoint once a query's deadline passed."""
+#: Floor for adaptively sized grants: observations below this would
+#: let a burst of trivially-small queries admit an unbounded crowd.
+MIN_ADAPTIVE_GRANT_BYTES = 64 << 10
 
 
 @dataclass
@@ -131,7 +165,8 @@ class ServeResponse:
 class _Waiter:
     """One parked query: its class and the future its grant arrives on."""
 
-    __slots__ = ("query_class", "nbytes", "future", "enqueued_at")
+    __slots__ = ("query_class", "nbytes", "future", "enqueued_at",
+                 "promoted")
 
     def __init__(self, query_class: str, nbytes: int,
                  future: "asyncio.Future", enqueued_at: float) -> None:
@@ -139,6 +174,9 @@ class _Waiter:
         self.nbytes = nbytes
         self.future = future
         self.enqueued_at = enqueued_at
+        #: Aged past ``aging_seconds``: this batch waiter now sheds
+        #: under interactive rules instead of batch-first.
+        self.promoted = False
 
 
 class ServingFrontend:
@@ -168,6 +206,8 @@ class ServingFrontend:
                  grant_bytes: Optional[Dict[str, int]] = None,
                  default_deadline_seconds: Optional[float] = None,
                  max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
+                 aging_seconds: float = DEFAULT_AGING_SECONDS,
+                 adaptive_grants: bool = False,
                  faults: Optional[FaultPlan] = None) -> None:
         if queue_depth < 1:
             raise ValueError("queue depth must be at least 1")
@@ -185,6 +225,10 @@ class ServingFrontend:
                 )
             self.grant_bytes.update(grant_bytes)
         self.default_deadline_seconds = default_deadline_seconds
+        self.aging_seconds = aging_seconds
+        #: Size grants from observed per-class memory high-water (fed
+        #: back by served queries) instead of the static table above.
+        self.adaptive_grants = adaptive_grants
         # One plan governs the deployment: absent an explicit plan the
         # front-end joins the engine's, so serve.* rules in an engine
         # fault plan reach the admission/deadline sites.
@@ -215,6 +259,14 @@ class ServingFrontend:
         self.in_flight_high_water = 0
         self.queue_high_water = 0
         self.queue_wait_seconds = 0.0
+        #: Batch waiters promoted by queue age (the anti-starvation
+        #: counter the starvation gate watches).
+        self.aged_promotions = 0
+        #: Longest time any waiter of each class spent parked before
+        #: its fate resolved (grant, shed, expiry, or close).
+        self.queue_age_max_seconds: Dict[str, float] = {
+            c: 0.0 for c in QUERY_CLASSES
+        }
         self.per_class: Dict[str, Dict[str, int]] = {
             c: {"submitted": 0, "ok": 0, "shed": 0, "expired": 0,
                 "rejected": 0, "errors": 0}
@@ -223,27 +275,50 @@ class ServingFrontend:
 
     # -- admission ---------------------------------------------------------
 
+    def _age_queue(self) -> None:
+        """Promote batch waiters that out-waited ``aging_seconds``."""
+        if self.aging_seconds <= 0:
+            return
+        cutoff = time.monotonic() - self.aging_seconds
+        for waiter in self._queue:
+            if (waiter.query_class == "batch" and not waiter.promoted
+                    and waiter.enqueued_at <= cutoff):
+                waiter.promoted = True
+                self.aged_promotions += 1
+
+    def _note_dequeue(self, waiter: _Waiter) -> None:
+        """Fold one resolved waiter's queue age into the per-class max."""
+        age = time.monotonic() - waiter.enqueued_at
+        if age > self.queue_age_max_seconds[waiter.query_class]:
+            self.queue_age_max_seconds[waiter.query_class] = age
+
     def _shed_for(self, incoming_class: str) -> bool:
         """Make room in a full queue; False if *incoming* must shed.
 
-        Oldest-batch-first: batch waiters absorb overload before any
-        interactive waiter is touched.  A batch arrival into a queue
-        of interactive waiters sheds itself — it must not evict more
-        latency-sensitive work.
+        Oldest-batch-first, with priority aging: *un-aged* batch
+        waiters absorb overload before anything else is touched, but a
+        batch waiter parked past ``aging_seconds`` is promoted first
+        and then sheds only under the oldest-first rule that governs
+        interactive waiters — sustained interactive pressure can no
+        longer starve a parked batch query indefinitely.  A batch
+        arrival into a queue of interactive (or promoted) waiters
+        sheds itself — it must not evict higher-priority work.
         """
+        self._age_queue()
         for i, waiter in enumerate(self._queue):
-            if waiter.query_class == "batch":
+            if waiter.query_class == "batch" and not waiter.promoted:
                 self._resolve_shed(i)
                 return True
         if incoming_class == "batch":
             return False
-        if self._queue:  # all waiters interactive: oldest one sheds
+        if self._queue:  # interactive/promoted only: oldest one sheds
             self._resolve_shed(0)
             return True
         return False
 
     def _resolve_shed(self, index: int) -> None:
         waiter = self._queue.pop(index)
+        self._note_dequeue(waiter)
         if not waiter.future.done():
             waiter.future.set_result(None)
 
@@ -252,15 +327,44 @@ class ServingFrontend:
         while self._queue:
             waiter = self._queue[0]
             if waiter.future.done():  # expired while parked
-                self._queue.pop(0)
+                self._note_dequeue(self._queue.pop(0))
                 continue
             grant = self.admission.try_acquire(
                 waiter.query_class, waiter.nbytes
             )
             if grant is None:
                 return
-            self._queue.pop(0)
+            self._note_dequeue(self._queue.pop(0))
             waiter.future.set_result(grant)
+
+    def _effective_grant(self, query_class: str) -> int:
+        """The admission charge for one query of ``query_class``.
+
+        Static configuration unless ``adaptive_grants`` is on and at
+        least one served query of the class has reported its measured
+        peak (:meth:`ResourceBudget.note_observation`); then the
+        observed high-water governs, floored at
+        :data:`MIN_ADAPTIVE_GRANT_BYTES` and capped at the admission
+        budget so an outsized observation degrades to serialize-the-
+        class instead of rejecting it outright.
+        """
+        configured = self.grant_bytes[query_class]
+        if not self.adaptive_grants:
+            return configured
+        observed = self.admission.observed_high_water(query_class)
+        if observed <= 0:
+            return configured
+        return max(MIN_ADAPTIVE_GRANT_BYTES,
+                   min(observed, self.admission.total_bytes))
+
+    def _observe_served(self, query_class: str,
+                        out: EngineResult) -> None:
+        """Feed one served query's measured peak back to admission."""
+        observed = int(
+            getattr(out.result, "max_memory_bytes", 0) or 0
+        )
+        if observed > 0:
+            self.admission.note_observation(query_class, observed)
 
     async def _admit(self, query_class: str, nbytes: int,
                      deadline: Optional[float], t0: float):
@@ -311,6 +415,7 @@ class ServingFrontend:
             self.queue_wait_seconds += (
                 time.monotonic() - waiter.enqueued_at
             )
+            self._note_dequeue(waiter)
             if future.done():
                 resolved = future.result()
                 if resolved is None:
@@ -348,7 +453,7 @@ class ServingFrontend:
             deadline_seconds = self.default_deadline_seconds
         deadline = (t0 + deadline_seconds
                     if deadline_seconds is not None else None)
-        nbytes = self.grant_bytes[query_class]
+        nbytes = self._effective_grant(query_class)
 
         def finish(status: str, queue_seconds: float,
                    **kw) -> ServeResponse:
@@ -394,11 +499,11 @@ class ServingFrontend:
                     "deadline passed before dispatch"
                 )
 
-            def checkpoint() -> None:
-                if deadline is not None and time.monotonic() > deadline:
-                    raise DeadlineExceeded(
-                        "deadline passed at a scatter checkpoint"
-                    )
+            # The token is both the engine's cooperative checkpoint
+            # and — because it pickles — the per-payload cancellation
+            # flag pool workers check at tile boundaries.  An absolute
+            # monotonic deadline travels exactly across fork.
+            token = CancelToken(deadline)
 
             self.in_flight += 1
             self.in_flight_high_water = max(
@@ -406,12 +511,12 @@ class ServingFrontend:
             )
             def call() -> EngineResult:
                 if self._engine_lock is None:
-                    return self.engine.execute(query, cancel=checkpoint)
+                    return self.engine.execute(query, cancel=token)
                 with self._engine_lock:
                     # The wait for the engine counts against the
                     # deadline like any other checkpoint.
-                    checkpoint()
-                    return self.engine.execute(query, cancel=checkpoint)
+                    token()
+                    return self.engine.execute(query, cancel=token)
 
             try:
                 out = await asyncio.get_running_loop().run_in_executor(
@@ -424,6 +529,8 @@ class ServingFrontend:
             if degraded:
                 self.served_degraded += 1
             self.per_class[query_class]["ok"] += 1
+            if self.adaptive_grants:
+                self._observe_served(query_class, out)
             return finish("ok", queue_seconds,
                           pairs=out.result.n_pairs, degraded=degraded,
                           result=out)
@@ -465,6 +572,12 @@ class ServingFrontend:
             "in_flight": self.in_flight,
             "in_flight_high_water": self.in_flight_high_water,
             "max_concurrency": self.max_concurrency,
+            "aged_promotions": self.aged_promotions,
+            "queue_age_max_seconds": dict(self.queue_age_max_seconds),
+            "adaptive_grants": self.adaptive_grants,
+            "effective_grant_bytes": {
+                c: self._effective_grant(c) for c in QUERY_CLASSES
+            },
             "admission": self.admission.snapshot(),
             "per_class": {
                 c: dict(v) for c, v in self.per_class.items()
@@ -474,9 +587,11 @@ class ServingFrontend:
     def metrics_snapshot(self) -> Dict[str, object]:
         """The engine's snapshot with the serve layer nested under it.
 
-        The Prometheus walker flattens unknown nested dicts, so every
-        serve counter lands in the exporter as ``repro_serve_*`` with
-        no exporter changes.
+        The Prometheus walker flattens unknown nested dicts under the
+        exporter's ``repro_engine`` namespace, so every serve counter
+        lands in the scrape as ``repro_engine_serve_*`` with no
+        exporter changes (``validate_prometheus``'s ``prefix``
+        argument pins exactly this).
         """
         snap = self.engine.metrics_snapshot()
         snap["serve"] = self.snapshot()
@@ -488,6 +603,7 @@ class ServingFrontend:
         # close() is called from inside a live event loop.
         while self._queue:
             waiter = self._queue.pop(0)
+            self._note_dequeue(waiter)
             if not waiter.future.done():
                 try:
                     waiter.future.set_result(None)
@@ -521,12 +637,14 @@ _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
 
 
 def _http_response(code: int, body: bytes,
-                   content_type: str = "application/json") -> bytes:
+                   content_type: str = "application/json",
+                   keep_alive: bool = False) -> bytes:
     reason = _REASONS.get(code, "OK")
+    conn = "keep-alive" if keep_alive else "close"
     head = (f"HTTP/1.1 {code} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n")
+            f"Connection: {conn}\r\n\r\n")
     return head.encode("ascii") + body
 
 
@@ -589,8 +707,33 @@ def parse_query_body(body: bytes) -> Dict[str, object]:
 #: arbitrary memory.
 MAX_BODY_BYTES = 1 << 20
 
+#: Largest declared body the endpoint will *drain* (discard without
+#: buffering) to keep a persistent connection usable after a 413.
+#: Beyond this, draining costs more than the connection is worth and
+#: the response forces ``Connection: close`` instead.
+MAX_DRAIN_BYTES = 8 << 20
+
+#: Requests served on one connection before the endpoint closes it —
+#: persistent connections must not pin server tasks forever.
+MAX_REQUESTS_PER_CONNECTION = 100
+
+#: Concurrent connections the endpoint handles; beyond this an
+#: immediate 503 tells load balancers to back off without the request
+#: ever reaching the admission queue.
+MAX_CONNECTIONS = 256
+
 
 async def _read_request(reader) -> Optional[Dict[str, object]]:
+    """Parse one request; returns None at clean EOF.
+
+    The returned dict always carries ``keep_alive`` (whether the
+    *client* allows reuse: HTTP/1.1 defaults on, HTTP/1.0 defaults
+    off, an explicit ``Connection:`` header wins either way) and has
+    consumed the declared body from the stream on every path —
+    including 413s up to :data:`MAX_DRAIN_BYTES` and bodies attached
+    to GETs — so the next request on a persistent connection starts at
+    a request line, never mid-body.
+    """
     line = await reader.readline()
     if not line:
         return None
@@ -598,91 +741,150 @@ async def _read_request(reader) -> Optional[Dict[str, object]]:
     if len(parts) < 2:
         return None
     method, path = parts[0].upper(), parts[1]
+    version = parts[2].upper() if len(parts) > 2 else "HTTP/1.0"
+    keep_alive = version == "HTTP/1.1"
     length = 0
     while True:
         header = await reader.readline()
         if header in (b"\r\n", b"\n", b""):
             break
         name, _, value = header.decode("latin-1").partition(":")
-        if name.strip().lower() == "content-length":
+        name = name.strip().lower()
+        if name == "content-length":
             try:
                 length = int(value.strip())
             except ValueError:
                 length = 0
+        elif name == "connection":
+            tokens = {t.strip().lower() for t in value.split(",")}
+            if "close" in tokens:
+                keep_alive = False
+            elif "keep-alive" in tokens:
+                keep_alive = True
     length = max(0, length)
     if length > MAX_BODY_BYTES:
-        # Don't read the body — the connection closes after the
-        # response anyway, and draining it would buffer what the cap
-        # exists to refuse.
+        # Refuse to buffer, but drain what's reasonable so the
+        # connection stays usable; past the drain cap, force close.
+        if length <= MAX_DRAIN_BYTES:
+            remaining = length
+            while remaining > 0:
+                chunk = await reader.read(min(remaining, 1 << 16))
+                if not chunk:
+                    raise asyncio.IncompleteReadError(b"", remaining)
+                remaining -= len(chunk)
+        else:
+            keep_alive = False
         return {"method": method, "path": path, "body": b"",
-                "too_large": True}
+                "too_large": True, "keep_alive": keep_alive}
     body = await reader.readexactly(length) if length else b""
-    return {"method": method, "path": path, "body": body}
+    return {"method": method, "path": path, "body": body,
+            "keep_alive": keep_alive}
 
 
 async def serve_http(frontend: ServingFrontend,
-                     host: str = "127.0.0.1", port: int = 0):
+                     host: str = "127.0.0.1", port: int = 0,
+                     max_connections: int = MAX_CONNECTIONS):
     """Serve the front-end over HTTP; returns the asyncio server.
 
     ``POST /query`` runs a query (JSON body, see
     :func:`parse_query_body`); ``GET /metrics`` renders the merged
     engine+serve snapshot in Prometheus exposition format;
-    ``GET /healthz`` answers liveness probes.  One request per
-    connection — load drivers open many short connections, which is
-    exactly the regime the admission queue exists for.
+    ``GET /healthz`` answers liveness probes.
+
+    Connections are persistent (HTTP/1.1 keep-alive) by default:
+    requests are handled back-to-back on one connection until the
+    client sends ``Connection: close``, EOF, or
+    :data:`MAX_REQUESTS_PER_CONNECTION` is reached — so a load driver
+    reuses one socket instead of paying a handshake per query.
+    Requests already buffered behind the current one are naturally
+    served in arrival order (pipelining).  At most ``max_connections``
+    connections are handled concurrently; beyond that the endpoint
+    answers an immediate 503 and closes.
     """
     from repro.engine.obs import render_prometheus
 
+    active = 0
+
+    async def respond(req) -> Tuple[bytes, bool]:
+        keep = bool(req.get("keep_alive"))
+        if req.get("too_large"):
+            return _http_response(
+                413, b'{"error": "request body too large"}\n',
+                keep_alive=keep,
+            ), keep
+        if req["path"] == "/healthz" and req["method"] == "GET":
+            return _http_response(200, b'{"status": "ok"}\n',
+                                  keep_alive=keep), keep
+        if req["path"] == "/metrics" and req["method"] == "GET":
+            text = render_prometheus(frontend.metrics_snapshot())
+            return _http_response(
+                200, text.encode("utf-8"),
+                content_type="text/plain; version=0.0.4",
+                keep_alive=keep,
+            ), keep
+        if req["path"] == "/query":
+            if req["method"] != "POST":
+                return _http_response(
+                    405, b'{"error": "use POST"}\n', keep_alive=keep
+                ), keep
+            try:
+                kwargs = parse_query_body(req["body"])
+            except ValueError as exc:
+                return _http_response(
+                    400,
+                    json.dumps({"error": str(exc)}).encode("utf-8")
+                    + b"\n",
+                    keep_alive=keep,
+                ), keep
+            resp = await frontend.submit(**kwargs)
+            return _http_response(
+                _STATUS_HTTP[resp.status],
+                json.dumps(resp.to_dict()).encode("utf-8") + b"\n",
+                keep_alive=keep,
+            ), keep
+        return _http_response(404, b'{"error": "not found"}\n',
+                              keep_alive=keep), keep
+
     async def handle(reader, writer) -> None:
+        nonlocal active
+        if active >= max_connections:
+            try:
+                writer.write(_http_response(
+                    503, b'{"error": "too many connections"}\n'
+                ))
+                await writer.drain()
+            except ConnectionError:
+                pass
+            finally:
+                writer.close()
+            return
+        active += 1
+        served = 0
         try:
-            req = await _read_request(reader)
-            if req is None:
-                return
-            if req.get("too_large"):
-                out = _http_response(
-                    413, b'{"error": "request body too large"}\n'
-                )
-            elif req["path"] == "/healthz" and req["method"] == "GET":
-                out = _http_response(200, b'{"status": "ok"}\n')
-            elif req["path"] == "/metrics" and req["method"] == "GET":
-                text = render_prometheus(frontend.metrics_snapshot())
-                out = _http_response(
-                    200, text.encode("utf-8"),
-                    content_type="text/plain; version=0.0.4",
-                )
-            elif req["path"] == "/query":
-                if req["method"] != "POST":
-                    out = _http_response(
-                        405, b'{"error": "use POST"}\n'
-                    )
-                else:
-                    try:
-                        kwargs = parse_query_body(req["body"])
-                    except ValueError as exc:
-                        out = _http_response(
-                            400,
-                            json.dumps(
-                                {"error": str(exc)}
-                            ).encode("utf-8") + b"\n",
-                        )
-                    else:
-                        resp = await frontend.submit(**kwargs)
-                        out = _http_response(
-                            _STATUS_HTTP[resp.status],
-                            json.dumps(
-                                resp.to_dict()
-                            ).encode("utf-8") + b"\n",
-                        )
-            else:
-                out = _http_response(404, b'{"error": "not found"}\n')
-            writer.write(out)
-            await writer.drain()
+            while served < MAX_REQUESTS_PER_CONNECTION:
+                req = await _read_request(reader)
+                if req is None:
+                    return
+                served += 1
+                if served >= MAX_REQUESTS_PER_CONNECTION:
+                    req["keep_alive"] = False
+                out, keep = await respond(req)
+                writer.write(out)
+                await writer.drain()
+                if not keep:
+                    return
         except (ConnectionError, asyncio.IncompleteReadError,
                 ValueError):
             # ValueError covers malformed reads (e.g. readexactly on a
             # bogus length): drop the connection rather than the task.
             pass
+        except asyncio.CancelledError:
+            # Shutdown while parked between requests on a persistent
+            # connection: a normal fate for a keep-alive handler, not
+            # an error to propagate out of the dying loop.
+            pass
         finally:
+            active -= 1
             writer.close()
 
     return await asyncio.start_server(handle, host, port)

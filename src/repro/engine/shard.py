@@ -121,7 +121,7 @@ from repro.engine.metrics import (
 )
 from repro.engine.obs import SlowQueryLog
 from repro.engine.optimizer import effective_region
-from repro.engine.pool import WorkerPool
+from repro.engine.pool import DeadlineExceeded, WorkerPool
 from repro.engine.query import Query
 from repro.engine.resources import AdmissionError
 from repro.engine.trace import SPAN_METRIC_FIELDS, Span
@@ -750,12 +750,15 @@ class ShardedEngine:
             if before < HEALTH_FLOOR <= self._health[k][r]:
                 self.replica_recoveries += 1
 
-    def _execute_on_shard(self, k: int, sub: Query, analyze: bool):
+    def _execute_on_shard(self, k: int, sub: Query, analyze: bool,
+                          cancel: Optional[Callable[[], None]] = None):
         """One shard's sub-query with replica failover.
 
         Returns ``(EngineResult, replica, attempts, failover_events)``.
         Semantic errors — admission rejections, unknown relations —
-        are deterministic across replicas and re-raise immediately;
+        are deterministic across replicas and re-raise immediately, as
+        does deadline cancellation (a cancelled query must not burn
+        every replica chasing a result nobody is waiting for);
         anything else marks the replica unhealthy, records the
         degradation and retries the next candidate after an
         exponential backoff.  Only when every replica has failed does
@@ -793,8 +796,9 @@ class ShardedEngine:
                                 f"(shard {k} replica {r})"
                             )
                 with self._engine_locks[k][r]:
-                    out = engine.execute(sub, analyze=analyze)
-            except (AdmissionError, KeyError):
+                    out = engine.execute(sub, analyze=analyze,
+                                         cancel=cancel)
+            except (AdmissionError, KeyError, DeadlineExceeded):
                 raise
             except Exception as exc:
                 last_exc = exc
@@ -863,10 +867,12 @@ class ShardedEngine:
         lock-guarded and each replica engine serializes its own
         sub-queries.  ``cancel`` is a cooperative cancellation
         checkpoint — called on entry, before each shard dispatch and
-        at gather; raising from it (e.g.
-        :class:`~repro.engine.serve.DeadlineExceeded`) abandons the
-        query between shard boundaries without corrupting any shared
-        state.
+        at gather, and forwarded into every replica engine, whose
+        partitioned executor re-checks it per gathered pool task (a
+        :class:`~repro.engine.pool.CancelToken` additionally rides
+        inside worker payloads for tile-boundary checks); raising from
+        it (e.g. :class:`~repro.engine.serve.DeadlineExceeded`)
+        abandons the query without corrupting any shared state.
         """
         t_start = time.perf_counter()
         if cancel is not None:
@@ -931,7 +937,7 @@ class ShardedEngine:
                         self._shard_result_restores[k] += 1
                     return {"shard": k, "restored": restored}
             out, replica, attempts, events = self._execute_on_shard(
-                k, sub, analyze
+                k, sub, analyze, cancel
             )
             if (token is not None
                     and out.result.pairs is not None
@@ -979,11 +985,17 @@ class ShardedEngine:
         shard_plans: Dict[int, str] = {}
         restored_shards: List[int] = []
         degraded = False
+        # The logical query's memory high-water is the worst shard's:
+        # shards run concurrently but each replica enforces its own
+        # budget, and serving-layer adaptive admission sizes grants
+        # from this peak.
+        mem_high = 0
         for oc in outcomes:
             k = oc["shard"]
             if "restored" in oc:
                 restored = oc["restored"]
                 restored_shards.append(k)
+                mem_high = max(mem_high, restored.max_memory_bytes)
                 raw_pairs += restored.n_pairs
                 shard_pairs[k] = restored.n_pairs
                 shard_strategies[k] = str(
@@ -1003,6 +1015,7 @@ class ShardedEngine:
             if oc["attempts"] > 1:
                 degraded = True
             shard_walls.append(out.sim_wall_seconds)
+            mem_high = max(mem_high, out.result.max_memory_bytes)
             raw_pairs += out.result.n_pairs
             shard_pairs[k] = out.result.n_pairs
             shard_replicas[k] = oc["replica"]
@@ -1046,6 +1059,7 @@ class ShardedEngine:
             algorithm="scatter-gather",
             n_pairs=len(merged),
             pairs=pairs,
+            max_memory_bytes=mem_high,
             detail={
                 "strategy": "scatter-gather",
                 "shards": self.shards,

@@ -225,7 +225,7 @@ def run_workload(engine: ServingEngine,
     pool = engine.worker_pool.snapshot()
     for key in ("tasks_dispatched", "tasks_inline", "tiles_dispatched",
                 "tiles_inline", "pools_created", "fallbacks",
-                "demotions"):
+                "demotions", "pool_tasks_cancelled"):
         pool[key] -= pool_before[key]
     artifacts = engine.artifacts.snapshot()
     for key in ("hits", "misses", "puts", "evictions", "invalidations",
@@ -280,6 +280,8 @@ def run_concurrent_workload(
     admission_bytes: Optional[int] = None,
     grant_bytes: Optional[Dict[str, int]] = None,
     max_concurrency: Optional[int] = None,
+    aging_seconds: Optional[float] = None,
+    adaptive_grants: bool = False,
     faults: Optional[FaultPlan] = None,
     seed: int = 11,
 ) -> Dict[str, object]:
@@ -311,6 +313,10 @@ def run_concurrent_workload(
         fe_kwargs["admission_bytes"] = admission_bytes
     if grant_bytes is not None:
         fe_kwargs["grant_bytes"] = grant_bytes
+    if aging_seconds is not None:
+        fe_kwargs["aging_seconds"] = aging_seconds
+    if adaptive_grants:
+        fe_kwargs["adaptive_grants"] = True
     fe_kwargs["max_concurrency"] = (
         max_concurrency if max_concurrency is not None else max(1, clients)
     )
@@ -333,9 +339,16 @@ def run_concurrent_workload(
 
     async def open_loop() -> List[object]:
         interval = 1.0 / open_loop_qps
+        # One shared schedule origin: each arrival sleeps to an
+        # absolute offset from t0 rather than its own coroutine start,
+        # so scheduling jitter between coroutine launches cannot drift
+        # the whole arrival process late (open-loop means the schedule
+        # is the schedule).
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
 
         async def one(i: int) -> object:
-            await asyncio.sleep(i * interval)
+            await asyncio.sleep(max(0.0, t0 + i * interval - loop.time()))
             return await frontend.submit(
                 queries[i], classes[i], deadline_seconds
             )
@@ -363,7 +376,7 @@ def run_concurrent_workload(
     pool = engine.worker_pool.snapshot()
     for key in ("tasks_dispatched", "tasks_inline", "tiles_dispatched",
                 "tiles_inline", "pools_created", "fallbacks",
-                "demotions"):
+                "demotions", "pool_tasks_cancelled"):
         pool[key] -= pool_before[key]
     artifacts = engine.artifacts.snapshot()
     for key in ("hits", "misses", "puts", "evictions", "invalidations",

@@ -288,6 +288,21 @@ def _add_serve_args(parser: argparse.ArgumentParser) -> None:
             "(default: unbounded)"
         ),
     )
+    parser.add_argument(
+        "--aging-seconds", type=float, default=None,
+        help=(
+            "queue age after which a parked batch query is promoted "
+            "and no longer load-shed ahead of interactive work; 0 "
+            "disables aging (default: 0.5)"
+        ),
+    )
+    parser.add_argument(
+        "--adaptive-admission", action="store_true",
+        help=(
+            "size per-class admission grants from the observed "
+            "per-class memory high-water instead of fixed bytes"
+        ),
+    )
 
 
 def _parse_http_args(argv: List[str]) -> argparse.Namespace:
@@ -482,6 +497,8 @@ def serve_bench(args: argparse.Namespace) -> int:
             queue_depth=args.queue_depth,
             admission_bytes=args.admission_bytes,
             max_concurrency=args.max_concurrency,
+            aging_seconds=args.aging_seconds,
+            adaptive_grants=args.adaptive_admission,
             faults=faults,
         )
     else:
@@ -561,6 +578,15 @@ def serve_bench(args: argparse.Namespace) -> int:
             f"{s['admission']['in_use_bytes']} B in use of "
             f"{s['admission']['total_bytes']} B, "
             f"{s['admission']['grants_issued']} grants issued"
+            + (" (adaptive)" if s.get("adaptive_grants") else "")
+        )])
+        ages = s.get("queue_age_max_seconds", {})
+        rows.append(["queue aging", (
+            f"{s.get('aged_promotions', 0)} batch promotions, "
+            "max queue age "
+            + "/".join(f"{ages.get(c, 0.0) * 1e3:.0f}ms"
+                       for c in ("interactive", "batch"))
+            + " (interactive/batch)"
         )])
     if args.spill_report:
         budget = report["budget"]
@@ -626,6 +652,10 @@ def serve_cmd(args: argparse.Namespace) -> int:
         fe_kwargs["max_concurrency"] = args.max_concurrency
     if args.deadline_ms is not None:
         fe_kwargs["default_deadline_seconds"] = args.deadline_ms / 1e3
+    if args.aging_seconds is not None:
+        fe_kwargs["aging_seconds"] = args.aging_seconds
+    if args.adaptive_admission:
+        fe_kwargs["adaptive_grants"] = True
     frontend = ServingFrontend(engine, **fe_kwargs)
 
     async def run() -> None:

@@ -727,8 +727,11 @@ class TestSingleEngineSerialization:
 
 async def _http(port: int, method: str, path: str,
                 body: bytes = b"") -> tuple:
+    # A one-shot client: Connection: close opts out of the endpoint's
+    # keep-alive default so reading to EOF terminates.
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
     head = (f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+            f"Connection: close\r\n"
             f"Content-Length: {len(body)}\r\n\r\n")
     writer.write(head.encode("ascii") + body)
     await writer.drain()
@@ -737,6 +740,26 @@ async def _http(port: int, method: str, path: str,
     head, _, payload = raw.partition(b"\r\n\r\n")
     status = int(head.split(b" ")[1])
     return status, payload
+
+
+async def _read_response(reader) -> tuple:
+    """One framed response off a persistent connection."""
+    status_line = await reader.readline()
+    status = int(status_line.split(b" ")[1])
+    length = 0
+    connection = None
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        name = name.strip().lower()
+        if name == "content-length":
+            length = int(value.strip())
+        elif name == "connection":
+            connection = value.strip().lower()
+    body = await reader.readexactly(length)
+    return status, body, connection
 
 
 class TestHttpEndpoint:
@@ -771,7 +794,15 @@ class TestHttpEndpoint:
         assert missing[0] == 404
         assert wrong_method[0] == 405
         assert metrics[0] == 200
-        assert b"repro_engine_serve_submitted 1" in metrics[1]
+        # Pin the documented namespace: every serve counter exports
+        # under repro_engine_serve_*, and nothing escapes the
+        # repro_engine prefix.
+        from repro.engine.obs import validate_prometheus
+
+        text = metrics[1].decode("utf-8")
+        assert validate_prometheus(text, prefix="repro_engine") == []
+        assert "repro_engine_serve_submitted 1" in text
+        assert "repro_engine_serve_aged_promotions" in text
         engine.close()
 
     def test_hostile_content_length_gets_a_response(self):
@@ -795,9 +826,12 @@ class TestHttpEndpoint:
             negative = await raw(
                 port,
                 "POST /query HTTP/1.1\r\nHost: t\r\n"
+                "Connection: close\r\n"
                 "Content-Length: -7\r\n\r\n",
             )
-            # Absurd length: refused outright, never buffered.
+            # Absurd length: refused outright, never buffered — and
+            # past the drain cap the response forces the close this
+            # client reads to.
             huge = await raw(
                 port,
                 "POST /query HTTP/1.1\r\nHost: t\r\n"
@@ -811,6 +845,94 @@ class TestHttpEndpoint:
             negative, huge = asyncio.run(scenario(fe))
         assert negative == 400
         assert huge == 413
+        engine.close()
+
+    def test_keep_alive_serves_many_requests_on_one_connection(self):
+        engine = _registered()
+
+        async def scenario(fe):
+            server = await serve_http(fe, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            body = json.dumps({"relations": ["a", "b"],
+                               "count_only": True}).encode()
+            req = (f"POST /query HTTP/1.1\r\nHost: t\r\n"
+                   f"Content-Length: {len(body)}\r\n\r\n"
+                   ).encode("ascii") + body
+            # Pipelined: both requests are on the wire before either
+            # response; the server answers them in order.
+            writer.write(req + req)
+            await writer.drain()
+            first = await _read_response(reader)
+            second = await _read_response(reader)
+            closing = (f"POST /query HTTP/1.1\r\nHost: t\r\n"
+                       f"Connection: close\r\n"
+                       f"Content-Length: {len(body)}\r\n\r\n"
+                       ).encode("ascii") + body
+            writer.write(closing)
+            await writer.drain()
+            third = await _read_response(reader)
+            tail = await asyncio.wait_for(reader.read(), timeout=2.0)
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return first, second, third, tail
+
+        with _frontend(engine) as fe:
+            first, second, third, tail = asyncio.run(scenario(fe))
+            assert fe.served_ok == 3
+        for status, body, connection in (first, second):
+            assert status == 200
+            assert connection == "keep-alive"
+            assert json.loads(body)["status"] == "ok"
+        assert third[0] == 200 and third[2] == "close"
+        assert tail == b"", (
+            "the server must close after Connection: close"
+        )
+        engine.close()
+
+    def test_oversized_body_drained_keeps_connection_usable(self):
+        """A 413 must leave the stream positioned at the next request
+        line, not mid-body — the satellite bug this PR fixes."""
+        engine = _registered()
+        from repro.engine.serve import MAX_BODY_BYTES
+
+        async def scenario(fe):
+            server = await serve_http(fe, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            junk = b"x" * (MAX_BODY_BYTES + 1)
+            writer.write(
+                (f"POST /query HTTP/1.1\r\nHost: t\r\n"
+                 f"Content-Length: {len(junk)}\r\n\r\n"
+                 ).encode("ascii") + junk
+            )
+            await writer.drain()
+            too_large = await _read_response(reader)
+            # A GET with a declared body must be drained too.
+            writer.write(
+                b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: 4\r\n\r\njunk"
+            )
+            await writer.drain()
+            health = await _read_response(reader)
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return too_large, health
+
+        with _frontend(engine) as fe:
+            too_large, health = asyncio.run(scenario(fe))
+        assert too_large[0] == 413
+        assert too_large[2] == "keep-alive"
+        assert health[0] == 200, (
+            "the second request must parse cleanly after the drained "
+            "oversized body"
+        )
         engine.close()
 
     def test_parse_query_body_validation(self):
@@ -866,4 +988,159 @@ class TestCancellationCheckpoints:
         assert len(seen) >= 2, (
             "entry and gather checkpoints must both fire"
         )
+        engine.close()
+
+
+# -- priority aging ----------------------------------------------------------
+
+
+class TestPriorityAging:
+    def test_aged_batch_survives_shedding_young_batch_sheds(self):
+        """Sustained interactive pressure must not starve a parked
+        batch query forever: past ``aging_seconds`` it is promoted,
+        and the shed victim becomes the *youngest un-promoted* batch
+        waiter instead."""
+        engine = _registered()
+
+        async def scenario(fe):
+            # Hold the whole admission budget so every arrival parks.
+            hold = fe.admission.try_acquire("hold", 4)
+            b_old = asyncio.ensure_future(
+                fe.submit(Query(relations=("a", "a")), "batch"))
+            await asyncio.sleep(0)
+            await asyncio.sleep(0.12)  # park b_old past aging_seconds
+            b_young = asyncio.ensure_future(
+                fe.submit(Query(relations=("b", "b")), "batch"))
+            await asyncio.sleep(0)  # queue now full at depth 2
+            inter = asyncio.ensure_future(
+                fe.submit(Query(relations=("a", "b"))))
+            await asyncio.sleep(0)  # overflow: age, then shed
+            hold.release()
+            fe._pump()
+            return await asyncio.gather(b_old, b_young, inter)
+
+        with _frontend(engine, admission_bytes=4,
+                       grant_bytes={"interactive": 3, "batch": 4},
+                       queue_depth=2, aging_seconds=0.05) as fe:
+            b_old, b_young, inter = asyncio.run(scenario(fe))
+            assert b_young.status == "shed", (
+                "the un-promoted batch waiter absorbs the overload"
+            )
+            assert b_old.ok, (
+                "the aged batch waiter must survive shedding and serve"
+            )
+            assert inter.ok
+            assert fe.aged_promotions == 1
+            snap = fe.snapshot()
+            assert snap["aged_promotions"] == 1
+            assert snap["queue_age_max_seconds"]["batch"] >= 0.1
+            assert fe.admission.in_use_bytes == 0
+        engine.close()
+
+    def test_aging_disabled_keeps_pure_batch_first_shedding(self):
+        engine = _registered()
+
+        async def scenario(fe):
+            hold = fe.admission.try_acquire("hold", 4)
+            b_old = asyncio.ensure_future(
+                fe.submit(Query(relations=("a", "a")), "batch"))
+            await asyncio.sleep(0)
+            await asyncio.sleep(0.12)
+            inter = asyncio.ensure_future(
+                fe.submit(Query(relations=("a", "b"))))
+            await asyncio.sleep(0)  # overflow the depth-1 queue
+            hold.release()
+            fe._pump()
+            return await asyncio.gather(b_old, inter)
+
+        with _frontend(engine, admission_bytes=4,
+                       grant_bytes={"interactive": 3, "batch": 4},
+                       queue_depth=1, aging_seconds=0) as fe:
+            b_old, inter = asyncio.run(scenario(fe))
+            assert b_old.status == "shed", (
+                "with aging off, the old batch waiter still sheds first"
+            )
+            assert inter.ok
+            assert fe.aged_promotions == 0
+        engine.close()
+
+
+# -- deadline propagation into the pool --------------------------------------
+
+
+class TestPoolDeadlinePropagation:
+    def test_expired_query_reclaims_pool_tasks_without_leaks(self):
+        """The tentpole's acceptance gate: a deadline that expires
+        mid-scatter must show reclaimed pool work
+        (``pool_tasks_cancelled > 0``) and leak neither admission nor
+        engine budget bytes."""
+        from repro.engine.pool import CancelToken  # noqa: F401
+
+        # Worker-side slow faults pin both pool threads for 50 ms per
+        # task, so a 20 ms deadline reliably expires while tasks are
+        # in flight and others are still queued behind them.
+        engine = _registered_single(
+            n=400, pool_kind="thread", workers=2, min_ship_rects=0,
+            tile_batch_bytes=0,
+            faults=FaultPlan([
+                FaultRule(site="pool.task", kind="slow",
+                          delay_seconds=0.05, times=2),
+            ]),
+        )
+        with _frontend(engine) as fe:
+            doomed = asyncio.run(fe.submit(
+                Query(relations=("a", "b")), deadline_seconds=0.02,
+            ))
+            assert doomed.status == "expired"
+            assert fe.expired == 1
+            pool = engine.worker_pool.snapshot()
+            assert pool["pool_tasks_cancelled"] > 0, (
+                "cancellation must reclaim shipped pool tasks"
+            )
+            assert fe.admission.in_use_bytes == 0
+            assert engine.budget.snapshot()["in_use_bytes"] == 0
+            assert engine.metrics.queries_cancelled == 1
+            # The deployment stays serviceable (faults exhausted).
+            ok = asyncio.run(fe.submit(Query(relations=("a", "b"))))
+            assert ok.ok and ok.pairs > 0
+        engine.close()
+
+    def test_cancel_token_pickles_with_state(self):
+        import pickle
+        import time as _time
+
+        from repro.engine.pool import CancelToken
+
+        token = CancelToken(_time.monotonic() + 60.0)
+        clone = pickle.loads(pickle.dumps(token))
+        assert not clone.cancelled
+        token.cancel()
+        assert token.cancelled
+        assert not clone.cancelled, (
+            "a pre-cancel clone must carry only the deadline"
+        )
+        flagged = pickle.loads(pickle.dumps(token))
+        assert flagged.cancelled, (
+            "the cancelled flag must survive pickling"
+        )
+        with pytest.raises(DeadlineExceeded):
+            flagged()
+
+    def test_sharded_deadline_does_not_trip_failover(self):
+        """A replica raising DeadlineExceeded is a cancelled query,
+        not a sick replica: no failover, no retry."""
+        import time as _time
+
+        from repro.engine.pool import CancelToken
+
+        engine = _registered(replicas=2)
+        token = CancelToken(_time.monotonic() - 1.0)
+        with pytest.raises(DeadlineExceeded):
+            engine.execute(Query(relations=("a", "b")), cancel=token)
+        snap = engine.metrics_snapshot()
+        assert snap["failovers"] == 0
+        assert snap["retries"] == 0
+        assert engine.budget.snapshot()["in_use_bytes"] == 0
+        out = engine.execute(Query(relations=("a", "b")))
+        assert out.result.n_pairs > 0
         engine.close()

@@ -417,6 +417,10 @@ def test_validators_reject_malformed_input():
     assert validate_prometheus("") != []
     assert validate_prometheus("not a sample line\n") != []
     assert validate_prometheus("ok_gauge 1\n") == []
+    assert validate_prometheus("ok_gauge 1\n", prefix="ok") == []
+    assert validate_prometheus("ok_gauge 1\n", prefix="other") != [], (
+        "a prefix pin must reject samples outside the namespace"
+    )
     bad = Span("x").to_dict()
     bad["cpu_ops"] = -1
     assert validate_trace(bad) != []
